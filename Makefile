@@ -1,0 +1,52 @@
+# Willow — reproduction of Kant, Murugan & Du, IPDPS 2011.
+# Standard targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments report fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One benchmark per paper table/figure (quick mode); -v prints the
+# headline notes.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the full evaluation section at full fidelity.
+experiments:
+	$(GO) run ./cmd/willow-exp -all
+
+# Regenerate the committed markdown report.
+report:
+	$(GO) run ./cmd/willow-exp -report docs/REPORT.md
+
+# Short fuzz pass over the parser/packer targets.
+fuzz:
+	$(GO) test -fuzz=FuzzFFDLR -fuzztime=10s ./internal/binpack
+	$(GO) test -fuzz=FuzzMatchFFD -fuzztime=10s ./internal/binpack
+	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/trace
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hotzone
+	$(GO) run ./examples/greenenergy
+	$(GO) run ./examples/consolidation
+	$(GO) run ./examples/devicelevel
+	$(GO) run ./examples/failover
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,87 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section V), one per artifact, per the per-experiment index
+// in DESIGN.md. Each benchmark executes the same code path as
+//
+//	willow-exp -run <id> -quick
+//
+// so `go test -bench=.` both times the harness and re-verifies that every
+// artifact still reproduces (a failing experiment fails its benchmark).
+//
+// The headline rows are printed once per benchmark via b.Logf under -v.
+package willow_test
+
+import (
+	"testing"
+
+	"willow/internal/exp"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(id, exp.Options{Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			for _, n := range res.Notes {
+				b.Logf("%s: %s", id, n)
+			}
+		}
+	}
+}
+
+// Simulation-study artifacts (Section V-B).
+
+func BenchmarkFig4(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Testbed artifacts (Section V-C).
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Analytical properties (Section V-A).
+
+func BenchmarkPropMessages(b *testing.B)    { benchExperiment(b, "prop-messages") }
+func BenchmarkPropStability(b *testing.B)   { benchExperiment(b, "prop-stability") }
+func BenchmarkFFDLR(b *testing.B)           { benchExperiment(b, "prop-binpack") }
+func BenchmarkPropConvergence(b *testing.B) { benchExperiment(b, "prop-convergence") }
+func BenchmarkPropScaling(b *testing.B)     { benchExperiment(b, "prop-scaling") }
+func BenchmarkPropImbalance(b *testing.B)   { benchExperiment(b, "prop-imbalance") }
+
+// Extensions: the paper's §VI future-work directions, implemented.
+
+func BenchmarkExtQoS(b *testing.B)      { benchExperiment(b, "ext-qos") }
+func BenchmarkExtCooling(b *testing.B)  { benchExperiment(b, "ext-cooling") }
+func BenchmarkExtIPC(b *testing.B)      { benchExperiment(b, "ext-ipc") }
+func BenchmarkExtDevice(b *testing.B)   { benchExperiment(b, "ext-device") }
+func BenchmarkExtIdle(b *testing.B)     { benchExperiment(b, "ext-idle") }
+func BenchmarkExtAsync(b *testing.B)    { benchExperiment(b, "ext-async") }
+func BenchmarkExtLatency(b *testing.B)  { benchExperiment(b, "ext-latency") }
+func BenchmarkExtTransfer(b *testing.B) { benchExperiment(b, "ext-transfer") }
+func BenchmarkExtHetero(b *testing.B)   { benchExperiment(b, "ext-hetero") }
+func BenchmarkExtVariance(b *testing.B) { benchExperiment(b, "ext-variance") }
+func BenchmarkExtFailure(b *testing.B)  { benchExperiment(b, "ext-failure") }
+
+// Ablations of DESIGN.md's called-out design choices.
+
+func BenchmarkAblationMargin(b *testing.B)      { benchExperiment(b, "ablation-margin") }
+func BenchmarkAblationLocality(b *testing.B)    { benchExperiment(b, "ablation-local") }
+func BenchmarkAblationHierarchy(b *testing.B)   { benchExperiment(b, "ablation-hier") }
+func BenchmarkAblationGranularity(b *testing.B) { benchExperiment(b, "ablation-granularity") }
+func BenchmarkAblationSmoothing(b *testing.B)   { benchExperiment(b, "ablation-smoothing") }
+func BenchmarkExtDemandside(b *testing.B)       { benchExperiment(b, "ext-demandside") }
+func BenchmarkAblationForesight(b *testing.B)   { benchExperiment(b, "ablation-foresight") }

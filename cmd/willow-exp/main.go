@@ -1,0 +1,178 @@
+// Command willow-exp regenerates the tables and figures of the paper's
+// evaluation. Each experiment is addressed by the paper artifact it
+// reproduces:
+//
+//	willow-exp -list
+//	willow-exp -run fig5
+//	willow-exp -run table3 -csv
+//	willow-exp -all
+//
+// Quick mode (-quick) shrinks run lengths for a fast smoke pass; the
+// shapes remain but averages get noisier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+
+	"willow/internal/exp"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		run    = flag.String("run", "", "experiment id to run (e.g. fig5, table3)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "shrink run lengths (smoke mode)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		seed   = flag.Uint64("seed", 0, "override the deterministic seed (0 = default)")
+		save   = flag.String("save", "", "write each experiment's CSV and notes under this directory")
+		report = flag.String("report", "", "run every experiment and write a single markdown report here")
+	)
+	flag.Parse()
+
+	opts := exp.Options{Quick: *quick, Seed: *seed}
+
+	if *report != "" {
+		if err := writeReport(*report, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *report)
+		return
+	}
+
+	switch {
+	case *list:
+		for _, id := range exp.IDs() {
+			e, err := exp.Get(id)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		// Experiments are independent; run them concurrently and print in
+		// registry order.
+		results, err := runAll(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for i, id := range exp.IDs() {
+			if err := emit(id, results[i], *csv, *save); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *run != "":
+		if err := runOne(*run, opts, *csv, *save); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runAll executes every registered experiment concurrently (bounded by
+// GOMAXPROCS) and returns results in registry order.
+func runAll(opts exp.Options) ([]*exp.Result, error) {
+	ids := exp.IDs()
+	results := make([]*exp.Result, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = exp.Run(id, opts)
+		}(i, id)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+	}
+	return results, nil
+}
+
+func runOne(id string, opts exp.Options, csv bool, saveDir string) error {
+	res, err := exp.Run(id, opts)
+	if err != nil {
+		return err
+	}
+	return emit(id, res, csv, saveDir)
+}
+
+// emit prints one experiment's result and optionally saves it.
+func emit(id string, res *exp.Result, csv bool, saveDir string) error {
+	if csv {
+		fmt.Print(res.Table.CSV())
+	} else {
+		fmt.Print(res.Table.String())
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	if saveDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(saveDir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(saveDir, id+".csv"), []byte(res.Table.CSV()), 0o644); err != nil {
+		return err
+	}
+	var notes strings.Builder
+	notes.WriteString(res.Table.Title)
+	notes.WriteByte('\n')
+	for _, n := range res.Notes {
+		notes.WriteString("note: ")
+		notes.WriteString(n)
+		notes.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(saveDir, id+".notes.txt"), []byte(notes.String()), 0o644)
+}
+
+// writeReport regenerates every experiment and assembles one markdown
+// document: title, table, notes per artifact.
+func writeReport(path string, opts exp.Options) error {
+	var sb strings.Builder
+	sb.WriteString("# Willow — regenerated evaluation\n\n")
+	sb.WriteString("Produced by `willow-exp -report`; every table below is a live run.\n\n")
+	results, err := runAll(opts)
+	if err != nil {
+		return err
+	}
+	for i, id := range exp.IDs() {
+		e, err := exp.Get(id)
+		if err != nil {
+			return err
+		}
+		res := results[i]
+		fmt.Fprintf(&sb, "## %s — %s\n\n", e.ID, e.Title)
+		title := res.Table.Title
+		res.Table.Title = "" // the section heading carries the context
+		sb.WriteString(res.Table.Markdown())
+		res.Table.Title = title
+		sb.WriteByte('\n')
+		for _, n := range res.Notes {
+			fmt.Fprintf(&sb, "- %s\n", n)
+		}
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "willow-exp:", err)
+	os.Exit(1)
+}

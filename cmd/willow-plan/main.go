@@ -1,0 +1,82 @@
+// Command willow-plan answers capacity-planning questions against the
+// Willow simulator: how lean can the feed be for a given load, how much
+// load fits a given feed, and how much battery bridges a solar day.
+//
+//	willow-plan -question minsupply -util 0.5
+//	willow-plan -question minsupply -sweep
+//	willow-plan -question maxutil -supply 5000
+//	willow-plan -question battery -util 0.35 -peak 9000 -night 2500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"willow/internal/metrics"
+	"willow/internal/plan"
+)
+
+func main() {
+	var (
+		question = flag.String("question", "minsupply", "minsupply, maxutil, or battery")
+		util     = flag.Float64("util", 0.5, "target mean utilization")
+		supply   = flag.Float64("supply", 6000, "constant supply in watts (maxutil)")
+		sweep    = flag.Bool("sweep", false, "answer across a utilization sweep (minsupply)")
+		shed     = flag.Float64("maxshed", 0.002, "acceptable shed fraction of energy served")
+		peak     = flag.Float64("peak", 9000, "midday solar generation, watts (battery)")
+		night    = flag.Float64("night", 2500, "overnight grid floor, watts (battery)")
+		rate     = flag.Float64("discharge", 3000, "battery discharge cap, watts (battery)")
+		quick    = flag.Bool("quick", false, "shorter probe simulations")
+	)
+	flag.Parse()
+	opts := plan.Options{MaxShedFraction: *shed, Quick: *quick}
+
+	switch *question {
+	case "minsupply":
+		if *sweep {
+			tb := metrics.NewTable(
+				fmt.Sprintf("Leanest constant supply for the 18-server fleet (shed ≤ %.2f%%)", *shed*100),
+				"utilization", "min supply (W)", "vs naive 8100 W",
+			)
+			for _, u := range []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
+				w, err := plan.MinSupply(u, 50, opts)
+				if err != nil {
+					fatal(err)
+				}
+				tb.AddRow(fmt.Sprintf("%.0f%%", u*100), fmt.Sprintf("%.0f", w),
+					fmt.Sprintf("%.0f%%", 100*w/8100))
+			}
+			fmt.Print(tb.String())
+			return
+		}
+		w, err := plan.MinSupply(*util, 25, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimum supply for U=%.0f%%: %.0f W (%.0f%% of the naive 8100 W provisioning)\n",
+			*util*100, w, 100*w/8100)
+	case "maxutil":
+		u, err := plan.MaxUtilization(*supply, 0.01, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("a %.0f W feed sustains the fleet up to U=%.0f%% (shed ≤ %.2f%%)\n",
+			*supply, u*100, *shed*100)
+	case "battery":
+		day := plan.SolarDay{PeakWatts: *peak, NightWatts: *night, EpochsPerDay: 96}
+		cap, err := plan.BatteryCapacity(*util, day, *rate, 1000, 1e6, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("solar day %.0f W peak / %.0f W night at U=%.0f%%: battery of %.0f watt-epochs (discharge cap %.0f W) keeps shed ≤ %.2f%%\n",
+			*peak, *night, *util*100, cap, *rate, *shed*100)
+	default:
+		fatal(fmt.Errorf("unknown question %q", *question))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "willow-plan:", err)
+	os.Exit(1)
+}

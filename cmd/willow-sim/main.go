@@ -1,0 +1,154 @@
+// Command willow-sim runs a free-form Willow data-center simulation: the
+// paper's 18-server hierarchy (or a custom fan-out) under a chosen
+// utilization and supply profile, printing per-server and control-plane
+// summaries.
+//
+//	willow-sim -util 0.5
+//	willow-sim -util 0.7 -supply sine -ticks 600
+//	willow-sim -fanout 4,4,4 -util 0.6 -supply deficit -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"willow/internal/cluster"
+	"willow/internal/config"
+	"willow/internal/metrics"
+	"willow/internal/power"
+	"willow/internal/trace"
+)
+
+func main() {
+	var (
+		util        = flag.Float64("util", 0.5, "target mean utilization in (0, 1]")
+		fanout      = flag.String("fanout", "2,3,3", "PMU hierarchy fan-out, root downward")
+		ticks       = flag.Int("ticks", 400, "total demand ticks to simulate")
+		warmup      = flag.Int("warmup", 100, "warm-up ticks excluded from averages")
+		supply      = flag.String("supply", "constant", "supply profile: constant, sine, deficit-steps, or file:PATH (CSV)")
+		seed        = flag.Uint64("seed", 2011, "random seed")
+		csv         = flag.Bool("csv", false, "emit per-server results as CSV")
+		hotants     = flag.Bool("hotzone", true, "place the last four servers in a 40 °C ambient")
+		configPath  = flag.String("config", "", "run from a JSON configuration file instead of flags")
+		writeConfig = flag.String("write-config", "", "write the default configuration to this path and exit")
+	)
+	flag.Parse()
+
+	if *writeConfig != "" {
+		if err := config.Default().Save(*writeConfig); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote default configuration to %s\n", *writeConfig)
+		return
+	}
+
+	var cfg cluster.Config
+	var n int
+	if *configPath != "" {
+		sim, err := config.Load(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = sim.ToCluster()
+		if err != nil {
+			fatal(err)
+		}
+		n = 1
+		for _, f := range cfg.Fanout {
+			n *= f
+		}
+	} else {
+		cfg = cluster.PaperConfig(*util)
+		cfg.Ticks = *ticks
+		cfg.Warmup = *warmup
+		cfg.Seed = *seed
+
+		fo, err := parseFanout(*fanout)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fanout = fo
+		n = 1
+		for _, f := range fo {
+			n *= f
+		}
+		if !*hotants || n != 18 {
+			cfg.HotServers = nil
+		}
+
+		rated := float64(n) * cfg.ServerPower.Peak
+		switch {
+		case *supply == "constant":
+			cfg.Supply = power.Constant(rated)
+		case *supply == "sine":
+			cfg.Supply = power.Sine{Base: rated * 0.8, Amplitude: rated * 0.25, Period: 24}
+		case *supply == "deficit-steps":
+			cfg.Supply = power.Trace{rated, rated, rated * 0.6, rated * 0.6, rated * 0.9, rated, rated * 0.55, rated}
+		case strings.HasPrefix(*supply, "file:"):
+			tr, err := trace.ReadFile(strings.TrimPrefix(*supply, "file:"))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Supply = tr
+		default:
+			fatal(fmt.Errorf("unknown supply profile %q (use constant, sine, deficit-steps, or file:PATH)", *supply))
+		}
+	}
+
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	supplyLabel := *supply
+	if *configPath != "" {
+		supplyLabel = "config:" + *configPath
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("willow-sim: %d servers, U=%.0f%%, supply=%s, %d ticks (%d warm-up)",
+			n, cfg.Utilization*100, supplyLabel, cfg.Ticks, cfg.Warmup),
+		"server", "mean power (W)", "mean temp (°C)", "saved (W)", "asleep frac",
+	)
+	for i := range res.MeanPower {
+		tb.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", res.MeanPower[i]),
+			fmt.Sprintf("%.1f", res.MeanTemp[i]),
+			fmt.Sprintf("%.1f", res.PowerSaved[i]),
+			fmt.Sprintf("%.2f", res.AsleepFraction[i]),
+		)
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		fmt.Print(tb.String())
+	}
+
+	fmt.Printf("\nmigrations: %d demand-driven, %d consolidation-driven (%d local)\n",
+		res.DemandMigrations, res.ConsolidationMigrations, res.Stats.LocalMigrations)
+	fmt.Printf("migration traffic share of network capacity: %.5f\n", res.MigrationShare)
+	fmt.Printf("dropped demand: %.0f watt-ticks; ping-pongs: %d; max messages/link/tick: %d\n",
+		res.DroppedWattTicks, res.Stats.PingPongs, res.Stats.MaxLinkMessagesPerTick)
+	fmt.Printf("hottest temperature reached: %.1f °C\n", res.MaxTemp)
+}
+
+func parseFanout(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad fan-out %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "willow-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command willow-testbed drives the emulated three-server cluster of the
+// paper's experimental evaluation (Section V-C).
+//
+//	willow-testbed -scenario deficit    # Figs. 15–18
+//	willow-testbed -scenario plenty     # Fig. 19 + Table III
+//	willow-testbed -scenario baseline   # Table I, Table II, Fig. 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"willow/internal/metrics"
+	"willow/internal/power"
+	"willow/internal/testbed"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "deficit", "deficit, plenty, or baseline")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch *scenario {
+	case "deficit":
+		runDeficit(*seed)
+	case "plenty":
+		runPlenty(*seed)
+	case "baseline":
+		runBaseline(*seed)
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+}
+
+func runDeficit(seed uint64) {
+	r, err := testbed.DeficitRun(seed)
+	if err != nil {
+		fatal(err)
+	}
+	tr := power.DeficitTrace()
+	tb := metrics.NewTable(
+		"Energy-deficient run (Figs. 15–18): hosts at 80/50/50 % utilization",
+		"unit", "supply (W)", "migrations", "T(A) °C", "T(B) °C", "T(C) °C",
+	)
+	for u := 0; u < r.Units; u++ {
+		tb.AddRow(
+			fmt.Sprintf("%d", u), fmt.Sprintf("%.0f", tr[u]), fmt.Sprintf("%d", r.MigrationsPerUnit[u]),
+			fmt.Sprintf("%.1f", r.TempSeries[0][u]),
+			fmt.Sprintf("%.1f", r.TempSeries[1][u]),
+			fmt.Sprintf("%.1f", r.TempSeries[2][u]),
+		)
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\nfinal utilizations A/B/C: %.0f%% / %.0f%% / %.0f%% (asleep: %v)\n",
+		r.UtilFinal[0]*100, r.UtilFinal[1]*100, r.UtilFinal[2]*100, r.AsleepAtEnd)
+	fmt.Printf("dropped demand: %.0f watt-ticks; ping-pongs: %d\n", r.DroppedWattTicks, r.Stats.PingPongs)
+}
+
+func runPlenty(seed uint64) {
+	r, err := testbed.PlentyRun(seed)
+	if err != nil {
+		fatal(err)
+	}
+	tb := metrics.NewTable(
+		"Energy-plenty run (Fig. 19, Table III): consolidation at the 20 % threshold",
+		"server", "initial util %", "final util %", "asleep",
+	)
+	for i, name := range testbed.HostNames {
+		tb.AddRow(name,
+			fmt.Sprintf("%.0f", r.UtilInitial[i]*100),
+			fmt.Sprintf("%.0f", r.UtilFinal[i]*100),
+			fmt.Sprintf("%v", r.AsleepAtEnd[i]))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("\npower without consolidation: %.1f W; measured after: %.1f W; savings: %.1f%% (paper: ≈27.5%%)\n",
+		r.PowerNoConsolidation, r.PowerFinal, r.Savings()*100)
+}
+
+func runBaseline(seed uint64) {
+	rows, err := testbed.MeasureTableI(400, seed)
+	if err != nil {
+		fatal(err)
+	}
+	t1 := metrics.NewTable("Table I — utilization vs power", "utilization %", "power (W)")
+	for _, r := range rows {
+		t1.AddRow(fmt.Sprintf("%.0f", r.Util*100), fmt.Sprintf("%.1f", r.Watts))
+	}
+	fmt.Print(t1.String())
+
+	profiles, err := testbed.MeasureAppProfiles(400, seed+1)
+	if err != nil {
+		fatal(err)
+	}
+	t2 := metrics.NewTable("\nTable II — application power profiles", "application", "increase (W)")
+	for _, p := range profiles {
+		t2.AddRow(p.Name, fmt.Sprintf("%.1f", p.Watts))
+	}
+	fmt.Print(t2.String())
+
+	cal, err := testbed.CalibrateThermal(300, seed+2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nFig. 14 — thermal calibration: fitted c1=%.4f (true %.4f), c2=%.4f (true %.4f), RMSE %.4f °C/unit\n",
+		cal.C1, cal.TrueC1, cal.C2, cal.TrueC2, cal.RMSE)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "willow-testbed:", err)
+	os.Exit(1)
+}

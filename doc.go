@@ -1,0 +1,15 @@
+// Package willow is a Go reproduction of "Willow: A Control System for
+// Energy and Thermal Adaptive Computing" (Kant, Murugan & Du, IEEE IPDPS
+// 2011).
+//
+// The implementation lives under internal/: the hierarchical controller
+// (internal/core), its substrates (simulation kernel, thermal model,
+// topology, power and workload models, bin packing, network simulation),
+// the emulated three-server testbed, and the experiment harness that
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package willow
+
+// Version identifies this reproduction's release.
+const Version = "1.0.0"

@@ -1,0 +1,49 @@
+// Devicelevel: the level-0 tier of Willow's hierarchy — fine-grained
+// power and thermal control inside one server, the paper's §VI "more
+// complete design". An intra-server PMU divides the server's budget over
+// two CPUs, four DIMMs, a NIC and two disks; in a 45 °C hot aisle the
+// disks' 60 °C limit is the tightest constraint and the PMU throttles
+// them (the T-state mechanism) rather than let them cook.
+//
+//	go run ./examples/devicelevel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"willow/internal/device"
+)
+
+func main() {
+	pmu, err := device.NewPMU(device.DefaultServer(45), 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Willow device-level demo: one server in a 45 °C hot aisle")
+	fmt.Printf("component complement: %d devices, %.0f W peak\n\n", len(pmu.Components), pmu.TotalPeak())
+
+	fmt.Printf("%-8s %-10s %-12s %-12s %s\n", "window", "offered", "delivered", "power (W)", "hottest (headroom °C)")
+	offered := 1.0 // flat out all day
+	for w := 1; w <= 240; w++ {
+		consumed, delivered := pmu.Step(offered, pmu.TotalPeak())
+		if w%40 == 0 {
+			hot := pmu.HottestComponent()
+			fmt.Printf("%-8d %-10s %-12s %-12.1f %s (%.1f)\n",
+				w, fmt.Sprintf("%.0f%%", offered*100), fmt.Sprintf("%.0f%%", delivered*100),
+				consumed, hot.Spec.Name, hot.Thermal.Headroom())
+		}
+	}
+
+	fmt.Println("\nper-component state after 240 windows at full offered load:")
+	for _, c := range pmu.Components {
+		fmt.Printf("  %-6s %-5s  %5.1f °C (limit %.0f)  throttle %.2f  drawing %5.1f W of %5.1f W wanted\n",
+			c.Spec.Name, c.Spec.Kind, c.Thermal.T, c.Spec.Thermal.Limit, c.Throttle, c.Consumed, c.Demand)
+	}
+	fmt.Printf("\nwindows where any component throttled: %d\n", pmu.ThrottleEvents())
+	fmt.Printf("server-level power cap reported upward (Eq. 3 per component): %.1f W\n", pmu.PowerLimit())
+	fmt.Println("\nThe disks hit their 60 °C limit first; the PMU trims exactly their")
+	fmt.Println("grant, the workload slows to the throttled component, and every other")
+	fmt.Println("device keeps running flat out — fine-grained control, no panic stops.")
+}

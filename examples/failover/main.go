@@ -1,0 +1,77 @@
+// Failover: crash a loaded server mid-run and watch Willow restart its
+// workload elsewhere within a control window, then repair the machine
+// and watch it rejoin the fleet. Failure handling is outside the paper's
+// scope but inside every operator's.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"willow"
+	"willow/internal/thermal"
+	"willow/internal/workload"
+)
+
+func main() {
+	tree, err := willow.BuildHierarchy([]int{2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm := thermal.Model{C1: 0.005, C2: 0.05, Ambient: 25, Limit: 70}
+	specs := make([]willow.ServerSpec, tree.NumServers())
+	appID := 0
+	for i := range specs {
+		specs[i] = willow.ServerSpec{
+			Power:   willow.ServerPowerModel{Static: 50, Peak: 250},
+			Thermal: tm,
+		}
+		for a := 0; a < 2; a++ {
+			specs[i].Apps = append(specs[i].Apps, &workload.App{
+				ID:    appID,
+				Class: willow.AppClass{Name: "vm", Weight: 1},
+				Mean:  45,
+			})
+			appID++
+		}
+	}
+
+	ctrl, err := willow.NewController(tree, specs,
+		willow.ConstantSupply(1500), willow.ControllerDefaults(), willow.NewRandom(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.OnMigration = func(m willow.Migration) {
+		fmt.Printf("  tick %3d: app %d (%.0f W) %s: server-%d -> server-%d\n",
+			m.Tick, m.AppID, m.Watts, m.Cause, m.From+1, m.To+1)
+	}
+
+	fmt.Println("running 6 servers, 12 VMs...")
+	ctrl.Run(30)
+
+	fmt.Println("\n*** server-2 crashes ***")
+	ctrl.FailServer(1)
+	fmt.Printf("orphaned VMs awaiting restart: %d\n", ctrl.Orphans())
+	ctrl.Run(3)
+	fmt.Printf("orphans left after 3 windows: %d\n", ctrl.Orphans())
+
+	fmt.Println("\n*** server-2 repaired ***")
+	ctrl.RepairServer(1)
+	ctrl.Run(30)
+
+	fmt.Println("\nfinal state:")
+	for i, s := range ctrl.Servers {
+		state := "awake"
+		if s.Asleep {
+			state = "asleep"
+		}
+		fmt.Printf("  server-%d: %d VMs, %6.1f W, %s\n", i+1, s.Apps.Len(), s.Consumed, state)
+	}
+	fmt.Printf("\nrestarts: %d, failures: %d, repairs: %d, ping-pongs: %d\n",
+		ctrl.Stats.Restarts, ctrl.Stats.Failures, ctrl.Stats.Repairs, ctrl.Stats.PingPongs)
+	fmt.Println("\nNote the repaired machine: it rejoined empty, and with the fleet")
+	fmt.Println("comfortable, consolidation promptly put it to sleep — standby")
+	fmt.Println("capacity that demand pressure (or another failure) would wake.")
+}

@@ -1,0 +1,84 @@
+// Quickstart: build a small Willow-controlled cluster from scratch — a
+// two-rack hierarchy of six servers — run it for a few hundred control
+// windows, and inspect what the controller did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"willow/internal/core"
+	"willow/internal/dist"
+	"willow/internal/power"
+	"willow/internal/thermal"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+func main() {
+	// A 3-level hierarchy: data center PMU -> 2 rack PMUs -> 3 servers
+	// each.
+	tree, err := topo.Build([]int{2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree)
+
+	// Every server: 200 W peak, 50 W idle, thermals that sustain roughly
+	// the rated power at a 25 °C ambient.
+	serverModel := power.ServerModel{Static: 50, Peak: 200}
+	thermalModel := thermal.Model{C1: 0.015, C2: 0.05, Ambient: 25, Limit: 70}
+
+	// Workload: each server hosts a few application VMs; server 0 is
+	// deliberately overloaded relative to its circuit limit so the
+	// controller has something to fix.
+	specs := make([]core.ServerSpec, tree.NumServers())
+	appID := 0
+	for i := range specs {
+		specs[i] = core.ServerSpec{Power: serverModel, Thermal: thermalModel}
+		means := []float64{40, 30}
+		if i == 0 {
+			means = []float64{60, 50, 40} // demand 200 W against a 160 W circuit
+			specs[i].CircuitLimit = 160
+		}
+		for _, m := range means {
+			specs[i].Apps = append(specs[i].Apps, &workload.App{
+				ID:    appID,
+				Class: workload.Class{Name: "vm", Weight: m},
+				Mean:  m,
+			})
+			appID++
+		}
+	}
+
+	// The site feed comfortably covers all six servers.
+	ctrl, err := core.New(tree, specs, power.Constant(1200), core.Defaults(), dist.NewSource(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.OnMigration = func(m core.Migration) {
+		kind := "non-local"
+		if m.Local {
+			kind = "local"
+		}
+		fmt.Printf("tick %3d: app %d (%.0f W) migrates server-%d -> server-%d (%s, %s, %d switch hops)\n",
+			m.Tick, m.AppID, m.Watts, m.From+1, m.To+1, m.Cause, kind, m.Hops)
+	}
+
+	ctrl.Run(200)
+
+	fmt.Println("\nafter 200 control windows:")
+	for i, s := range ctrl.Servers {
+		state := "awake"
+		if s.Asleep {
+			state = "asleep"
+		}
+		fmt.Printf("  server-%d: budget %6.1f W, consuming %6.1f W at %4.1f °C, %d apps, %s\n",
+			i+1, s.TP, s.Consumed, s.Thermal.T, s.Apps.Len(), state)
+	}
+	fmt.Printf("\nmigrations: %d (demand %d, consolidation %d), ping-pongs: %d, dropped: %.0f watt-ticks\n",
+		len(ctrl.Stats.Migrations), ctrl.Stats.DemandMigrations,
+		ctrl.Stats.ConsolidationMigrations, ctrl.Stats.PingPongs, ctrl.Stats.DroppedWattTicks)
+}

@@ -1,0 +1,3 @@
+module willow
+
+go 1.22

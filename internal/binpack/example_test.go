@@ -1,0 +1,51 @@
+package binpack_test
+
+import (
+	"fmt"
+
+	"willow/internal/binpack"
+)
+
+// ExampleFFDLR packs demands into variable-sized surpluses with the
+// paper's chosen heuristic: first-fit decreasing into the largest bins,
+// then repacking each bin into the smallest size that holds it.
+func ExampleFFDLR() {
+	demands := []float64{0.6, 0.3, 0.3, 0.2}
+	surplusSizes := []float64{0.3, 0.6, 1.0}
+	p, err := binpack.FFDLR(demands, surplusSizes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bins used: %d, total capacity: %.1f\n", len(p.Bins), p.TotalCapacity)
+	for _, b := range p.Bins {
+		fmt.Printf("  bin size %.1f holds %.1f\n", b.Size, b.Used)
+	}
+
+	// Output:
+	// bins used: 2, total capacity: 1.6
+	//   bin size 1.0 holds 0.9
+	//   bin size 0.6 holds 0.5
+}
+
+// ExampleMatchFFD matches deficits against the finite surpluses actually
+// available on sibling servers — Willow's per-PMU decision. The bin
+// order encodes the locality preference.
+func ExampleMatchFFD() {
+	deficits := []binpack.Item{
+		{ID: 1, Size: 40},
+		{ID: 2, Size: 25},
+	}
+	surpluses := []binpack.Bin{
+		{ID: 100, Capacity: 30}, // nearest sibling first
+		{ID: 200, Capacity: 50},
+	}
+	m := binpack.MatchFFD(deficits, surpluses)
+	fmt.Printf("app 1 -> server %d\n", m.Assigned[1])
+	fmt.Printf("app 2 -> server %d\n", m.Assigned[2])
+	fmt.Printf("unplaced: %d\n", len(m.Unplaced))
+
+	// Output:
+	// app 1 -> server 200
+	// app 2 -> server 100
+	// unplaced: 0
+}

@@ -1,0 +1,102 @@
+package binpack
+
+// fitTree is a tournament tree over open bins that answers first-fit
+// queries in O(log n): "what is the lowest-numbered open bin with at least
+// r remaining capacity?" Bins are numbered in opening order, matching the
+// first-fit rule's preference for earlier bins.
+//
+// The tree is a fixed-capacity complete binary tree stored in an array;
+// internal nodes hold the maximum remaining capacity in their subtree.
+// A query descends left-first, which yields the leftmost (= earliest
+// opened) fitting bin.
+type fitTree struct {
+	cap  int       // number of leaves (power of two)
+	n    int       // bins opened so far
+	node []float64 // 1-based heap layout; node[1] is the root
+}
+
+// newFitTree returns a tree able to hold up to maxBins open bins.
+func newFitTree(maxBins int) *fitTree {
+	c := 1
+	for c < maxBins {
+		c *= 2
+	}
+	if maxBins == 0 {
+		c = 1
+	}
+	return &fitTree{cap: c, node: make([]float64, 2*c)}
+}
+
+// open registers a new bin with the given remaining capacity and returns
+// nothing; the bin's index is the current count (opening order).
+func (t *fitTree) open(remaining float64) {
+	if t.n >= t.cap {
+		panic("binpack: fitTree capacity exceeded")
+	}
+	i := t.cap + t.n
+	t.n++
+	t.node[i] = remaining
+	for i >>= 1; i >= 1; i >>= 1 {
+		if m := max64(t.node[2*i], t.node[2*i+1]); m == t.node[i] {
+			break
+		} else {
+			t.node[i] = m
+		}
+	}
+}
+
+// firstFit returns the index of the lowest-numbered open bin whose
+// remaining capacity is at least size (within epsilon). If no open bin
+// fits, it returns t.n — the index the next opened bin would get, which
+// callers use as an "open a new bin" signal.
+func (t *fitTree) firstFit(size float64) int {
+	need := size - epsilon
+	if t.n == 0 || t.node[1] < need {
+		return t.n
+	}
+	i := 1
+	for i < t.cap {
+		if t.node[2*i] >= need {
+			i = 2 * i
+		} else {
+			i = 2*i + 1
+		}
+	}
+	idx := i - t.cap
+	if idx >= t.n {
+		// The fitting leaf is an unopened slot (can only happen through
+		// floating-point coincidence with zero-capacity leaves).
+		return t.n
+	}
+	return idx
+}
+
+// consume reduces bin b's remaining capacity by size.
+func (t *fitTree) consume(b int, size float64) {
+	if b < 0 || b >= t.n {
+		panic("binpack: consume on unopened bin")
+	}
+	i := t.cap + b
+	t.node[i] -= size
+	if t.node[i] < 0 {
+		t.node[i] = 0
+	}
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.node[i] = max64(t.node[2*i], t.node[2*i+1])
+	}
+}
+
+// remaining reports bin b's remaining capacity.
+func (t *fitTree) remaining(b int) float64 {
+	if b < 0 || b >= t.n {
+		panic("binpack: remaining on unopened bin")
+	}
+	return t.node[t.cap+b]
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"willow/internal/power"
+)
+
+// shortConfig shrinks a paper config so tests stay fast.
+func shortConfig(u float64) Config {
+	cfg := PaperConfig(u)
+	cfg.Warmup = 60
+	cfg.Ticks = 220
+	return cfg
+}
+
+func groupMeans(r *Result) (cool, hot float64) {
+	for i := 0; i < 14; i++ {
+		cool += r.MeanPower[i] / 14
+	}
+	for i := 14; i < 18; i++ {
+		hot += r.MeanPower[i] / 4
+	}
+	return cool, hot
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := PaperConfig(0.5)
+	cfg.Utilization = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	cfg = PaperConfig(0.5)
+	cfg.Ticks = 10
+	cfg.Warmup = 20
+	if _, err := Run(cfg); err == nil {
+		t.Error("warmup >= ticks accepted")
+	}
+	cfg = PaperConfig(0.5)
+	cfg.HotServers = []int{99}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range hot server accepted")
+	}
+	cfg = PaperConfig(0.5)
+	cfg.Fanout = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("empty fanout accepted")
+	}
+}
+
+// TestHotZoneConsumesLess reproduces the Fig. 5 relationship: servers in
+// the 40 °C zone draw less power than the 25 °C zone at mid utilization,
+// because their thermal constraint presents less surplus and Willow moves
+// work away.
+func TestHotZoneConsumesLess(t *testing.T) {
+	r, err := Run(shortConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool, hot := groupMeans(r)
+	if hot >= cool {
+		t.Errorf("hot-zone mean power %v >= cool-zone %v", hot, cool)
+	}
+}
+
+// TestPowerIncreasesWithUtilization: the Fig. 5 x-axis direction — more
+// offered load, more consumed power, until thermal limits bind.
+func TestPowerIncreasesWithUtilization(t *testing.T) {
+	var prev float64
+	for _, u := range []float64{0.2, 0.5, 0.8} {
+		r, err := Run(shortConfig(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cool, _ := groupMeans(r)
+		if cool <= prev {
+			t.Errorf("cool-zone power at U=%v is %v, not above previous %v", u, cool, prev)
+		}
+		prev = cool
+	}
+}
+
+// TestTemperatureShapes reproduces Fig. 6: at low utilization each zone
+// sits near its own ambient (far apart); at high utilization the zones
+// converge toward the thermal limit, and the limit is never violated.
+func TestTemperatureShapes(t *testing.T) {
+	low, err := Run(shortConfig(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(shortConfig(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := func(r *Result) float64 {
+		var cool, hot float64
+		for i := 0; i < 14; i++ {
+			cool += r.MeanTemp[i] / 14
+		}
+		for i := 14; i < 18; i++ {
+			hot += r.MeanTemp[i] / 4
+		}
+		return hot - cool
+	}
+	if g := gap(low); g < 5 {
+		t.Errorf("low-utilization zone temperature gap %v, want clearly positive", g)
+	}
+	if gl, gh := gap(low), gap(high); gh >= gl {
+		t.Errorf("temperature gap did not shrink with utilization: low %v, high %v", gl, gh)
+	}
+	if low.MaxTemp > 70+1e-6 || high.MaxTemp > 70+1e-6 {
+		t.Errorf("thermal limit violated: maxT low=%v high=%v", low.MaxTemp, high.MaxTemp)
+	}
+}
+
+// TestConsolidationSavesAtLowUtilization reproduces the Fig. 7 setting:
+// at 40 % utilization some servers sleep, and the hot-zone servers — the
+// ones Willow works hardest to drain — save at least as much as the
+// average cool server.
+func TestConsolidationSavesAtLowUtilization(t *testing.T) {
+	r, err := Run(shortConfig(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range r.PowerSaved {
+		total += p
+	}
+	if total <= 0 {
+		t.Fatal("no power saved by consolidation at 20% utilization")
+	}
+	if r.ConsolidationMigrations == 0 {
+		t.Error("no consolidation migrations at low utilization")
+	}
+}
+
+// TestMigrationCausesCrossOver reproduces Fig. 9's structure:
+// consolidation-driven migrations dominate at low utilization,
+// demand-driven at high.
+func TestMigrationCausesCrossOver(t *testing.T) {
+	low, err := Run(shortConfig(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(shortConfig(0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ConsolidationMigrations <= low.DemandMigrations {
+		t.Errorf("at U=15%%: consolidation %d <= demand %d", low.ConsolidationMigrations, low.DemandMigrations)
+	}
+	if high.DemandMigrations <= high.ConsolidationMigrations {
+		t.Errorf("at U=85%%: demand %d <= consolidation %d", high.DemandMigrations, high.ConsolidationMigrations)
+	}
+}
+
+// TestSwitchPowerRoughlyUniform reproduces the Fig. 11 observation: the
+// locality preference spreads traffic so level-1 switches draw nearly the
+// same power.
+func TestSwitchPowerRoughlyUniform(t *testing.T) {
+	r, err := Run(shortConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SwitchPower) != 6 {
+		t.Fatalf("%d level-1 switches, want 6", len(r.SwitchPower))
+	}
+	mean := 0.0
+	for _, p := range r.SwitchPower {
+		mean += p / 6
+	}
+	for i, p := range r.SwitchPower {
+		if math.Abs(p-mean) > 0.5*mean {
+			t.Errorf("switch %d power %v deviates from mean %v by >50%%", i, p, mean)
+		}
+	}
+}
+
+// TestStatsPropagated: the result exposes the controller accounting the
+// property experiments rely on.
+func TestStatsPropagated(t *testing.T) {
+	r, err := Run(shortConfig(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.MessagesUp == 0 {
+		t.Error("message accounting missing from result")
+	}
+	if r.Stats.MaxLinkMessagesPerTick > 2 {
+		t.Errorf("Property 3 violated: %d messages on a link in one tick", r.Stats.MaxLinkMessagesPerTick)
+	}
+	if r.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs: %d", r.Stats.PingPongs)
+	}
+	if len(r.SwitchMigrationTraffic) != 6 {
+		t.Errorf("%d switch migration entries, want 6", len(r.SwitchMigrationTraffic))
+	}
+}
+
+// TestRunDeterminism: identical configs give identical results.
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(shortConfig(0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shortConfig(0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy != b.TotalEnergy {
+		t.Errorf("energy diverged: %v vs %v", a.TotalEnergy, b.TotalEnergy)
+	}
+	if len(a.Stats.Migrations) != len(b.Stats.Migrations) {
+		t.Errorf("migration counts diverged: %d vs %d", len(a.Stats.Migrations), len(b.Stats.Migrations))
+	}
+}
+
+// TestSeedChangesRun: different seeds give different noise realizations.
+func TestSeedChangesRun(t *testing.T) {
+	cfg1 := shortConfig(0.45)
+	cfg2 := shortConfig(0.45)
+	cfg2.Seed = 777
+	a, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy == b.TotalEnergy {
+		t.Error("different seeds produced identical energy (suspicious)")
+	}
+}
+
+func TestUtilizationSweep(t *testing.T) {
+	rs, err := UtilizationSweep([]float64{0.3, 0.6}, func(c *Config) {
+		c.Warmup = 40
+		c.Ticks = 120
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results, want 2", len(rs))
+	}
+	if rs[0].Config.Utilization != 0.3 || rs[1].Config.Utilization != 0.6 {
+		t.Error("sweep order wrong")
+	}
+}
+
+// TestVariableSupplyAdaptation: a plunging supply forces adaptation
+// without ever violating budgets or dropping everything on the floor.
+func TestVariableSupplyAdaptation(t *testing.T) {
+	cfg := shortConfig(0.5)
+	cfg.Supply = power.Trace{8100, 8100, 5200, 5200, 5200, 8100, 8100, 6400, 8100, 8100}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats.Migrations) == 0 {
+		t.Error("no adaptation to a plunging supply")
+	}
+	if r.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs under supply swings: %d", r.Stats.PingPongs)
+	}
+}
+
+func BenchmarkPaperRun(b *testing.B) {
+	cfg := PaperConfig(0.5)
+	cfg.Warmup = 50
+	cfg.Ticks = 150
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPriorityClassesProtectCriticalDemand: under scarcity the critical
+// class keeps a higher service level than the lowest class.
+func TestPriorityClassesProtectCriticalDemand(t *testing.T) {
+	cfg := shortConfig(0.85)
+	cfg.PriorityClasses = 3
+	cfg.Supply = power.Constant(18 * 320) // scarce: ~75% of demand at U=85%
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := r.Stats.ServiceLevel(0)
+	low := r.Stats.ServiceLevel(2)
+	if crit <= low {
+		t.Errorf("critical service %v <= lowest class %v", crit, low)
+	}
+	if crit < 0.9 {
+		t.Errorf("critical service level %v, want >= 0.9", crit)
+	}
+}
+
+// TestIPCFlowsTracked: flows populate the hop metric, and migrations can
+// separate initially co-located pairs (hops >= 0 always).
+func TestIPCFlowsTracked(t *testing.T) {
+	cfg := shortConfig(0.5)
+	cfg.IPCFlows = 20
+	cfg.IPCRate = 3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanFlowHops <= 0 {
+		t.Errorf("MeanFlowHops = %v, want positive (random pairs are mostly remote)", r.MeanFlowHops)
+	}
+	if r.MeanFlowHops > 5 {
+		t.Errorf("MeanFlowHops = %v, impossible in a height-3 tree", r.MeanFlowHops)
+	}
+}
+
+// TestRunAllMatchesSerial: the concurrent sweep returns exactly what
+// serial runs produce, in input order.
+func TestRunAllMatchesSerial(t *testing.T) {
+	utils := []float64{0.3, 0.5, 0.7}
+	configs := make([]Config, len(utils))
+	for i, u := range utils {
+		configs[i] = shortConfig(u)
+	}
+	parallel, err := RunAll(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range configs {
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].TotalEnergy != serial.TotalEnergy {
+			t.Errorf("point %d: parallel energy %v != serial %v", i, parallel[i].TotalEnergy, serial.TotalEnergy)
+		}
+		if parallel[i].Config.Utilization != utils[i] {
+			t.Errorf("point %d out of order", i)
+		}
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	bad := shortConfig(0.5)
+	bad.Utilization = -1
+	if _, err := RunAll([]Config{shortConfig(0.3), bad}); err == nil {
+		t.Error("RunAll swallowed an error")
+	}
+}
+
+func TestPerServerPowerValidation(t *testing.T) {
+	cfg := shortConfig(0.5)
+	cfg.PerServerPower = []power.ServerModel{{Static: 10, Peak: 100}} // wrong count
+	if _, err := Run(cfg); err == nil {
+		t.Error("mismatched per-server power list accepted")
+	}
+}
+
+// TestHeterogeneousFleetScalesPerServer: each server's workload targets
+// its own dynamic range, so wimpy nodes are not overloaded at placement.
+func TestHeterogeneousFleetScalesPerServer(t *testing.T) {
+	cfg := shortConfig(0.5)
+	cfg.HotServers = nil
+	cfg.PerServerPower = make([]power.ServerModel, 18)
+	for i := range cfg.PerServerPower {
+		if i%2 == 0 {
+			cfg.PerServerPower[i] = power.ServerModel{Static: 135, Peak: 450}
+		} else {
+			cfg.PerServerPower[i] = power.ServerModel{Static: 30, Peak: 150}
+		}
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No server may draw beyond its own peak.
+	for i, p := range r.MeanPower {
+		if p > cfg.PerServerPower[i].Peak+1e-6 {
+			t.Errorf("server %d draws %v over its %v W peak", i, p, cfg.PerServerPower[i].Peak)
+		}
+	}
+	if r.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs in heterogeneous fleet: %d", r.Stats.PingPongs)
+	}
+}

@@ -1,0 +1,195 @@
+// Package config provides a JSON-serializable description of a Willow
+// simulation, so experiments can be captured in files, shared, and
+// replayed byte-for-byte (everything is deterministic given the seed).
+// cmd/willow-sim accepts these files via -config.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"willow/internal/cluster"
+	"willow/internal/core"
+	"willow/internal/power"
+	"willow/internal/thermal"
+)
+
+// SupplySpec is the JSON form of a power.Supply.
+type SupplySpec struct {
+	// Kind selects the profile: "constant", "sine", "trace",
+	// "deficit" (the paper's Fig. 15) or "plenty" (Fig. 19).
+	Kind string `json:"kind"`
+	// Watts is the constant level (kind "constant").
+	Watts float64 `json:"watts,omitempty"`
+	// Base, Amplitude and Period parameterize kind "sine".
+	Base      float64 `json:"base,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+	Period    int     `json:"period,omitempty"`
+	// Trace holds explicit per-epoch watts (kind "trace").
+	Trace []float64 `json:"trace,omitempty"`
+	// Scale multiplies the profile when non-zero (e.g. to reuse the
+	// 3-server testbed traces for larger fleets).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Build materializes the supply.
+func (s SupplySpec) Build() (power.Supply, error) {
+	var supply power.Supply
+	switch s.Kind {
+	case "constant":
+		if s.Watts <= 0 {
+			return nil, fmt.Errorf("config: constant supply needs positive watts, got %v", s.Watts)
+		}
+		supply = power.Constant(s.Watts)
+	case "sine":
+		if s.Period <= 0 {
+			return nil, fmt.Errorf("config: sine supply needs positive period, got %d", s.Period)
+		}
+		supply = power.Sine{Base: s.Base, Amplitude: s.Amplitude, Period: s.Period}
+	case "trace":
+		if len(s.Trace) == 0 {
+			return nil, fmt.Errorf("config: trace supply needs at least one entry")
+		}
+		supply = power.Trace(s.Trace)
+	case "deficit":
+		supply = power.DeficitTrace()
+	case "plenty":
+		supply = power.PlentyTrace()
+	default:
+		return nil, fmt.Errorf("config: unknown supply kind %q", s.Kind)
+	}
+	if s.Scale != 0 && s.Scale != 1 {
+		supply = power.Scaled{S: supply, Factor: s.Scale}
+	}
+	return supply, nil
+}
+
+// Sim is the JSON form of a cluster.Config.
+type Sim struct {
+	Fanout        []int   `json:"fanout"`
+	StaticWatts   float64 `json:"static_watts"`
+	PeakWatts     float64 `json:"peak_watts"`
+	CircuitLimit  float64 `json:"circuit_limit,omitempty"`
+	ThermalC1     float64 `json:"thermal_c1"`
+	ThermalC2     float64 `json:"thermal_c2"`
+	Ambient       float64 `json:"ambient_c"`
+	ThermalLimit  float64 `json:"thermal_limit_c"`
+	HotAmbient    float64 `json:"hot_ambient_c,omitempty"`
+	HotServers    []int   `json:"hot_servers,omitempty"`
+	AppsPerServer int     `json:"apps_per_server"`
+	Utilization   float64 `json:"utilization"`
+
+	Supply SupplySpec `json:"supply"`
+
+	Warmup int    `json:"warmup"`
+	Ticks  int    `json:"ticks"`
+	Seed   uint64 `json:"seed"`
+
+	PriorityClasses int     `json:"priority_classes,omitempty"`
+	IPCFlows        int     `json:"ipc_flows,omitempty"`
+	IPCRate         float64 `json:"ipc_rate,omitempty"`
+
+	// Controller knobs; zero values take the paper defaults.
+	Eta1             int     `json:"eta1,omitempty"`
+	Eta2             int     `json:"eta2,omitempty"`
+	Alpha            float64 `json:"alpha,omitempty"`
+	PMin             float64 `json:"pmin_watts,omitempty"`
+	MigCostWatts     float64 `json:"migration_cost_watts,omitempty"`
+	ConsolidateBelow float64 `json:"consolidate_below,omitempty"`
+}
+
+// Default returns the Sim mirroring cluster.PaperConfig(0.5).
+func Default() Sim {
+	return Sim{
+		Fanout:        []int{2, 3, 3},
+		StaticWatts:   135,
+		PeakWatts:     450,
+		ThermalC1:     0.005,
+		ThermalC2:     0.05,
+		Ambient:       25,
+		ThermalLimit:  70,
+		HotAmbient:    40,
+		HotServers:    []int{14, 15, 16, 17},
+		AppsPerServer: 4,
+		Utilization:   0.5,
+		Supply:        SupplySpec{Kind: "constant", Watts: 18 * 450},
+		Warmup:        100,
+		Ticks:         400,
+		Seed:          2011,
+	}
+}
+
+// ToCluster converts the file form to a runnable configuration.
+func (s Sim) ToCluster() (cluster.Config, error) {
+	supply, err := s.Supply.Build()
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	cfg := cluster.PaperConfig(s.Utilization)
+	cfg.Fanout = s.Fanout
+	cfg.ServerPower = power.ServerModel{Static: s.StaticWatts, Peak: s.PeakWatts}
+	cfg.CircuitLimit = s.CircuitLimit
+	cfg.Thermal = thermal.Model{C1: s.ThermalC1, C2: s.ThermalC2, Ambient: s.Ambient, Limit: s.ThermalLimit}
+	cfg.HotAmbient = s.HotAmbient
+	cfg.HotServers = s.HotServers
+	cfg.AppsPerServer = s.AppsPerServer
+	cfg.Supply = supply
+	cfg.Warmup = s.Warmup
+	cfg.Ticks = s.Ticks
+	cfg.Seed = s.Seed
+	cfg.PriorityClasses = s.PriorityClasses
+	cfg.IPCFlows = s.IPCFlows
+	cfg.IPCRate = s.IPCRate
+
+	c := core.Defaults()
+	if s.Eta1 != 0 {
+		c.Eta1 = s.Eta1
+	}
+	if s.Eta2 != 0 {
+		c.Eta2 = s.Eta2
+	}
+	if s.Alpha != 0 {
+		c.Alpha = s.Alpha
+	}
+	if s.PMin != 0 {
+		c.PMin = s.PMin
+	}
+	if s.MigCostWatts != 0 {
+		c.MigCostWatts = s.MigCostWatts
+	}
+	if s.ConsolidateBelow != 0 {
+		c.ConsolidateBelow = s.ConsolidateBelow
+	}
+	cfg.Core = c
+
+	if err := cfg.ServerPower.Validate(); err != nil {
+		return cluster.Config{}, err
+	}
+	if err := cfg.Thermal.Validate(); err != nil {
+		return cluster.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Load reads and parses a Sim from a JSON file.
+func Load(path string) (Sim, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Sim{}, fmt.Errorf("config: %w", err)
+	}
+	var s Sim
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Sim{}, fmt.Errorf("config: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the Sim as indented JSON.
+func (s Sim) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,145 @@
+package config
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"willow/internal/cluster"
+	"willow/internal/power"
+)
+
+func TestSupplySpecBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SupplySpec
+		at0  float64
+		ok   bool
+	}{
+		{"constant", SupplySpec{Kind: "constant", Watts: 500}, 500, true},
+		{"scaled constant", SupplySpec{Kind: "constant", Watts: 500, Scale: 2}, 1000, true},
+		{"sine", SupplySpec{Kind: "sine", Base: 100, Amplitude: 10, Period: 8}, 100, true},
+		{"trace", SupplySpec{Kind: "trace", Trace: []float64{7, 8}}, 7, true},
+		{"deficit", SupplySpec{Kind: "deficit"}, power.DeficitTrace()[0], true},
+		{"plenty", SupplySpec{Kind: "plenty"}, power.PlentyTrace()[0], true},
+		{"bad kind", SupplySpec{Kind: "nuclear"}, 0, false},
+		{"constant no watts", SupplySpec{Kind: "constant"}, 0, false},
+		{"sine no period", SupplySpec{Kind: "sine", Base: 1}, 0, false},
+		{"empty trace", SupplySpec{Kind: "trace"}, 0, false},
+	}
+	for _, c := range cases {
+		s, err := c.spec.Build()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Build err = %v, want ok=%v", c.name, err, c.ok)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if got := s.At(0); math.Abs(got-c.at0) > 1e-9 {
+			t.Errorf("%s: At(0) = %v, want %v", c.name, got, c.at0)
+		}
+	}
+}
+
+func TestDefaultMatchesPaperConfig(t *testing.T) {
+	cfg, err := Default().ToCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := cluster.PaperConfig(0.5)
+	if cfg.ServerPower != paper.ServerPower {
+		t.Errorf("server power %+v != paper %+v", cfg.ServerPower, paper.ServerPower)
+	}
+	if cfg.Thermal != paper.Thermal {
+		t.Errorf("thermal %+v != paper %+v", cfg.Thermal, paper.Thermal)
+	}
+	if len(cfg.Fanout) != 3 || cfg.Fanout[0] != 2 {
+		t.Errorf("fanout %v", cfg.Fanout)
+	}
+	if cfg.Core.Eta1 != 4 || cfg.Core.Eta2 != 7 {
+		t.Errorf("eta %d/%d", cfg.Core.Eta1, cfg.Core.Eta2)
+	}
+}
+
+func TestToClusterOverrides(t *testing.T) {
+	s := Default()
+	s.Eta1 = 2
+	s.Eta2 = 5
+	s.Alpha = 0.7
+	s.PMin = 3
+	s.PriorityClasses = 2
+	cfg, err := s.ToCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Core.Eta1 != 2 || cfg.Core.Eta2 != 5 || cfg.Core.Alpha != 0.7 || cfg.Core.PMin != 3 {
+		t.Errorf("core overrides lost: %+v", cfg.Core)
+	}
+	if cfg.PriorityClasses != 2 {
+		t.Errorf("priority classes lost")
+	}
+}
+
+func TestToClusterRejectsBadModels(t *testing.T) {
+	s := Default()
+	s.PeakWatts = 10 // below static
+	if _, err := s.ToCluster(); err == nil {
+		t.Error("peak < static accepted")
+	}
+	s = Default()
+	s.ThermalC1 = 0
+	if _, err := s.ToCluster(); err == nil {
+		t.Error("bad thermal accepted")
+	}
+	s = Default()
+	s.Supply.Kind = "???"
+	if _, err := s.ToCluster(); err == nil {
+		t.Error("bad supply accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sim.json")
+	s := Default()
+	s.Utilization = 0.73
+	s.Supply = SupplySpec{Kind: "sine", Base: 6000, Amplitude: 1500, Period: 20}
+	s.IPCFlows = 12
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Utilization != 0.73 || got.Supply.Kind != "sine" || got.IPCFlows != 12 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	// The loaded config must actually run.
+	cfg, err := got.ToCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Warmup = 10
+	cfg.Ticks = 40
+	if _, err := cluster.Run(cfg); err != nil {
+		t.Fatalf("loaded config does not run: %v", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/sim.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import "willow/internal/topo"
+
+// allocateSupply implements the supply-side adaptation of Section IV-D:
+// every Δ_S the available budget is divided top-down, at each node
+// proportionally to the children's smoothed demands, subject to each
+// child's hard constraints (thermal + circuit caps). Budget that capped
+// children cannot absorb is redistributed to their siblings (waterfill);
+// leftover beyond all demands is allocated proportionally to demand as
+// well ("if surplus is still available ... the surplus budget is
+// allocated to its children nodes proportional to their demand").
+//
+// Each node's reduced flag records whether this event lowered its budget;
+// the demand side uses it to enforce the unidirectional rule.
+// Supply traces are indexed by supply epoch (t / η1), so a 30-entry trace
+// spans 30 supply windows regardless of η1.
+func (c *Controller) allocateSupply(t int) {
+	root := c.pmus[c.Tree.Root.ID]
+	total := c.Supply.At(t / c.Cfg.Eta1)
+	root.reduced = c.isReduced(total, root.TP, root.CP)
+	root.TP = total
+	c.allocateNode(c.Tree.Root, total)
+}
+
+// isReduced implements the unidirectional rule's trigger: a node counts
+// as "budget reduced by the event" when the new budget is lower than
+// before AND leaves the node without comfortable headroom over its
+// demand. A node whose budget shrank in watts but still exceeds demand by
+// the P_min margin can absorb migrations — which is how the paper's own
+// experiments route work toward lightly loaded servers during a global
+// supply plunge (Section V-C4).
+func (c *Controller) isReduced(newTP, oldTP, cp float64) bool {
+	return newTP < oldTP-tolerance && newTP < cp+c.Cfg.PMin-tolerance
+}
+
+// allocateNode divides budget among node's children and recurses.
+func (c *Controller) allocateNode(node *topo.Node, budget float64) {
+	if node.IsLeaf() {
+		return
+	}
+	children := node.Children
+	sc := c.scratch[node.ID]
+	demands, caps, floors := sc.demands, sc.caps, sc.floors
+	var floorSum float64
+	for i, ch := range children {
+		demands[i] = c.demandOf(ch)
+		caps[i] = c.subtreeCap(ch)
+		f := c.subtreeFloor(ch)
+		if f > caps[i] {
+			f = caps[i]
+		}
+		floors[i] = f
+		floorSum += f
+	}
+
+	// Round 0: static floors. An awake server draws its static power no
+	// matter what, so floors are funded before any dynamic demand. If
+	// even the floors exceed the budget the children split it floor-
+	// proportionally — a regime only escapable by putting servers to
+	// sleep, which the demand side's drain-to-sleep path handles.
+	alloc := sc.alloc
+	if floorSum > budget {
+		waterfill(alloc, budget, floors, floors, sc.active)
+		c.assignChildBudgets(children, alloc)
+		return
+	}
+	copy(alloc, floors)
+	remaining := budget - floorSum
+
+	// Round A: meet dynamic demand above the floors, proportionally
+	// (waterfill handles children whose caps bind).
+	dynWants := sc.wants
+	var dynSum float64
+	for i := range children {
+		w := demands[i]
+		if w > caps[i] {
+			w = caps[i]
+		}
+		w -= floors[i]
+		if w < 0 {
+			w = 0
+		}
+		dynWants[i] = w
+		dynSum += w
+	}
+	leftover := remaining
+	if dynSum <= remaining {
+		for i := range alloc {
+			alloc[i] += dynWants[i]
+		}
+		leftover = remaining - dynSum
+	} else {
+		extra := waterfill(sc.extra, remaining, dynWants, dynWants, sc.active)
+		for i := range alloc {
+			alloc[i] += extra[i]
+		}
+		leftover = 0
+	}
+
+	// Round B: distribute leftover proportionally to demand up to the
+	// hard caps. Budget beyond every cap stays stranded at this node.
+	if leftover > tolerance {
+		head := sc.head
+		for i := range children {
+			head[i] = caps[i] - alloc[i]
+		}
+		extra := waterfill(sc.extra, leftover, demands, head, sc.active)
+		for i := range alloc {
+			alloc[i] += extra[i]
+		}
+	}
+
+	c.assignChildBudgets(children, alloc)
+}
+
+// assignChildBudgets stores the computed budgets, maintains reduced
+// flags, counts the downward directive messages, and recurses.
+func (c *Controller) assignChildBudgets(children []*topo.Node, alloc []float64) {
+	for i, ch := range children {
+		c.countDown(ch) // parent -> child budget directive
+		if ch.IsLeaf() {
+			s := c.Servers[ch.ServerIndex]
+			s.reduced = c.isReduced(alloc[i], s.TP, s.CP)
+			s.TP = alloc[i]
+			continue
+		}
+		p := c.pmus[ch.ID]
+		p.reduced = c.isReduced(alloc[i], p.TP, p.CP)
+		p.TP = alloc[i]
+		c.allocateNode(ch, alloc[i])
+	}
+}
+
+// subtreeFloor returns the summed static power of awake servers beneath
+// n — the minimum budget the subtree burns while its servers stay on.
+func (c *Controller) subtreeFloor(n *topo.Node) float64 {
+	if n.IsLeaf() {
+		s := c.Servers[n.ServerIndex]
+		if s.Asleep {
+			return 0
+		}
+		return s.Power.Static
+	}
+	var sum float64
+	for _, ch := range n.Children {
+		sum += c.subtreeFloor(ch)
+	}
+	return sum
+}
+
+// subtreeCap returns the hard constraint of a subtree: the sum of the
+// leaf hard caps beneath it (sleeping servers contribute nothing — they
+// cannot spend budget).
+func (c *Controller) subtreeCap(n *topo.Node) float64 {
+	if n.IsLeaf() {
+		s := c.Servers[n.ServerIndex]
+		if s.Asleep {
+			return 0
+		}
+		return s.HardCap(c.Cfg.ThermalWindow)
+	}
+	var sum float64
+	for _, ch := range n.Children {
+		sum += c.subtreeCap(ch)
+	}
+	return sum
+}

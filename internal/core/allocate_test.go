@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"willow/internal/dist"
+)
+
+func TestWaterfillProportional(t *testing.T) {
+	alloc := waterfillAlloc(100, []float64{1, 3}, []float64{1000, 1000})
+	if math.Abs(alloc[0]-25) > 1e-9 || math.Abs(alloc[1]-75) > 1e-9 {
+		t.Errorf("alloc = %v, want [25 75]", alloc)
+	}
+}
+
+func TestWaterfillRespectsCaps(t *testing.T) {
+	alloc := waterfillAlloc(100, []float64{1, 1}, []float64{10, 1000})
+	if math.Abs(alloc[0]-10) > 1e-6 {
+		t.Errorf("capped recipient got %v, want 10", alloc[0])
+	}
+	if math.Abs(alloc[1]-90) > 1e-6 {
+		t.Errorf("overflow recipient got %v, want 90", alloc[1])
+	}
+}
+
+func TestWaterfillCascadingCaps(t *testing.T) {
+	alloc := waterfillAlloc(100, []float64{1, 1, 1}, []float64{5, 20, 1000})
+	if math.Abs(alloc[0]-5) > 1e-6 || math.Abs(alloc[1]-20) > 1e-6 || math.Abs(alloc[2]-75) > 1e-6 {
+		t.Errorf("alloc = %v, want [5 20 75]", alloc)
+	}
+}
+
+func TestWaterfillAllCapped(t *testing.T) {
+	alloc := waterfillAlloc(100, []float64{1, 1}, []float64{10, 10})
+	total := alloc[0] + alloc[1]
+	if math.Abs(total-20) > 1e-6 {
+		t.Errorf("total allocated %v, want 20 (budget strands)", total)
+	}
+}
+
+func TestWaterfillZeroWeightGetsNothing(t *testing.T) {
+	alloc := waterfillAlloc(100, []float64{0, 1}, []float64{1000, 1000})
+	if alloc[0] != 0 {
+		t.Errorf("zero-weight recipient got %v", alloc[0])
+	}
+	if math.Abs(alloc[1]-100) > 1e-9 {
+		t.Errorf("weighted recipient got %v, want 100", alloc[1])
+	}
+}
+
+func TestWaterfillZeroBudget(t *testing.T) {
+	alloc := waterfillAlloc(0, []float64{1, 1}, []float64{10, 10})
+	if alloc[0] != 0 || alloc[1] != 0 {
+		t.Errorf("alloc = %v, want zeros", alloc)
+	}
+}
+
+// Property: waterfill never exceeds caps, never allocates negative
+// amounts, and allocates min(budget, total cap of weighted recipients)
+// in total (within tolerance).
+func TestWaterfillInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		src := dist.NewSource(seed)
+		n := int(rawN%8) + 1
+		weights := make([]float64, n)
+		caps := make([]float64, n)
+		reachable := 0.0
+		for i := 0; i < n; i++ {
+			if src.Float64() < 0.2 {
+				weights[i] = 0
+			} else {
+				weights[i] = src.Uniform(0.1, 10)
+			}
+			caps[i] = src.Uniform(0, 50)
+			if weights[i] > 0 {
+				reachable += caps[i]
+			}
+		}
+		budget := src.Uniform(0, 200)
+		alloc := waterfillAlloc(budget, weights, caps)
+		var total float64
+		for i := 0; i < n; i++ {
+			if alloc[i] < -1e-9 || alloc[i] > caps[i]+1e-6 {
+				return false
+			}
+			if weights[i] == 0 && alloc[i] != 0 {
+				return false
+			}
+			total += alloc[i]
+		}
+		want := math.Min(budget, reachable)
+		return math.Abs(total-want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

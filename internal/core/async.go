@@ -1,0 +1,146 @@
+package core
+
+import "willow/internal/topo"
+
+// Asynchronous control plane: the paper's convergence analysis
+// (Section V-A1) rests on update messages taking time to climb the
+// hierarchy — δ-convergence — and on choosing Δ_D much larger than the
+// propagation time ("assuming the value of Δ_D to be much larger than
+// the actual value (say, 10 times hα) would avoid instabilities in
+// decision making"). The synchronous controller realizes the δ ≪ Δ_D
+// regime by construction; these knobs realize the other regimes so the
+// rule can be tested empirically:
+//
+//   - Config.ReportLatency delays every upward demand report by that
+//     many ticks per hierarchy level (a level-l PMU sees leaf demand
+//     l·ReportLatency ticks old), modeled as a per-link FIFO pipe.
+//   - Config.ReportLoss drops a link's report with the given probability
+//     each tick ("links ... do not fail or do not suffer from prolonged
+//     congestion" is the paper's assumption; this removes it). A lost
+//     report leaves the parent acting on the previous value.
+//
+// With both zero the controller is exactly synchronous and none of this
+// code runs.
+
+// reportPipe delays values by a fixed number of ticks and repeats the
+// last delivered value across losses.
+type reportPipe struct {
+	buf  []float64 // ring of in-flight values; len = latency
+	head int
+	last float64 // most recently pushed (possibly repeated on loss)
+	out  float64 // value currently visible to the parent
+	live bool
+}
+
+// push enqueues the child's current value (or repeats the previous one
+// on loss) and returns the value now visible after the pipe's delay.
+func (p *reportPipe) push(v float64, lost bool) float64 {
+	if lost && p.live {
+		v = p.last
+	}
+	p.last = v
+	if !p.live {
+		// First observation primes the whole pipe so startup is not a
+		// burst of phantom zeros.
+		for i := range p.buf {
+			p.buf[i] = v
+		}
+		p.out = v
+		p.live = true
+	}
+	if len(p.buf) == 0 {
+		p.out = v
+		return p.out
+	}
+	p.out = p.buf[p.head]
+	p.buf[p.head] = v
+	p.head = (p.head + 1) % len(p.buf)
+	return p.out
+}
+
+// asyncEnabled reports whether the asynchronous machinery is active.
+func (c *Controller) asyncEnabled() bool {
+	return c.Cfg.ReportLatency > 0 || c.Cfg.ReportLoss > 0
+}
+
+// pipeFor returns (creating on demand) the report pipe of the link
+// between n and its parent.
+func (c *Controller) pipeFor(n *topo.Node) *reportPipe {
+	p, ok := c.pipes[n.ID]
+	if !ok {
+		p = &reportPipe{buf: make([]float64, c.Cfg.ReportLatency)}
+		c.pipes[n.ID] = p
+	}
+	return p
+}
+
+// propagateReports pushes this tick's values through every link pipe,
+// bottom-up, and stores each PMU's delayed aggregate in its CP. Called
+// in place of the synchronous aggregation when async is enabled.
+func (c *Controller) propagateReports() {
+	for level := 1; level <= c.Tree.Height; level++ {
+		for _, n := range c.levels[level] {
+			p := c.pmus[n.ID]
+			p.CP = 0
+			for _, child := range n.Children {
+				var current float64
+				if child.IsLeaf() {
+					current = c.Servers[child.ServerIndex].CP
+				} else {
+					current = c.pmus[child.ID].CP
+				}
+				lost := c.Cfg.ReportLoss > 0 && c.src.Float64() < c.Cfg.ReportLoss
+				p.CP += c.pipeFor(child).push(current, lost)
+				c.countUp(child)
+			}
+		}
+	}
+}
+
+// viewCP returns the server's demand as seen by its parent PMU — the
+// delayed, possibly loss-frozen value decisions are made on. In the
+// synchronous regime it is simply the current smoothed demand.
+func (c *Controller) viewCP(s *Server) float64 {
+	if !c.asyncEnabled() {
+		return s.CP
+	}
+	p, ok := c.pipes[s.Node.ID]
+	if !ok || !p.live {
+		return s.CP
+	}
+	return p.out
+}
+
+// viewDynamic returns the server's dynamic demand (above the static
+// floor) as seen by its parent.
+func (c *Controller) viewDynamic(s *Server) float64 {
+	d := c.viewCP(s) - s.Power.Static
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// viewDeficit is Eq. 5 evaluated on the parent's (possibly stale) view.
+func (c *Controller) viewDeficit(s *Server, window float64) float64 {
+	if s.Asleep {
+		return 0
+	}
+	d := c.viewCP(s) - s.EffectiveBudget(window)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// viewSurplus is Eq. 6 evaluated on the parent's view.
+func (c *Controller) viewSurplus(s *Server, window float64) float64 {
+	if s.Asleep {
+		return 0
+	}
+	d := s.EffectiveBudget(window) - c.viewCP(s)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,102 @@
+package core
+
+import "sort"
+
+// consolidate is the Δ_A-cadence resource-consolidation pass
+// (Sections IV-C and IV-E): servers whose dynamic utilization sits below
+// the threshold are drained — all their applications migrated into other
+// servers' budget surpluses, local targets first — and put into a deep
+// sleep state, eliminating their static draw. A candidate that cannot be
+// fully drained is left untouched (partial drains save nothing and cost
+// migrations).
+//
+// Candidates are processed in ascending utilization order and candidacy
+// is re-checked as demand lands on receivers, so at globally low
+// utilization the pass packs many servers onto few rather than refusing
+// to act because "everyone is a candidate".
+func (c *Controller) consolidate(t int) {
+	window := c.Cfg.ThermalWindow
+	dynCap := func(s *Server) float64 { return s.Power.Peak - s.Power.Static }
+
+	utilization := func(s *Server) float64 {
+		d := dynCap(s)
+		if d <= 0 {
+			return 0
+		}
+		return c.viewDynamic(s) / d
+	}
+
+	candidates := make([]*Server, 0, len(c.Servers))
+	for _, s := range c.Servers {
+		if s.Asleep || s.wakeAt >= 0 {
+			continue
+		}
+		if utilization(s) < c.Cfg.ConsolidateBelow {
+			candidates = append(candidates, s)
+		}
+	}
+	// Thermally squeezed servers first — "Willow tries to move as much
+	// work away from these servers as possible due to their high
+	// temperatures" (the paper's Fig. 7 discussion) — then the biggest
+	// idle draw (sleeping a power-hungry-at-idle server saves the most;
+	// in a heterogeneous fleet this drains conventional servers before
+	// FAWN-style wimpy nodes), then emptiest first.
+	sort.SliceStable(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		ca := a.Thermal.Model.SteadyStatePowerLimit()
+		cb := b.Thermal.Model.SteadyStatePowerLimit()
+		if ca != cb {
+			return ca < cb
+		}
+		if a.Power.Static != b.Power.Static {
+			return a.Power.Static > b.Power.Static
+		}
+		if da, db := c.viewDynamic(a), c.viewDynamic(b); da != db {
+			return da < db
+		}
+		return a.Node.ServerIndex < b.Node.ServerIndex
+	})
+
+	slept := 0
+	for _, victim := range candidates {
+		// Re-check: earlier drains may have raised this server's load
+		// above the threshold, or slept it (it cannot have slept — only
+		// candidates sleep and each is visited once — but demand may have
+		// landed on it).
+		if victim.Asleep || utilization(victim) >= c.Cfg.ConsolidateBelow {
+			continue
+		}
+		if len(c.awakeServers()) <= 1 {
+			break // never consolidate the last server away
+		}
+		if c.viewDeficit(victim, window) > tolerance {
+			continue // a struggling server is the demand pass's problem
+		}
+		if c.transferTouches(victim) {
+			continue // an endpoint of an in-flight transfer must stay up
+		}
+
+		ws := c.workingSurpluses(window)
+		delete(ws, victim.Node.ServerIndex)
+		items := make([]item, 0, victim.Apps.Len())
+		for _, a := range victim.Apps.Apps {
+			items = append(items, item{app: a, src: victim})
+		}
+		c.draining[victim.Node.ServerIndex] = true
+		plan, rest := c.planPlacement(items, ws, false, true)
+		if len(rest) > 0 {
+			delete(c.draining, victim.Node.ServerIndex)
+			continue // cannot fully drain; leave it running
+		}
+		c.applyAssignments(plan, CauseConsolidation, t)
+		delete(c.draining, victim.Node.ServerIndex)
+		if c.sleepOrDefer(victim) {
+			slept++
+		}
+	}
+	if slept > 0 {
+		// One budget re-derivation after the pass (not per victim):
+		// sleeping servers freed their static floors for everyone else.
+		c.allocateSupply(t)
+	}
+}

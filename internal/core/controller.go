@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+
+	"willow/internal/dist"
+	"willow/internal/power"
+	"willow/internal/thermal"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+// Cause labels why a migration happened (Fig. 9 distinguishes the two).
+type Cause int
+
+const (
+	// CauseDemand marks constraint-driven migrations: a deficit forced
+	// workload off a node.
+	CauseDemand Cause = iota
+	// CauseConsolidation marks migrations that drain an under-utilized
+	// server so it can sleep.
+	CauseConsolidation
+	// CauseRestart marks an orphaned application re-placed after its
+	// host crashed (failure injection).
+	CauseRestart
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseDemand:
+		return "demand"
+	case CauseConsolidation:
+		return "consolidation"
+	case CauseRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// Migration records one applied migration.
+type Migration struct {
+	Tick  int
+	AppID int
+	// From and To are server indices (topo.Node.ServerIndex).
+	From, To int
+	// Watts is the mean power demand moved.
+	Watts float64
+	// Bytes is the VM footprint transferred (drives network cost).
+	Bytes float64
+	Cause Cause
+	// Local reports whether source and target are siblings.
+	Local bool
+	// Hops is the number of switches on the migration path.
+	Hops int
+}
+
+// Stats aggregates a run's control-plane measurements.
+type Stats struct {
+	Migrations []Migration
+	// DemandMigrations and ConsolidationMigrations count by cause.
+	DemandMigrations        int
+	ConsolidationMigrations int
+	LocalMigrations         int
+	// DroppedWattTicks accumulates shed demand (watts × ticks).
+	DroppedWattTicks float64
+	// DemandByPriority / ServedByPriority accumulate per-QoS-class
+	// watt-ticks; shedding consumes the lowest-priority class first.
+	DemandByPriority, ServedByPriority map[int]float64
+	// DegradedAppTicks counts application-windows served partially;
+	// ShutdownAppTicks counts application-windows shed entirely.
+	DegradedAppTicks, ShutdownAppTicks int64
+	// PingPongs counts applications that returned to a node they had left
+	// within the Δf window — Willow's stability property demands zero.
+	PingPongs int
+	// MessagesUp / MessagesDown count control messages over tree links.
+	MessagesUp, MessagesDown int64
+	// MaxLinkMessagesPerTick is the largest number of messages observed
+	// on any single link in any single tick (Property 3 bounds it by 2).
+	MaxLinkMessagesPerTick int
+	// Wakes counts sleeping servers brought back.
+	Wakes int
+	// AbortedTransfers counts in-flight migrations cancelled because the
+	// destination became unavailable (MigrationLatency > 0 only).
+	AbortedTransfers int
+	// Failures / Repairs / Restarts count injected crashes, repairs, and
+	// orphaned applications restarted elsewhere. OrphanWattTicks
+	// accumulates demand stranded while awaiting restart.
+	Failures, Repairs, Restarts int
+	OrphanWattTicks             float64
+}
+
+// Controller is a running Willow instance.
+type Controller struct {
+	Cfg    Config
+	Tree   *topo.Tree
+	Supply power.Supply
+
+	Servers []*Server    // by server index
+	pmus    map[int]*pmu // by node ID, internal nodes only
+	src     *dist.Source // demand noise
+	tick    int          // current tick (next Step executes this tick)
+	Stats   Stats
+
+	// OnMigration, when non-nil, observes each applied migration (the
+	// network model hooks in here).
+	OnMigration func(Migration)
+
+	// lastLeft tracks, per app, where and when it last migrated from, to
+	// detect ping-pong control.
+	lastLeft map[int]leftRecord
+
+	// draining marks servers being emptied by the current consolidation
+	// pass so they do not receive migrations mid-drain.
+	draining map[int]bool
+
+	// upLinks / downLinks record which tree links (keyed by child node
+	// ID) carried an upward report / downward directive this tick.
+	// Downward directives batch: budget updates and migration decisions
+	// issued in the same window share one message, which is what bounds
+	// Property 3 at two messages per link per Δ_D.
+	upLinks, downLinks map[int]bool
+
+	// pipes delay upward reports per link when the asynchronous control
+	// plane is enabled (see async.go).
+	pipes map[int]*reportPipe
+
+	// levels caches the internal nodes per level (index = level) so the
+	// per-tick aggregation does not rescan the whole tree; scratch holds
+	// each internal node's preallocated allocation buffers.
+	levels  [][]*topo.Node
+	scratch map[int]*allocScratch
+
+	// transfers, inFlight and reserved implement non-instantaneous VM
+	// migration (see transfer.go). pendingSleep marks drained servers
+	// waiting for their outbound transfers to land before deactivating.
+	transfers    []transfer
+	inFlight     map[int]bool
+	reserved     map[int]float64
+	pendingSleep map[int]bool
+
+	// orphans hold applications whose host crashed, awaiting restart
+	// (see failure.go).
+	orphans []orphan
+}
+
+type leftRecord struct {
+	from int
+	tick int
+}
+
+// New builds a Controller over the given tree. specs must have one entry
+// per server (tree.NumServers()).
+func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, src *dist.Source) (*Controller, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) != tree.NumServers() {
+		return nil, fmt.Errorf("core: %d server specs for %d servers", len(specs), tree.NumServers())
+	}
+	if supply == nil {
+		return nil, fmt.Errorf("core: nil supply")
+	}
+	if src == nil {
+		src = dist.NewSource(0)
+	}
+
+	c := &Controller{
+		Cfg:          cfg,
+		Tree:         tree,
+		Supply:       supply,
+		pmus:         map[int]*pmu{},
+		src:          src,
+		lastLeft:     map[int]leftRecord{},
+		draining:     map[int]bool{},
+		upLinks:      map[int]bool{},
+		downLinks:    map[int]bool{},
+		pipes:        map[int]*reportPipe{},
+		inFlight:     map[int]bool{},
+		reserved:     map[int]float64{},
+		pendingSleep: map[int]bool{},
+	}
+	c.levels = make([][]*topo.Node, tree.Height+1)
+	c.scratch = make(map[int]*allocScratch)
+	for _, n := range tree.Nodes {
+		if !n.IsLeaf() {
+			c.pmus[n.ID] = &pmu{node: n}
+			c.levels[n.Level] = append(c.levels[n.Level], n)
+			c.scratch[n.ID] = newAllocScratch(len(n.Children))
+		}
+	}
+	for i, spec := range specs {
+		if err := spec.Power.Validate(); err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", i, err)
+		}
+		if err := spec.Thermal.Validate(); err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", i, err)
+		}
+		sm, err := workload.NewSmoother(cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		srv := &Server{
+			Node:         tree.Servers[i],
+			Power:        spec.Power,
+			Thermal:      thermal.NewState(spec.Thermal),
+			CircuitLimit: spec.CircuitLimit,
+			smoother:     sm,
+			wakeAt:       -1,
+		}
+		for _, a := range spec.Apps {
+			if a.NoiseLambda == 0 {
+				a.NoiseLambda = cfg.NoiseLambda
+			}
+			srv.Apps.Add(a)
+		}
+		c.Servers = append(c.Servers, srv)
+	}
+	return c, nil
+}
+
+// Tick returns the number of completed ticks.
+func (c *Controller) Tick() int { return c.tick }
+
+// Step advances the simulation by one demand window Δ_D.
+func (c *Controller) Step() {
+	t := c.tick
+	clear(c.upLinks)
+	clear(c.downLinks)
+
+	c.wakeServers(t)
+	c.completeTransfers(t)
+	c.observeDemand(t)
+	if t%c.Cfg.Eta1 == 0 {
+		c.allocateSupply(t)
+	}
+	c.restartOrphans(t)
+	c.migrateDemand(t)
+	if t%c.Cfg.Eta2 == 0 {
+		c.consolidate(t)
+	}
+	c.consumeAndHeat()
+
+	c.Stats.MessagesUp += int64(len(c.upLinks))
+	c.Stats.MessagesDown += int64(len(c.downLinks))
+	for id := range c.upLinks {
+		n := 1
+		if c.downLinks[id] {
+			n = 2
+		}
+		if n > c.Stats.MaxLinkMessagesPerTick {
+			c.Stats.MaxLinkMessagesPerTick = n
+		}
+	}
+	for id := range c.downLinks {
+		if !c.upLinks[id] && 1 > c.Stats.MaxLinkMessagesPerTick {
+			c.Stats.MaxLinkMessagesPerTick = 1
+		}
+	}
+	c.tick++
+}
+
+// Run executes n ticks.
+func (c *Controller) Run(n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}
+
+// wakeServers completes pending wake-ups.
+func (c *Controller) wakeServers(t int) {
+	for _, s := range c.Servers {
+		if s.Asleep && s.wakeAt >= 0 && s.wakeAt <= t {
+			s.Asleep = false
+			s.wakeAt = -1
+			s.smoother.Reset()
+			c.Stats.Wakes++
+		}
+	}
+}
+
+// observeDemand draws each server's instantaneous demand, applies Eq. 4
+// smoothing, and aggregates subtree demands up the tree. Each tree link
+// carries exactly one upward report per tick.
+func (c *Controller) observeDemand(int) {
+	for _, s := range c.Servers {
+		if s.Asleep {
+			s.RawDemand = 0
+			s.CP = 0
+			continue
+		}
+		dyn := s.Apps.Demand(c.src)
+		s.RawDemand = s.Power.Static + dyn + s.migCost
+		s.migCost = 0
+		s.CP = s.smoother.Update(s.RawDemand)
+	}
+	if c.asyncEnabled() {
+		c.propagateReports()
+		return
+	}
+	// Synchronous aggregation: bottom-up, level by level.
+	for level := 1; level <= c.Tree.Height; level++ {
+		for _, n := range c.levels[level] {
+			p := c.pmus[n.ID]
+			p.CP = 0
+			for _, child := range n.Children {
+				p.CP += c.demandOf(child)
+				c.countUp(child) // child -> parent report
+			}
+		}
+	}
+}
+
+// demandOf returns the demand of any node as known to its parent — the
+// delayed view under the asynchronous control plane.
+func (c *Controller) demandOf(n *topo.Node) float64 {
+	if n.IsLeaf() {
+		return c.viewCP(c.Servers[n.ServerIndex])
+	}
+	return c.pmus[n.ID].CP
+}
+
+// countUp records an upward report on the link between n and its parent.
+func (c *Controller) countUp(n *topo.Node) {
+	if n.Parent != nil {
+		c.upLinks[n.ID] = true
+	}
+}
+
+// countDown records a downward directive on the link between n and its
+// parent. Directives within a tick batch into a single message.
+func (c *Controller) countDown(n *topo.Node) {
+	if n.Parent != nil {
+		c.downLinks[n.ID] = true
+	}
+}
+
+// consumeAndHeat settles each server's consumed power against its
+// effective budget, accounts dropped demand, and integrates temperature.
+func (c *Controller) consumeAndHeat() {
+	for _, s := range c.Servers {
+		if s.Asleep {
+			s.Consumed = 0
+			s.Dropped = 0
+			s.Thermal.Advance(0, c.Cfg.ThermalDt)
+			continue
+		}
+		eff := s.EffectiveBudget(c.Cfg.ThermalWindow)
+		s.Consumed = c.settleQoS(s, eff)
+		s.Dropped = s.RawDemand - s.Consumed
+		if s.Dropped < 0 {
+			s.Dropped = 0
+		}
+		c.Stats.DroppedWattTicks += s.Dropped
+		s.Thermal.Advance(s.Consumed, c.Cfg.ThermalDt)
+	}
+}
+
+// TotalConsumed returns the servers' summed power draw this tick.
+func (c *Controller) TotalConsumed() float64 {
+	var sum float64
+	for _, s := range c.Servers {
+		sum += s.Consumed
+	}
+	return sum
+}
+
+// LevelImbalance returns the paper's Eqs. 7–9 for the given level:
+// P_def(l) = max_i deficit, P_sur(l) = max_i surplus, and
+// P_imb(l) = P_def(l) + min(P_def(l), P_sur(l)).
+func (c *Controller) LevelImbalance(level int) (def, sur, imb float64) {
+	if level == 0 {
+		for _, s := range c.Servers {
+			if d := s.Deficit(c.Cfg.ThermalWindow); d > def {
+				def = d
+			}
+			if v := s.Surplus(c.Cfg.ThermalWindow); v > sur {
+				sur = v
+			}
+		}
+	} else if level <= c.Tree.Height {
+		for _, n := range c.levels[level] {
+			p := c.pmus[n.ID]
+			if d := p.CP - p.TP; d > def {
+				def = d
+			}
+			if v := p.TP - p.CP; v > sur {
+				sur = v
+			}
+		}
+	}
+	m := def
+	if sur < m {
+		m = sur
+	}
+	return def, sur, def + m
+}
+
+// AsleepCount returns how many servers are currently deactivated.
+func (c *Controller) AsleepCount() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.Asleep {
+			n++
+		}
+	}
+	return n
+}

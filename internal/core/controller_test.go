@@ -1,0 +1,775 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"willow/internal/dist"
+	"willow/internal/power"
+	"willow/internal/thermal"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+// benignThermal never binds: its sustainable power limit far exceeds any
+// server in these tests.
+var benignThermal = thermal.Model{C1: 0.0005, C2: 0.1, Ambient: 25, Limit: 90}
+
+// quietCfg disables demand noise and consolidation so scenarios are
+// exactly reproducible arithmetic.
+func quietCfg() Config {
+	return Config{
+		Alpha:            1, // no smoothing lag: CP == raw demand
+		Eta1:             1,
+		Eta2:             1 << 20, // consolidation effectively off (tick 0 only)
+		PMin:             5,
+		MigCostWatts:     2,
+		ConsolidateBelow: 1e-12,
+		PingPongWindow:   50,
+		WakeLatency:      2,
+		ThermalWindow:    4,
+		ThermalDt:        1,
+		NoiseLambda:      -1, // negative disables app noise injection
+	}
+}
+
+// buildController assembles a controller over the given fanout with one
+// spec per server.
+func buildController(t *testing.T, fanout []int, specs []ServerSpec, supply power.Supply, cfg Config) *Controller {
+	t.Helper()
+	tree, err := topo.Build(fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(tree, specs, supply, cfg, dist.NewSource(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// serverSpec builds a spec with the given static/peak power, optional
+// circuit limit, and apps of the given dynamic means.
+func serverSpec(static, peak, circuit float64, appMeans ...float64) ServerSpec {
+	spec := ServerSpec{
+		Power:        power.ServerModel{Static: static, Peak: peak},
+		Thermal:      benignThermal,
+		CircuitLimit: circuit,
+	}
+	for i, m := range appMeans {
+		spec.Apps = append(spec.Apps, &workload.App{
+			ID:          100*i + i, // overwritten below by unique IDs in tests that care
+			Class:       workload.Class{Name: "t", Weight: m},
+			Mean:        m,
+			NoiseLambda: -1,
+		})
+	}
+	return spec
+}
+
+// uniqueIDs re-numbers all apps across specs so IDs are globally unique.
+func uniqueIDs(specs []ServerSpec) []ServerSpec {
+	id := 0
+	for _, s := range specs {
+		for _, a := range s.Apps {
+			a.ID = id
+			id++
+		}
+	}
+	return specs
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	d := Defaults()
+	if d.Eta1 != 4 || d.Eta2 != 7 {
+		t.Errorf("eta1/eta2 = %d/%d, want 4/7 (Section V-B1)", d.Eta1, d.Eta2)
+	}
+	if d.ConsolidateBelow != 0.20 {
+		t.Errorf("consolidation threshold = %v, want 0.20 (Section V-C5)", d.ConsolidateBelow)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Alpha: 1.5},
+		{Eta1: 3, Eta2: 3}, // η2 must exceed η1
+		{Eta1: -1},
+		{PMin: -5},
+		{MigCostWatts: -1},
+		{ConsolidateBelow: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tree, err := topo.Build([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := uniqueIDs([]ServerSpec{serverSpec(10, 100, 0), serverSpec(10, 100, 0)})
+	if _, err := New(nil, specs, power.Constant(100), Config{}, nil); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := New(tree, specs[:1], power.Constant(100), Config{}, nil); err == nil {
+		t.Error("spec count mismatch accepted")
+	}
+	if _, err := New(tree, specs, nil, Config{}, nil); err == nil {
+		t.Error("nil supply accepted")
+	}
+	bad := uniqueIDs([]ServerSpec{serverSpec(10, 5, 0), serverSpec(10, 100, 0)})
+	if _, err := New(tree, bad, power.Constant(100), Config{}, nil); err == nil {
+		t.Error("invalid power model accepted")
+	}
+}
+
+// TestStableAllocationNoMigrations: with ample supply and all demands
+// within budgets, no migrations ever happen and every server is fully
+// served.
+func TestStableAllocationNoMigrations(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 60, 30),
+		serverSpec(50, 200, 0, 20),
+		serverSpec(50, 200, 0, 40),
+	})
+	c := buildController(t, []int{3}, specs, power.Constant(600), quietCfg())
+	c.Run(20)
+	if got := len(c.Stats.Migrations); got != 0 {
+		t.Errorf("%d migrations in a stable scenario", got)
+	}
+	if c.Stats.DroppedWattTicks > 0 {
+		t.Errorf("dropped %v watt-ticks with ample supply", c.Stats.DroppedWattTicks)
+	}
+	// Every server consumes exactly its demand.
+	wants := []float64{140, 70, 90}
+	for i, s := range c.Servers {
+		if math.Abs(s.Consumed-wants[i]) > 1e-6 {
+			t.Errorf("server %d consumed %v, want %v", i, s.Consumed, wants[i])
+		}
+	}
+}
+
+// TestBudgetsRespectSupply: children allocations never exceed the parent
+// budget, and the floors-first policy funds static power before dynamic.
+func TestBudgetsRespectSupply(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 100),
+		serverSpec(50, 200, 0, 10),
+	})
+	// 220 W: floors (100) met, dynamic wants (110) met, 10 W leftover
+	// split demand-proportionally.
+	c := buildController(t, []int{2}, specs, power.Constant(220), quietCfg())
+	c.Step()
+	var total float64
+	for _, s := range c.Servers {
+		if s.TP < -tolerance {
+			t.Errorf("negative budget %v", s.TP)
+		}
+		total += s.TP
+	}
+	if total > 220+tolerance {
+		t.Errorf("allocated %v over supply 220", total)
+	}
+	if c.Servers[0].TP < c.Servers[0].Power.Static || c.Servers[1].TP < c.Servers[1].Power.Static {
+		t.Errorf("floors unmet: budgets %v, %v", c.Servers[0].TP, c.Servers[1].TP)
+	}
+	if c.Servers[0].TP <= c.Servers[1].TP {
+		t.Errorf("demand-heavy server got %v <= light server %v", c.Servers[0].TP, c.Servers[1].TP)
+	}
+}
+
+// TestDeepScarcityDrainsToOneServer: when even the static floors exceed
+// the supply, Willow consolidates down to the servers it can afford
+// rather than stranding budget on idle draw.
+func TestDeepScarcityDrainsToOneServer(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 100),
+		serverSpec(50, 200, 0, 10),
+	})
+	c := buildController(t, []int{2}, specs, power.Constant(130), quietCfg())
+	c.Run(3)
+	if got := c.AsleepCount(); got != 1 {
+		t.Fatalf("asleep = %d, want 1 (light server drained)", got)
+	}
+	if c.Servers[0].Asleep {
+		t.Error("the heavy server slept; the light one should")
+	}
+	if c.Servers[0].Apps.Len() != 2 {
+		t.Errorf("surviving server hosts %d apps, want 2", c.Servers[0].Apps.Len())
+	}
+	// Supply-bound service: the survivor consumes the full 130 W budget.
+	if math.Abs(c.TotalConsumed()-130) > 1 {
+		t.Errorf("total consumed %v, want ~130 (supply-bound)", c.TotalConsumed())
+	}
+}
+
+// TestLocalMigrationOnCircuitDeficit: a circuit-capped server sheds an
+// application to its sibling, locally, with margins kept on both sides.
+func TestLocalMigrationOnCircuitDeficit(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 150, 60, 60), // demand 170, circuit-capped at 150
+		serverSpec(50, 200, 0, 10),
+		serverSpec(50, 200, 0, 10),
+	})
+	c := buildController(t, []int{3}, specs, power.Constant(550), quietCfg())
+	c.Step()
+	if got := c.Stats.DemandMigrations; got != 1 {
+		t.Fatalf("demand migrations = %d, want 1", got)
+	}
+	m := c.Stats.Migrations[0]
+	if m.From != 0 {
+		t.Errorf("migrated from server %d, want 0", m.From)
+	}
+	if !m.Local || m.Hops != 1 {
+		t.Errorf("migration local=%v hops=%d, want local over 1 hop", m.Local, m.Hops)
+	}
+	if m.Cause != CauseDemand {
+		t.Errorf("cause = %v, want demand", m.Cause)
+	}
+	if m.Watts != 60 {
+		t.Errorf("moved %v W, want the 60 W app", m.Watts)
+	}
+	// Source retains the P_min margin against its cap.
+	src := c.Servers[0]
+	if src.CP > 150-c.Cfg.PMin+tolerance {
+		t.Errorf("source CP %v leaves less than P_min margin under its 150 W cap", src.CP)
+	}
+	// Run on: the system must settle with no further migrations
+	// (decision stability, Property 4).
+	c.Run(30)
+	if got := c.Stats.DemandMigrations; got != 1 {
+		t.Errorf("further migrations after settling: %d total", got)
+	}
+	if c.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs: %d", c.Stats.PingPongs)
+	}
+}
+
+// TestMigrationPrefersSmallestAdequateSurplus: among equal-distance
+// targets, the tightest fitting surplus wins (the FFDLR repack
+// equivalent).
+func TestMigrationPrefersSmallestAdequateSurplus(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 120, 60), // deficit server: demand 110 vs cap 120... adjust below
+		serverSpec(50, 200, 0, 80),   // surplus exists but smaller
+		serverSpec(50, 200, 0, 10),   // big surplus
+	})
+	// Make server 0 clearly deficit: cap 90 against demand 110.
+	specs[0].CircuitLimit = 90
+	c := buildController(t, []int{3}, specs, power.Constant(600), quietCfg())
+	c.Step()
+	if len(c.Stats.Migrations) == 0 {
+		t.Fatal("no migration happened")
+	}
+	m := c.Stats.Migrations[0]
+	if m.To != 1 {
+		t.Errorf("app moved to server %d, want 1 (smallest adequate surplus)", m.To)
+	}
+}
+
+// TestEscalationToNonLocal: when siblings cannot absorb the deficit, the
+// demand escalates and lands in the other subtree (3 hops, non-local).
+func TestEscalationToNonLocal(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 100, 80), // deficit: demand 130 vs cap 100
+		serverSpec(50, 200, 0, 130),  // sibling is full (demand 180 of 200 peak)
+		serverSpec(50, 200, 0, 10),   // other subtree: plenty of room
+		serverSpec(50, 200, 0, 10),
+	})
+	c := buildController(t, []int{2, 2}, specs, power.Constant(800), quietCfg())
+	c.Step()
+	if got := c.Stats.DemandMigrations; got != 1 {
+		t.Fatalf("demand migrations = %d, want 1", got)
+	}
+	m := c.Stats.Migrations[0]
+	if m.Local {
+		t.Error("migration reported local, want non-local")
+	}
+	if m.Hops != 3 {
+		t.Errorf("hops = %d, want 3", m.Hops)
+	}
+	if m.To != 2 && m.To != 3 {
+		t.Errorf("target server %d, want 2 or 3", m.To)
+	}
+}
+
+// TestLocalPreferredOverNonLocal: with room in both the sibling and the
+// far subtree, the sibling wins even when the far surplus fits tighter.
+func TestLocalPreferredOverNonLocal(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 100, 80), // deficit
+		serverSpec(50, 200, 0, 10),   // sibling: large surplus
+		serverSpec(50, 200, 0, 95),   // far: tight surplus (would be best-fit)
+		serverSpec(50, 200, 0, 95),
+	})
+	c := buildController(t, []int{2, 2}, specs, power.Constant(900), quietCfg())
+	c.Step()
+	if len(c.Stats.Migrations) == 0 {
+		t.Fatal("no migration")
+	}
+	m := c.Stats.Migrations[0]
+	if m.To != 1 || !m.Local {
+		t.Errorf("moved to server %d (local=%v), want sibling 1", m.To, m.Local)
+	}
+}
+
+// TestNoMigrationWithoutMargin: if no target can keep the P_min margin,
+// the demand is shed instead of migrated.
+func TestNoMigrationWithoutMargin(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 100, 80), // deficit 30
+		serverSpec(50, 200, 0, 130),  // surplus < item + margin
+	})
+	// Supply just covers demands: server 1's budget tops at its demand +
+	// leftover; make supply tight so the surplus is under 80+PMin.
+	c := buildController(t, []int{2}, specs, power.Constant(315), quietCfg())
+	c.Step()
+	if got := len(c.Stats.Migrations); got != 0 {
+		t.Errorf("%d migrations despite missing margin", got)
+	}
+	if c.Servers[0].Dropped <= 0 {
+		t.Error("deficit demand was not shed")
+	}
+}
+
+// TestThermalCapDrivesMigration: a server in a hot ambient zone throttles
+// via Eq. 3 and its workload leaves for a cool sibling; the thermal limit
+// is never violated.
+func TestThermalCapDrivesMigration(t *testing.T) {
+	hot := thermal.Model{C1: 0.005, C2: 0.05, Ambient: 40, Limit: 70} // sustainable 300 W
+	cool := thermal.Model{C1: 0.005, C2: 0.05, Ambient: 25, Limit: 70}
+	specs := uniqueIDs([]ServerSpec{
+		{Power: power.ServerModel{Static: 50, Peak: 450}, Thermal: hot,
+			Apps: []*workload.App{
+				{Class: workload.Class{Weight: 1}, Mean: 120, NoiseLambda: -1},
+				{Class: workload.Class{Weight: 1}, Mean: 120, NoiseLambda: -1},
+				{Class: workload.Class{Weight: 1}, Mean: 120, NoiseLambda: -1},
+			}},
+		{Power: power.ServerModel{Static: 50, Peak: 450}, Thermal: cool,
+			Apps: []*workload.App{{Class: workload.Class{Weight: 1}, Mean: 60, NoiseLambda: -1}}},
+	})
+	c := buildController(t, []int{2}, specs, power.Constant(900), quietCfg())
+	for i := 0; i < 300; i++ {
+		c.Step()
+		for si, s := range c.Servers {
+			if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
+				t.Fatalf("tick %d: server %d at %.2f °C exceeds limit", i, si, s.Thermal.T)
+			}
+		}
+	}
+	if c.Stats.DemandMigrations == 0 {
+		t.Error("hot server never shed load")
+	}
+	// The hot server must end up consuming no more than its sustainable
+	// thermal power.
+	sustainable := hot.SteadyStatePowerLimit()
+	if got := c.Servers[0].Consumed; got > sustainable+25 {
+		t.Errorf("hot server consumes %v W, sustainable is %v W", got, sustainable)
+	}
+	if c.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs: %d", c.Stats.PingPongs)
+	}
+}
+
+// TestConsolidationSleepsIdleServer: a lightly loaded server is drained
+// and deactivated; its static draw disappears from total consumption.
+func TestConsolidationSleepsIdleServer(t *testing.T) {
+	cfg := quietCfg()
+	cfg.Eta2 = 2
+	cfg.ConsolidateBelow = 0.20
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 100), // 67 % dynamic util
+		serverSpec(50, 200, 0, 20),  // 13 % -> candidate
+		serverSpec(50, 200, 0, 60),  // 40 %
+	})
+	c := buildController(t, []int{3}, specs, power.Constant(600), quietCfg())
+	c.Cfg = func() Config { cc, _ := cfg.withDefaults(); return cc }()
+	c.Run(10)
+	if got := c.AsleepCount(); got != 1 {
+		t.Fatalf("asleep servers = %d, want 1", got)
+	}
+	if !c.Servers[1].Asleep {
+		t.Error("wrong server slept")
+	}
+	if c.Stats.ConsolidationMigrations == 0 {
+		t.Error("no consolidation-cause migrations recorded")
+	}
+	// Total consumption settles at demand minus one static floor.
+	want := (50 + 100 + 20) + (50 + 60) // two awake servers hosting all demand
+	// Allow the migration cost transient to have decayed.
+	if got := c.TotalConsumed(); math.Abs(got-float64(want)) > 1 {
+		t.Errorf("total consumed %v, want ~%d", got, want)
+	}
+}
+
+func TestConsolidationNeverSleepsLastServer(t *testing.T) {
+	cfg := quietCfg()
+	cfg.Eta2 = 2
+	cfg.ConsolidateBelow = 0.5 // everyone is a candidate
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 10),
+		serverSpec(50, 200, 0, 10),
+	})
+	c := buildController(t, []int{2}, specs, power.Constant(400), cfg)
+	c.Run(20)
+	if got := c.AsleepCount(); got >= 2 {
+		t.Fatalf("all %d servers asleep", got)
+	}
+	if got := c.AsleepCount(); got != 1 {
+		t.Errorf("asleep = %d, want exactly 1 (packed onto one server)", got)
+	}
+}
+
+// TestDrainToSleepOnSupplyPlunge reproduces the §V-C4 dynamics in
+// miniature: a supply plunge below the static floors forces one server to
+// drain and sleep (a burst of demand-driven migrations), after which the
+// system is stable for the rest of the deficit — no further migrations —
+// and nothing sheds.
+func TestDrainToSleepOnSupplyPlunge(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 25), // 75 W
+		serverSpec(50, 200, 0, 3),  // 53 W
+		serverSpec(50, 200, 0, 2),  // 52 W
+	})
+	supply := power.Trace{250, 250, 250, 140, 140, 140, 140, 140, 140, 140}
+	c := buildController(t, []int{3}, specs, supply, quietCfg())
+	c.Run(10)
+	if got := c.AsleepCount(); got != 1 {
+		t.Fatalf("asleep = %d, want 1 after the plunge", got)
+	}
+	if !c.Servers[2].Asleep {
+		t.Error("expected the lightest server (2) to sleep")
+	}
+	// All migrations must be demand-caused and clustered at the plunge.
+	for _, m := range c.Stats.Migrations {
+		if m.Cause != CauseDemand {
+			t.Errorf("migration cause %v, want demand", m.Cause)
+		}
+		if m.Tick != 3 {
+			t.Errorf("migration at tick %d, want all at plunge tick 3 (stability)", m.Tick)
+		}
+	}
+	if c.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs: %d", c.Stats.PingPongs)
+	}
+	// After settling, the full demand is served within the reduced supply.
+	total := c.TotalConsumed()
+	if total > 140+tolerance {
+		t.Errorf("consuming %v over the 140 W supply", total)
+	}
+	wantDemand := 100.0 + 30 // two floors + all dynamic demand
+	if math.Abs(total-wantDemand) > 1 {
+		t.Errorf("consumed %v, want ~%v (everything served)", total, wantDemand)
+	}
+}
+
+// TestWakeOnDemandPressure: a sleeping server is woken when demand no
+// longer fits the awake ones.
+func TestWakeOnDemandPressure(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 0, 60),
+		serverSpec(50, 200, 0),
+	})
+	c := buildController(t, []int{2}, specs, power.Constant(500), quietCfg())
+	c.Servers[1].Asleep = true
+	// Load server 0 beyond its peak so demand cannot fit locally.
+	c.Servers[0].Apps.Add(&workload.App{ID: 999, Class: workload.Class{Weight: 1}, Mean: 120, NoiseLambda: -1})
+	c.Run(1 + c.Cfg.WakeLatency + 2)
+	if c.Stats.Wakes != 1 {
+		t.Fatalf("wakes = %d, want 1", c.Stats.Wakes)
+	}
+	if c.Servers[1].Asleep {
+		t.Fatal("server 1 still asleep")
+	}
+	if c.Stats.DemandMigrations == 0 {
+		t.Error("no migration to the woken server")
+	}
+	if c.Servers[1].Apps.Len() == 0 {
+		t.Error("woken server hosts nothing")
+	}
+}
+
+// TestMessagesPerLinkBounded verifies Property 3: no tree link ever
+// carries more than 2 control messages (one per direction) in one Δ_D.
+func TestMessagesPerLinkBounded(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 100, 80),
+		serverSpec(50, 200, 0, 10),
+		serverSpec(50, 200, 0, 130),
+		serverSpec(50, 200, 0, 10),
+	})
+	cfg := quietCfg()
+	cfg.Eta1 = 2
+	cfg.Eta2 = 3
+	cfg.ConsolidateBelow = 0.2
+	c := buildController(t, []int{2, 2}, specs, power.Trace{600, 300, 600, 250}, cfg)
+	c.Run(40)
+	if got := c.Stats.MaxLinkMessagesPerTick; got > 2 {
+		t.Errorf("max messages per link per tick = %d, want <= 2", got)
+	}
+	if c.Stats.MessagesUp == 0 || c.Stats.MessagesDown == 0 {
+		t.Error("message accounting inactive")
+	}
+	// Upward reports: one per link per tick.
+	links := int64(len(c.Tree.Nodes) - 1)
+	if got := c.Stats.MessagesUp; got != links*40 {
+		t.Errorf("MessagesUp = %d, want %d", got, links*40)
+	}
+}
+
+// TestSmoothingFollowsEq4: with alpha < 1 the server CP tracks Eq. 4.
+func TestSmoothingFollowsEq4(t *testing.T) {
+	cfg := quietCfg()
+	cfg.Alpha = 0.25
+	specs := uniqueIDs([]ServerSpec{serverSpec(50, 200, 0, 30)})
+	c := buildController(t, []int{1}, specs, power.Constant(300), cfg)
+	c.Step()
+	if got := c.Servers[0].CP; math.Abs(got-80) > 1e-9 {
+		t.Fatalf("first CP = %v, want 80 (first observation initializes)", got)
+	}
+	// Demand is constant, so CP stays put.
+	c.Step()
+	if got := c.Servers[0].CP; math.Abs(got-80) > 1e-9 {
+		t.Errorf("steady CP = %v, want 80", got)
+	}
+}
+
+// TestLevelImbalance: Eqs. 7–9 at server level.
+func TestLevelImbalance(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 100, 80), // deficit 30 against its cap
+		serverSpec(50, 200, 0, 10),
+	})
+	cfg := quietCfg()
+	cfg.PMin = 1000 // forbid migrations so the imbalance persists
+	c := buildController(t, []int{2}, specs, power.Constant(400), cfg)
+	c.Step()
+	def, sur, imb := c.LevelImbalance(0)
+	if def <= 0 {
+		t.Errorf("deficit = %v, want positive", def)
+	}
+	if sur <= 0 {
+		t.Errorf("surplus = %v, want positive", sur)
+	}
+	want := def + math.Min(def, sur)
+	if math.Abs(imb-want) > 1e-9 {
+		t.Errorf("imbalance = %v, want %v", imb, want)
+	}
+}
+
+// TestDeterminism: identical seeds and configs give identical runs even
+// with Poisson noise enabled.
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, int, int64) {
+		specs := uniqueIDs([]ServerSpec{
+			serverSpec(50, 200, 120, 60, 30),
+			serverSpec(50, 200, 0, 20),
+			serverSpec(50, 200, 0, 40),
+			serverSpec(50, 200, 0, 10),
+		})
+		for _, sp := range specs {
+			for _, a := range sp.Apps {
+				a.NoiseLambda = 20
+			}
+		}
+		cfg := quietCfg()
+		cfg.Alpha = 0.3
+		tree, err := topo.Build([]int{2, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(tree, specs, power.Trace{500, 400, 450, 350}, cfg, dist.NewSource(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var energy float64
+		for i := 0; i < 100; i++ {
+			c.Step()
+			energy += c.TotalConsumed()
+		}
+		return energy, len(c.Stats.Migrations), c.Stats.MessagesDown
+	}
+	e1, m1, d1 := run()
+	e2, m2, d2 := run()
+	if e1 != e2 || m1 != m2 || d1 != d2 {
+		t.Errorf("runs diverged: (%v,%d,%d) vs (%v,%d,%d)", e1, m1, d1, e2, m2, d2)
+	}
+}
+
+// TestInvariantsUnderChurn drives a noisy 18-server system through a
+// fluctuating supply and checks the global invariants every tick:
+// budgets within supply, no negative values, thermal limits honored,
+// apps conserved, and the Property 3 message bound.
+func TestInvariantsUnderChurn(t *testing.T) {
+	classes := workload.SimClasses()
+	src := dist.NewSource(99)
+	var specs []ServerSpec
+	for i := 0; i < 18; i++ {
+		amb := 25.0
+		if i >= 14 {
+			amb = 40
+		}
+		spec := ServerSpec{
+			Power:   power.ServerModel{Static: 135, Peak: 450},
+			Thermal: thermal.Model{C1: 0.005, C2: 0.05, Ambient: amb, Limit: 70},
+		}
+		for a := 0; a < 4; a++ {
+			cls := classes[src.Intn(len(classes))]
+			spec.Apps = append(spec.Apps, &workload.App{
+				Class: cls, Mean: cls.Weight * 12, NoiseLambda: 25,
+			})
+		}
+		specs = append(specs, spec)
+	}
+	specs = uniqueIDs(specs)
+	appCount := 0
+	for _, sp := range specs {
+		appCount += len(sp.Apps)
+	}
+
+	tree, err := topo.Build([]int{2, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Defaults()
+	supply := power.Sine{Base: 6500, Amplitude: 2000, Period: 37}
+	c, err := New(tree, specs, supply, cfg, dist.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for tick := 0; tick < 400; tick++ {
+		c.Step()
+		var budget float64
+		apps := 0
+		for _, s := range c.Servers {
+			if s.TP < -tolerance {
+				t.Fatalf("tick %d: negative budget", tick)
+			}
+			if s.Consumed < 0 {
+				t.Fatalf("tick %d: negative consumption", tick)
+			}
+			// The thermal cap at consume time is gone after the
+			// temperature advanced, so check the stable bounds: budget
+			// and raw demand.
+			if s.Consumed > s.TP+1e-6 {
+				t.Fatalf("tick %d: consumed %v over budget %v", tick, s.Consumed, s.TP)
+			}
+			if s.Consumed > s.RawDemand+1e-6 {
+				t.Fatalf("tick %d: consumed %v over raw demand %v", tick, s.Consumed, s.RawDemand)
+			}
+			if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
+				t.Fatalf("tick %d: thermal limit violated: %v", tick, s.Thermal.T)
+			}
+			if s.Asleep && s.Apps.Len() > 0 {
+				t.Fatalf("tick %d: sleeping server hosts %d apps", tick, s.Apps.Len())
+			}
+			budget += s.TP
+			apps += s.Apps.Len()
+		}
+		if budget > supply.At(c.Tick()/cfg.Eta1)*1.0001+tolerance {
+			// Budgets re-derive on supply epochs; between them they can
+			// exceed a falling supply only until the next allocation.
+			if tick%cfg.Eta1 == 0 {
+				t.Fatalf("tick %d: budgets %v exceed supply", tick, budget)
+			}
+		}
+		if apps != appCount {
+			t.Fatalf("tick %d: %d apps, want %d (apps lost or duplicated)", tick, apps, appCount)
+		}
+	}
+	if got := c.Stats.MaxLinkMessagesPerTick; got > 2 {
+		t.Errorf("max messages per link per tick = %d, want <= 2", got)
+	}
+	if c.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs under churn: %d", c.Stats.PingPongs)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	if CauseDemand.String() != "demand" || CauseConsolidation.String() != "consolidation" {
+		t.Error("cause strings wrong")
+	}
+	if got := Cause(7).String(); got != "Cause(7)" {
+		t.Errorf("unknown cause renders %q", got)
+	}
+}
+
+func BenchmarkStep18Servers(b *testing.B) {
+	classes := workload.SimClasses()
+	src := dist.NewSource(1)
+	var specs []ServerSpec
+	for i := 0; i < 18; i++ {
+		spec := ServerSpec{
+			Power:   power.ServerModel{Static: 135, Peak: 450},
+			Thermal: thermal.Model{C1: 0.005, C2: 0.05, Ambient: 25, Limit: 70},
+		}
+		for a := 0; a < 4; a++ {
+			cls := classes[src.Intn(len(classes))]
+			spec.Apps = append(spec.Apps, &workload.App{Class: cls, Mean: cls.Weight * 12, NoiseLambda: 25})
+		}
+		specs = append(specs, spec)
+	}
+	id := 0
+	for _, sp := range specs {
+		for _, a := range sp.Apps {
+			a.ID = id
+			id++
+		}
+	}
+	tree, err := topo.Build([]int{2, 3, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(tree, specs, power.Constant(6000), Defaults(), dist.NewSource(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{serverSpec(50, 200, 0, 75)})
+	c := buildController(t, []int{1}, specs, power.Constant(500), quietCfg())
+	c.Step()
+	// Consumed 125 W on a 50..200 W curve -> utilization 0.5.
+	if got := c.Servers[0].Utilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.5", got)
+	}
+	c.Servers[0].Asleep = true
+	if got := c.Servers[0].Utilization(); got != 0 {
+		t.Errorf("asleep utilization = %v, want 0", got)
+	}
+}
+
+func TestLevelImbalanceInternalLevels(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 200, 100, 80),
+		serverSpec(50, 200, 0, 10),
+		serverSpec(50, 200, 0, 20),
+		serverSpec(50, 200, 0, 30),
+	})
+	cfg := quietCfg()
+	cfg.PMin = 1000 // keep deficits visible
+	c := buildController(t, []int{2, 2}, specs, power.Constant(300), cfg)
+	c.Step()
+	for level := 0; level <= c.Tree.Height; level++ {
+		def, sur, imb := c.LevelImbalance(level)
+		if def < 0 || sur < 0 || imb < 0 {
+			t.Errorf("level %d: negative imbalance components (%v, %v, %v)", level, def, sur, imb)
+		}
+		if want := def + math.Min(def, sur); math.Abs(imb-want) > 1e-9 {
+			t.Errorf("level %d: Eq. 9 mismatch: imb %v want %v", level, imb, want)
+		}
+	}
+	// Beyond the root the query is out of range and must be zero-valued.
+	if def, sur, imb := c.LevelImbalance(c.Tree.Height + 1); def != 0 || sur != 0 || imb != 0 {
+		t.Errorf("out-of-range level returned (%v, %v, %v)", def, sur, imb)
+	}
+}

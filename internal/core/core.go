@@ -1,0 +1,292 @@
+// Package core implements Willow, the hierarchical control scheme for
+// energy- and thermal-adaptive computing of Kant, Murugan & Du (IPDPS
+// 2011) — the paper's primary contribution.
+//
+// A Controller owns a PMU hierarchy (internal/topo) whose leaves are
+// servers hosting applications (internal/workload). Each control tick is
+// one demand window Δ_D:
+//
+//  1. Servers observe their instantaneous demand and smooth it with the
+//     paper's Eq. 4; reports propagate up the tree (one message per link
+//     per tick).
+//  2. Every η1 ticks (the supply window Δ_S) the available supply is
+//     re-allocated down the tree proportionally to smoothed demand,
+//     subject to hard constraints — the thermal power limit of Eq. 3 and
+//     the circuit limit — with a waterfill redistributing budget that
+//     capped nodes cannot take (Section IV-D).
+//  3. Every tick, tightening constraints trigger unidirectional,
+//     bottom-up demand migrations: deficits are peeled into application
+//     units and matched against sibling surpluses first (local
+//     migrations), escalating unsatisfied demand up the hierarchy
+//     (non-local) — never into a subtree whose budget was reduced by the
+//     triggering event, and only when both endpoints retain the P_min
+//     margin afterwards (Section IV-E). Unsatisfiable excess is dropped.
+//  4. Every η2 ticks, consolidation drains servers running below the
+//     utilization threshold and puts them to sleep; sustained deficits
+//     wake sleeping servers (with latency).
+//  5. Temperatures integrate forward under the consumed power
+//     (internal/thermal) and statistics are recorded.
+package core
+
+import (
+	"fmt"
+
+	"willow/internal/power"
+	"willow/internal/thermal"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+// Config holds Willow's tunables. Zero fields are replaced by the
+// paper-faithful defaults (see Defaults).
+type Config struct {
+	// Alpha is the exponential smoothing parameter of Eq. 4, in (0, 1].
+	Alpha float64
+	// Eta1 is η1: supply adaptations happen every Eta1 demand ticks
+	// (Δ_S = η1·Δ_D). The paper's simulation uses 4.
+	Eta1 int
+	// Eta2 is η2: consolidation decisions happen every Eta2 demand ticks
+	// (Δ_A = η2·Δ_D), η2 > η1. The paper's simulation uses 7.
+	Eta2 int
+	// PMin is the power margin (watts) that must remain as surplus on
+	// both the source and the target after a migration (Section IV-E).
+	PMin float64
+	// MigCostWatts is the temporary power demand charged to both
+	// endpoints of a migration for one tick — the paper's migration cost.
+	MigCostWatts float64
+	// ConsolidateBelow is the utilization threshold under which a server
+	// becomes a consolidation candidate. The paper's experiment uses 20 %.
+	ConsolidateBelow float64
+	// PingPongWindow is Δf in ticks: an application returning to a node
+	// it left within this window counts as a ping-pong (Property 4).
+	PingPongWindow int
+	// WakeLatency is how many ticks a sleeping server needs to come back
+	// (S3/S4 resume latency).
+	WakeLatency int
+	// ThermalWindow is the adjustment window Δs (in thermal-model time
+	// units) over which the Eq. 3 power limit is computed.
+	ThermalWindow float64
+	// ThermalDt is how many thermal-model time units elapse per tick when
+	// integrating temperature.
+	ThermalDt float64
+	// NoiseLambda controls per-app demand fluctuation (see workload.App);
+	// 0 disables noise.
+	NoiseLambda float64
+	// LocalOnly restricts migrations to siblings (no escalation up the
+	// hierarchy). It exists for the ablation baseline isolating the value
+	// of non-local migrations; Willow proper leaves it false.
+	LocalOnly bool
+	// ReportLatency delays upward demand reports by this many ticks per
+	// hierarchy level (see async.go). Zero — the default — models the
+	// paper's δ ≪ Δ_D regime: reports arrive within the window they were
+	// sent in.
+	ReportLatency int
+	// ReportLoss is the per-link, per-tick probability that a demand
+	// report is lost; the parent then acts on the previous value. Must
+	// be in [0, 1).
+	ReportLoss float64
+	// MigrationLatency is how many ticks a VM transfer takes. Zero — the
+	// default — moves applications within the decision window; positive
+	// values keep the application (and its demand) at the source until
+	// the transfer lands, with the destination's surplus reserved in the
+	// meantime (see transfer.go).
+	MigrationLatency int
+}
+
+// Defaults returns the configuration used by the paper's simulation:
+// η1 = 4, η2 = 7, a 20 % consolidation threshold, and smoothing α = 0.3.
+func Defaults() Config {
+	return Config{
+		Alpha:            0.3,
+		Eta1:             4,
+		Eta2:             7,
+		PMin:             10,
+		MigCostWatts:     5,
+		ConsolidateBelow: 0.20,
+		PingPongWindow:   50,
+		WakeLatency:      3,
+		ThermalWindow:    4,
+		ThermalDt:        1,
+		NoiseLambda:      25,
+	}
+}
+
+// withDefaults fills zero values from Defaults and validates.
+func (c Config) withDefaults() (Config, error) {
+	d := Defaults()
+	if c.Alpha == 0 {
+		c.Alpha = d.Alpha
+	}
+	if c.Eta1 == 0 {
+		c.Eta1 = d.Eta1
+	}
+	if c.Eta2 == 0 {
+		c.Eta2 = d.Eta2
+	}
+	if c.PMin == 0 {
+		c.PMin = d.PMin
+	}
+	if c.MigCostWatts == 0 {
+		c.MigCostWatts = d.MigCostWatts
+	}
+	if c.ConsolidateBelow == 0 {
+		c.ConsolidateBelow = d.ConsolidateBelow
+	}
+	if c.PingPongWindow == 0 {
+		c.PingPongWindow = d.PingPongWindow
+	}
+	if c.WakeLatency == 0 {
+		c.WakeLatency = d.WakeLatency
+	}
+	if c.ThermalWindow == 0 {
+		c.ThermalWindow = d.ThermalWindow
+	}
+	if c.ThermalDt == 0 {
+		c.ThermalDt = d.ThermalDt
+	}
+	if c.NoiseLambda == 0 {
+		c.NoiseLambda = d.NoiseLambda
+	}
+	switch {
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return c, fmt.Errorf("core: alpha %v outside (0, 1]", c.Alpha)
+	case c.Eta1 < 1:
+		return c, fmt.Errorf("core: eta1 %d must be >= 1", c.Eta1)
+	case c.Eta2 <= c.Eta1:
+		return c, fmt.Errorf("core: eta2 %d must exceed eta1 %d (paper requires η2 > η1)", c.Eta2, c.Eta1)
+	case c.PMin < 0:
+		return c, fmt.Errorf("core: negative PMin %v", c.PMin)
+	case c.MigCostWatts < 0:
+		return c, fmt.Errorf("core: negative migration cost %v", c.MigCostWatts)
+	case c.ConsolidateBelow < 0 || c.ConsolidateBelow >= 1:
+		return c, fmt.Errorf("core: consolidation threshold %v outside [0, 1)", c.ConsolidateBelow)
+	case c.ReportLatency < 0:
+		return c, fmt.Errorf("core: negative report latency %d", c.ReportLatency)
+	case c.ReportLoss < 0 || c.ReportLoss >= 1:
+		return c, fmt.Errorf("core: report loss %v outside [0, 1)", c.ReportLoss)
+	case c.MigrationLatency < 0:
+		return c, fmt.Errorf("core: negative migration latency %d", c.MigrationLatency)
+	}
+	return c, nil
+}
+
+// tolerance absorbs floating-point dust in budget arithmetic.
+const tolerance = 1e-6
+
+// ServerSpec describes one leaf server at construction time.
+type ServerSpec struct {
+	Power        power.ServerModel
+	Thermal      thermal.Model
+	CircuitLimit float64 // watts; 0 means "no circuit limit beyond Peak"
+	Apps         []*workload.App
+}
+
+// Server is the runtime state of one leaf.
+type Server struct {
+	Node         *topo.Node
+	Power        power.ServerModel
+	Thermal      *thermal.State
+	CircuitLimit float64
+	Apps         workload.Set
+
+	smoother *workload.Smoother
+
+	// RawDemand is this tick's instantaneous total power demand
+	// (static + dynamic + pending migration cost) while awake, 0 asleep.
+	RawDemand float64
+	// CP is the smoothed power demand (Eq. 4).
+	CP float64
+	// TP is the power budget granted by the last supply allocation.
+	TP float64
+	// Consumed is the power actually drawn this tick:
+	// min(RawDemand, effective budget).
+	Consumed float64
+	// Dropped is demand shed this tick because no budget or surplus could
+	// host it.
+	Dropped float64
+
+	// Asleep marks a consolidated (deactivated) server.
+	Asleep bool
+	// wakeAt is the tick at which a waking server becomes available
+	// (-1 when not waking).
+	wakeAt int
+
+	// migCost is the pending migration cost to charge into the next
+	// tick's demand.
+	migCost float64
+
+	// reduced marks that the last supply event lowered this server's
+	// budget (unidirectional rule: such servers take no migrations).
+	reduced bool
+
+	// failed marks a crashed server (a failure-injection state, not a
+	// control decision); only RepairServer clears it.
+	failed bool
+}
+
+// EffectiveBudget returns min(TP, hard cap): the power the server may
+// actually draw this window. The hard cap combines the thermal limit of
+// Eq. 3 with the circuit limit (Section IV-D's hard constraints).
+func (s *Server) EffectiveBudget(windowDt float64) float64 {
+	cap := s.HardCap(windowDt)
+	if s.TP < cap {
+		return s.TP
+	}
+	return cap
+}
+
+// HardCap returns the hard constraint: min(thermal power limit over the
+// next adjustment window, circuit limit, rated peak).
+func (s *Server) HardCap(windowDt float64) float64 {
+	cap := s.Thermal.Model.PowerLimit(s.Thermal.T, windowDt)
+	if s.CircuitLimit > 0 && s.CircuitLimit < cap {
+		cap = s.CircuitLimit
+	}
+	if s.Power.Peak < cap {
+		cap = s.Power.Peak
+	}
+	return cap
+}
+
+// Utilization returns the server's current utilization as implied by its
+// consumed power.
+func (s *Server) Utilization() float64 {
+	if s.Asleep {
+		return 0
+	}
+	return s.Power.Utilization(s.Consumed)
+}
+
+// Deficit returns [CP − effective budget]+ (Eq. 5).
+func (s *Server) Deficit(windowDt float64) float64 {
+	d := s.CP - s.EffectiveBudget(windowDt)
+	if d < 0 || s.Asleep {
+		return 0
+	}
+	return d
+}
+
+// Surplus returns [effective budget − CP]+ (Eq. 6).
+func (s *Server) Surplus(windowDt float64) float64 {
+	if s.Asleep {
+		return 0
+	}
+	d := s.EffectiveBudget(windowDt) - s.CP
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// pmu is the runtime state of one internal node.
+type pmu struct {
+	node *topo.Node
+	// CP is the aggregated smoothed demand of the subtree.
+	CP float64
+	// TP is the budget granted from above.
+	TP float64
+	// reduced marks that the last supply event lowered this node's
+	// budget; migrations may not target any server under a reduced node
+	// (the unidirectional rule of Section IV-E).
+	reduced bool
+}

@@ -1,0 +1,138 @@
+package core
+
+import "willow/internal/workload"
+
+// Failure injection. The paper assumes servers do not fail (its
+// convergence analysis only worries about control-message links); a
+// production deployment cannot. FailServer models a crash — not a
+// graceful drain: the server goes dark instantly and its applications
+// are orphaned. Orphans re-place through the regular migration machinery
+// at the start of every demand window, preferring targets near the
+// failed server (restart locality mirrors migration locality: the VM's
+// disk image lives close by). Capacity pressure from restarts drives the
+// existing wake path. RepairServer brings the machine back as an empty,
+// awake server that the next allocation folds in.
+
+// orphan is an application awaiting restart after its host failed.
+type orphan struct {
+	app  *workload.App
+	home *Server // the failed host, used for restart locality
+}
+
+// FailServer crashes the server with the given index: it deactivates
+// immediately, its applications are orphaned for restart, and any
+// transfer touching it is cancelled (inbound transfers return to their
+// sources; outbound ones become orphans since the source is gone).
+// Failing an already-failed or sleeping server is a no-op.
+func (c *Controller) FailServer(idx int) {
+	if idx < 0 || idx >= len(c.Servers) {
+		panic("core: FailServer index out of range")
+	}
+	s := c.Servers[idx]
+	if s.Asleep {
+		return
+	}
+	// Cancel transfers touching the failed machine.
+	remaining := c.transfers[:0]
+	for _, tr := range c.transfers {
+		switch {
+		case tr.src == s:
+			// The departing app dies with its host; it becomes an orphan
+			// below (it is still in s.Apps).
+			delete(c.inFlight, tr.app)
+			c.releaseReservation(tr)
+			c.Stats.AbortedTransfers++
+		case tr.dst == s:
+			// Inbound transfer: the app never left its source.
+			delete(c.inFlight, tr.app)
+			c.releaseReservation(tr)
+			c.Stats.AbortedTransfers++
+		default:
+			remaining = append(remaining, tr)
+		}
+	}
+	c.transfers = remaining
+	delete(c.pendingSleep, idx)
+	delete(c.draining, idx)
+
+	for _, a := range s.Apps.Apps {
+		c.orphans = append(c.orphans, orphan{app: a, home: s})
+	}
+	s.Apps.Apps = nil
+	s.Asleep = true
+	s.failed = true
+	s.wakeAt = -1
+	s.RawDemand = 0
+	s.CP = 0
+	s.Consumed = 0
+	s.smoother.Reset()
+	c.Stats.Failures++
+}
+
+// RepairServer returns a failed server to service as an empty, awake
+// machine. It is a no-op for servers that are not failed.
+func (c *Controller) RepairServer(idx int) {
+	if idx < 0 || idx >= len(c.Servers) {
+		panic("core: RepairServer index out of range")
+	}
+	s := c.Servers[idx]
+	if !s.failed {
+		return
+	}
+	s.failed = false
+	s.Asleep = false
+	s.smoother.Reset()
+	c.Stats.Repairs++
+}
+
+// Orphans reports how many applications currently await restart.
+func (c *Controller) Orphans() int { return len(c.orphans) }
+
+// restartOrphans places orphaned applications into current surpluses,
+// preferring targets near the failed home (the same locality-ordered
+// escalation as migrations). Placed orphans are recorded as restart
+// migrations; the rest wait — accumulating OrphanWattTicks — and exert
+// wake pressure through tryWake.
+func (c *Controller) restartOrphans(t int) {
+	if len(c.orphans) == 0 {
+		return
+	}
+	for _, o := range c.orphans {
+		c.Stats.OrphanWattTicks += o.app.Mean
+	}
+	ws := c.workingSurpluses(c.Cfg.ThermalWindow)
+	var waiting []orphan
+	for _, o := range c.orphans {
+		to := c.pickTarget(item{app: o.app, src: o.home}, c.Tree.Root, nil, ws, false, true)
+		if to == nil {
+			waiting = append(waiting, o)
+			continue
+		}
+		ws[to.Node.ServerIndex] -= o.app.Mean
+		to.Apps.Add(o.app)
+		to.CP += o.app.Mean
+		to.smoother.Bias(o.app.Mean)
+		to.migCost += c.Cfg.MigCostWatts // restart work (boot, image fetch)
+		m := Migration{
+			Tick:  t,
+			AppID: o.app.ID,
+			From:  o.home.Node.ServerIndex,
+			To:    to.Node.ServerIndex,
+			Watts: o.app.Mean,
+			Bytes: o.app.MigrationBytes(),
+			Cause: CauseRestart,
+			Local: o.home.Node.Parent == to.Node.Parent,
+			Hops:  c.Tree.HopCount(o.home.Node, to.Node),
+		}
+		c.Stats.Migrations = append(c.Stats.Migrations, m)
+		c.Stats.Restarts++
+		c.countDown(to.Node)
+		if c.OnMigration != nil {
+			c.OnMigration(m)
+		}
+	}
+	c.orphans = waiting
+	if len(c.orphans) > 0 {
+		c.tryWake(t)
+	}
+}

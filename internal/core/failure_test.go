@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"willow/internal/power"
+)
+
+// failureScenario: four servers with plenty of supply and headroom.
+func failureScenario(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 250, 0, 60, 30),
+		serverSpec(50, 250, 0, 20),
+		serverSpec(50, 250, 0, 40),
+		serverSpec(50, 250, 0, 10),
+	})
+	return buildController(t, []int{2, 2}, specs, power.Constant(1100), cfg)
+}
+
+func TestFailServerOrphansAndRestarts(t *testing.T) {
+	c := failureScenario(t, quietCfg())
+	c.Run(5)
+	c.FailServer(0)
+	if c.Orphans() != 2 {
+		t.Fatalf("orphans = %d, want 2", c.Orphans())
+	}
+	if !c.Servers[0].Asleep || !c.Servers[0].failed {
+		t.Fatal("failed server not dark")
+	}
+	c.Step()
+	if c.Orphans() != 0 {
+		t.Fatalf("orphans not restarted next window: %d left", c.Orphans())
+	}
+	if c.Stats.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2", c.Stats.Restarts)
+	}
+	// Conservation: all 5 apps live on the surviving servers.
+	apps := 0
+	for _, s := range c.Servers {
+		apps += s.Apps.Len()
+	}
+	if apps != 5 {
+		t.Errorf("apps = %d, want 5", apps)
+	}
+	if c.Servers[0].Apps.Len() != 0 {
+		t.Error("failed server still hosts apps")
+	}
+	// Restart migrations carry the right cause.
+	restart := 0
+	for _, m := range c.Stats.Migrations {
+		if m.Cause == CauseRestart {
+			restart++
+		}
+	}
+	if restart != 2 {
+		t.Errorf("restart-cause migrations = %d, want 2", restart)
+	}
+}
+
+func TestFailServerIdempotentAndBounds(t *testing.T) {
+	c := failureScenario(t, quietCfg())
+	c.Run(2)
+	c.FailServer(1)
+	orphans := c.Orphans()
+	c.FailServer(1) // no-op: already dark
+	if c.Orphans() != orphans || c.Stats.Failures != 1 {
+		t.Error("double failure not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range index did not panic")
+		}
+	}()
+	c.FailServer(99)
+}
+
+func TestRepairServerRejoins(t *testing.T) {
+	cfg := quietCfg()
+	c := failureScenario(t, cfg)
+	c.Run(3)
+	c.FailServer(2)
+	c.Run(3)
+	c.RepairServer(2)
+	if c.Servers[2].Asleep || c.Servers[2].failed {
+		t.Fatal("repaired server not awake")
+	}
+	c.RepairServer(2) // no-op
+	if c.Stats.Repairs != 1 {
+		t.Errorf("repairs = %d, want 1", c.Stats.Repairs)
+	}
+	c.Run(6)
+	// The repaired server gets a budget again at the next allocation.
+	if c.Servers[2].TP <= 0 {
+		t.Errorf("repaired server budget %v, want positive", c.Servers[2].TP)
+	}
+}
+
+// TestFailureWakesCapacityWhenNeeded: crash a loaded server while the
+// survivors are too full; the sleeping spare must be woken for the
+// orphans.
+func TestFailureWakesCapacityWhenNeeded(t *testing.T) {
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 250, 0, 150, 40), // big load
+		serverSpec(50, 250, 0, 160),     // nearly full
+		serverSpec(50, 250, 0, 170),     // nearly full
+		serverSpec(50, 250, 0),          // empty spare
+	})
+	cfg := quietCfg()
+	c := buildController(t, []int{2, 2}, specs, power.Constant(1200), cfg)
+	c.Run(2)
+	c.Servers[3].Asleep = true // spare sleeps
+	c.FailServer(0)
+	c.Run(2 + c.Cfg.WakeLatency + 2)
+	if c.Stats.Wakes == 0 {
+		t.Error("no wake despite stranded orphans")
+	}
+	if c.Orphans() != 0 {
+		t.Errorf("orphans still stranded: %d", c.Orphans())
+	}
+	apps := 0
+	for _, s := range c.Servers {
+		apps += s.Apps.Len()
+	}
+	if apps != 4 {
+		t.Errorf("apps = %d, want 4", apps)
+	}
+}
+
+// TestFailureCancelsTransfers: crash the destination of an in-flight
+// transfer; the app must survive at its source.
+func TestFailureCancelsTransfers(t *testing.T) {
+	cfg := quietCfg()
+	cfg.MigrationLatency = 5
+	specs := uniqueIDs([]ServerSpec{
+		serverSpec(50, 250, 150, 60, 60), // deficit: transfer starts
+		serverSpec(50, 250, 0, 10),
+		serverSpec(50, 250, 0, 10),
+	})
+	c := buildController(t, []int{3}, specs, power.Constant(700), cfg)
+	c.Step()
+	if len(c.transfers) == 0 {
+		t.Fatal("no transfer in flight")
+	}
+	dst := c.transfers[0].dst
+	c.FailServer(dst.Node.ServerIndex)
+	if c.Stats.AbortedTransfers == 0 {
+		t.Error("inbound transfer not aborted on destination failure")
+	}
+	c.Run(8)
+	apps := 0
+	for _, s := range c.Servers {
+		apps += s.Apps.Len()
+	}
+	if apps != 4 {
+		t.Errorf("apps = %d, want 4 (none lost in the crash)", apps)
+	}
+}

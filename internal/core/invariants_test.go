@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"willow/internal/dist"
+	"willow/internal/power"
+	"willow/internal/thermal"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+// TestRandomScenarioInvariants is the whole-system property harness: it
+// generates random fleets, workloads, supplies and controller knobs —
+// including the asynchronous control plane, slow transfers and QoS
+// classes — runs each scenario, and asserts the invariants that must
+// hold in every reachable state:
+//
+//   - applications are conserved (never lost, duplicated, or parked on a
+//     sleeping server),
+//   - consumption never exceeds the granted budget or the raw demand,
+//   - no temperature crosses its limit,
+//   - no ping-pong migrations within Δf,
+//   - Property 3's two-messages-per-link bound,
+//   - reservations and budgets are non-negative.
+func TestRandomScenarioInvariants(t *testing.T) {
+	scenario := func(seed uint64) bool {
+		src := dist.NewSource(seed)
+
+		fanouts := [][]int{{4}, {2, 3}, {2, 2, 2}, {3, 3}, {2, 3, 3}}
+		fanout := fanouts[src.Intn(len(fanouts))]
+		tree, err := topo.Build(fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tree.NumServers()
+
+		cfg := Defaults()
+		cfg.Alpha = src.Uniform(0.1, 1)
+		cfg.Eta1 = 1 + src.Intn(6)
+		cfg.Eta2 = cfg.Eta1 + 1 + src.Intn(8)
+		cfg.PMin = src.Uniform(1, 20)
+		cfg.MigCostWatts = src.Uniform(0.5, 10)
+		cfg.ConsolidateBelow = src.Uniform(0.05, 0.4)
+		if src.Float64() < 0.4 {
+			cfg.ReportLatency = 1 + src.Intn(4)
+		}
+		if src.Float64() < 0.3 {
+			cfg.ReportLoss = src.Uniform(0, 0.5)
+		}
+		if src.Float64() < 0.4 {
+			cfg.MigrationLatency = 1 + src.Intn(5)
+		}
+		if src.Float64() < 0.3 {
+			cfg.LocalOnly = true
+		}
+
+		appCount := 0
+		specs := make([]ServerSpec, n)
+		for i := range specs {
+			static := src.Uniform(20, 150)
+			peak := static + src.Uniform(50, 350)
+			amb := src.Uniform(20, 45)
+			specs[i] = ServerSpec{
+				Power: power.ServerModel{Static: static, Peak: peak},
+				Thermal: thermal.Model{
+					C1:      src.Uniform(0.002, 0.02),
+					C2:      src.Uniform(0.02, 0.1),
+					Ambient: amb,
+					Limit:   amb + src.Uniform(20, 50),
+				},
+			}
+			if src.Float64() < 0.3 {
+				specs[i].CircuitLimit = src.Uniform(static+20, peak)
+			}
+			for a := 0; a < 1+src.Intn(5); a++ {
+				specs[i].Apps = append(specs[i].Apps, &workload.App{
+					ID:          appCount,
+					Class:       workload.Class{Weight: src.Uniform(1, 9)},
+					Mean:        src.Uniform(5, (peak-static)/2),
+					NoiseLambda: src.Uniform(5, 50),
+					Priority:    src.Intn(3),
+				})
+				appCount++
+			}
+		}
+
+		var rated float64
+		for _, sp := range specs {
+			rated += sp.Power.Peak
+		}
+		var supply power.Supply
+		switch src.Intn(3) {
+		case 0:
+			supply = power.Constant(rated * src.Uniform(0.4, 1.1))
+		case 1:
+			supply = power.Sine{
+				Base:      rated * src.Uniform(0.5, 0.9),
+				Amplitude: rated * src.Uniform(0.1, 0.4),
+				Period:    3 + src.Intn(20),
+			}
+		default:
+			tr := make(power.Trace, 4+src.Intn(12))
+			for i := range tr {
+				tr[i] = rated * src.Uniform(0.3, 1.1)
+			}
+			supply = tr
+		}
+
+		c, err := New(tree, specs, supply, cfg, src.Fork())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for tick := 0; tick < 120; tick++ {
+			c.Step()
+			apps := 0
+			for si, s := range c.Servers {
+				apps += s.Apps.Len()
+				if s.TP < -tolerance {
+					t.Fatalf("seed %d tick %d: server %d negative budget %v", seed, tick, si, s.TP)
+				}
+				if s.Consumed < 0 || s.Consumed > s.TP+1e-6 || s.Consumed > s.RawDemand+1e-6 {
+					t.Fatalf("seed %d tick %d: server %d consumption %v out of bounds (TP %v, raw %v)",
+						seed, tick, si, s.Consumed, s.TP, s.RawDemand)
+				}
+				if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
+					t.Fatalf("seed %d tick %d: server %d at %v °C over limit %v",
+						seed, tick, si, s.Thermal.T, s.Thermal.Model.Limit)
+				}
+				if s.Asleep && s.Apps.Len() > 0 {
+					t.Fatalf("seed %d tick %d: sleeping server %d hosts %d apps", seed, tick, si, s.Apps.Len())
+				}
+			}
+			if apps != appCount {
+				t.Fatalf("seed %d tick %d: %d apps, want %d", seed, tick, apps, appCount)
+			}
+			// Budget conservation at every internal node: children never
+			// receive more than the parent was granted.
+			for _, p := range c.pmus {
+				var childSum float64
+				for _, ch := range p.node.Children {
+					if ch.IsLeaf() {
+						childSum += c.Servers[ch.ServerIndex].TP
+					} else {
+						childSum += c.pmus[ch.ID].TP
+					}
+				}
+				if childSum > p.TP+1e-3 {
+					t.Fatalf("seed %d tick %d: node %s granted %v to children with budget %v",
+						seed, tick, p.node.Name(), childSum, p.TP)
+				}
+			}
+			for idx, r := range c.reserved {
+				if r < -tolerance {
+					t.Fatalf("seed %d tick %d: negative reservation %v on server %d", seed, tick, r, idx)
+				}
+			}
+		}
+		if c.Stats.PingPongs != 0 {
+			t.Fatalf("seed %d: %d ping-pongs", seed, c.Stats.PingPongs)
+		}
+		if c.Stats.MaxLinkMessagesPerTick > 2 {
+			t.Fatalf("seed %d: %d messages on one link in one tick", seed, c.Stats.MaxLinkMessagesPerTick)
+		}
+		// Per-priority accounting must balance: served <= demand.
+		for p, demand := range c.Stats.DemandByPriority {
+			if c.Stats.ServedByPriority[p] > demand+1e-6 {
+				t.Fatalf("seed %d: priority %d served more than demanded", seed, p)
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(scenario, cfg); err != nil {
+		t.Error(err)
+	}
+}

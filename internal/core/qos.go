@@ -1,0 +1,120 @@
+package core
+
+import "slices"
+
+// QoS settlement: when a server's instantaneous demand exceeds its
+// effective budget, something must give. The paper's mechanism
+// (Section IV-E): "some of the applications that are hosted in the node
+// are either shut down completely or run in a degraded operational mode
+// to stay within the power budget". Multiple QoS classes are the paper's
+// stated future work (Section VI); this implements them: applications
+// carry a Priority (0 = most critical) and shedding consumes the
+// lowest-priority demand first, degrading an application partially
+// before shutting it down.
+//
+// The static floor and pending migration cost cannot be shed — an awake
+// server burns them regardless — so only the dynamic (per-application)
+// demand participates.
+
+// appService records one application's service level in the current
+// window.
+type appService struct {
+	appID    int
+	priority int
+	demand   float64
+	served   float64
+}
+
+// settleQoS divides the effective budget over the server's demand,
+// shedding lowest-priority applications first. It returns the power
+// consumed and records per-priority accounting into the controller
+// stats.
+func (c *Controller) settleQoS(s *Server, eff float64) float64 {
+	// Fast path: everything fits.
+	if s.RawDemand <= eff {
+		for _, a := range s.Apps.Apps {
+			c.recordService(a.Priority, a.LastDemand, a.LastDemand)
+		}
+		return s.RawDemand
+	}
+
+	// The non-sheddable part: static draw plus the migration cost folded
+	// into this tick's demand.
+	fixed := s.RawDemand
+	var dynTotal float64
+	services := make([]appService, 0, s.Apps.Len())
+	for _, a := range s.Apps.Apps {
+		dynTotal += a.LastDemand
+		services = append(services, appService{appID: a.ID, priority: a.Priority, demand: a.LastDemand})
+	}
+	fixed -= dynTotal
+
+	if eff <= fixed {
+		// Even the fixed draw exceeds the budget: every application is
+		// shut down for the window and the server browns out to eff.
+		for i := range services {
+			c.recordService(services[i].priority, services[i].demand, 0)
+			if services[i].demand > 0 {
+				c.Stats.ShutdownAppTicks++
+			}
+		}
+		return eff
+	}
+
+	budget := eff - fixed // dynamic watts we can serve
+	// Serve highest priority first (lowest number), largest demand first
+	// within a class so fewer applications end up degraded.
+	slices.SortStableFunc(services, func(a, b appService) int {
+		switch {
+		case a.priority != b.priority:
+			return a.priority - b.priority
+		case a.demand != b.demand:
+			if a.demand > b.demand {
+				return -1
+			}
+			return 1
+		default:
+			return a.appID - b.appID
+		}
+	})
+	consumed := fixed
+	for i := range services {
+		sv := &services[i]
+		switch {
+		case sv.demand <= 0:
+			// Nothing to serve.
+		case budget >= sv.demand:
+			sv.served = sv.demand
+			budget -= sv.demand
+		case budget > 0:
+			sv.served = budget
+			budget = 0
+			c.Stats.DegradedAppTicks++
+		default:
+			c.Stats.ShutdownAppTicks++
+		}
+		consumed += sv.served
+		c.recordService(sv.priority, sv.demand, sv.served)
+	}
+	return consumed
+}
+
+// recordService accumulates per-priority demand/served watt-ticks.
+func (c *Controller) recordService(priority int, demand, served float64) {
+	if c.Stats.DemandByPriority == nil {
+		c.Stats.DemandByPriority = map[int]float64{}
+		c.Stats.ServedByPriority = map[int]float64{}
+	}
+	c.Stats.DemandByPriority[priority] += demand
+	c.Stats.ServedByPriority[priority] += served
+}
+
+// ServiceLevel returns the fraction of priority-p demand served so far
+// (1 when the class has no recorded demand).
+func (st *Stats) ServiceLevel(priority int) float64 {
+	d := st.DemandByPriority[priority]
+	if d <= 0 {
+		return 1
+	}
+	return st.ServedByPriority[priority] / d
+}

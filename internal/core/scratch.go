@@ -1,0 +1,88 @@
+package core
+
+// Per-node scratch buffers for the supply allocation. allocateNode needs
+// several float slices sized to the node's child count on every supply
+// epoch; since the tree shape is fixed at construction, each internal
+// node gets its buffers once and the hot path allocates nothing. The
+// controller is single-threaded by design, so reuse is safe.
+type allocScratch struct {
+	demands, caps, floors, wants, alloc, head, extra []float64
+	active                                           []bool
+}
+
+func newAllocScratch(children int) *allocScratch {
+	buf := make([]float64, 7*children)
+	return &allocScratch{
+		demands: buf[0*children : 1*children],
+		caps:    buf[1*children : 2*children],
+		floors:  buf[2*children : 3*children],
+		wants:   buf[3*children : 4*children],
+		alloc:   buf[4*children : 5*children],
+		head:    buf[5*children : 6*children],
+		extra:   buf[6*children : 7*children],
+		active:  make([]bool, children),
+	}
+}
+
+// waterfill distributes budget among recipients proportionally to
+// weights, never exceeding caps, writing into dst (len(weights) long,
+// zeroed first). Recipients whose proportional share exceeds their cap
+// are clipped and the excess re-flows to the rest; zero-weight
+// recipients receive nothing. active is scratch of the same length.
+// It returns dst, which sums to at most budget (less only when every
+// cap is hit).
+func waterfill(dst []float64, budget float64, weights, caps []float64, active []bool) []float64 {
+	n := len(weights)
+	for i := range dst {
+		dst[i] = 0
+	}
+	if budget <= 0 {
+		return dst
+	}
+	activeWeight := 0.0
+	for i := 0; i < n; i++ {
+		active[i] = weights[i] > 0 && caps[i] > tolerance
+		if active[i] {
+			activeWeight += weights[i]
+		}
+	}
+	remaining := budget
+	for remaining > tolerance && activeWeight > 0 {
+		clipped := false
+		share := remaining / activeWeight
+		nextRemaining := remaining
+		nextWeight := activeWeight
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			grant := share * weights[i]
+			room := caps[i] - dst[i]
+			if grant >= room-tolerance {
+				// Cap hit: take the room, deactivate.
+				dst[i] = caps[i]
+				nextRemaining -= room
+				nextWeight -= weights[i]
+				active[i] = false
+				clipped = true
+			}
+		}
+		if !clipped {
+			// No cap hit: hand out the proportional shares and finish.
+			for i := 0; i < n; i++ {
+				if active[i] {
+					dst[i] += share * weights[i]
+				}
+			}
+			return dst
+		}
+		remaining = nextRemaining
+		activeWeight = nextWeight
+	}
+	return dst
+}
+
+// waterfillAlloc is the allocating convenience form used by tests.
+func waterfillAlloc(budget float64, weights, caps []float64) []float64 {
+	return waterfill(make([]float64, len(weights)), budget, weights, caps, make([]bool, len(weights)))
+}

@@ -1,0 +1,314 @@
+// Package device implements the level-0 tier of Willow's hierarchy: the
+// components inside one server — CPU packages, memory DIMMs, NICs,
+// disks — each with its own power curve, thermal behaviour and throttle
+// mechanism.
+//
+// The paper's architecture places these at level 0 ("individual devices
+// (CPU cores, memory DIMMs, NICs, etc.)", Section IV-A) and its future
+// work calls for exactly this: "A more complete design must be able to
+// measure power consumption and temperature of every component in the
+// server including memory, NIC, hard disks etc. and make fine grained
+// control decisions" (Section VI). This package provides that tier: an
+// intra-server PMU that divides the server's power budget among its
+// components in proportion to their demands — the same proportional rule
+// used at every other level — and throttles components that would exceed
+// their budget or thermal limit, mirroring CPU T-states ("introduction
+// of dead cycles periodically in order to let the cores cool",
+// Section III).
+package device
+
+import (
+	"fmt"
+
+	"willow/internal/thermal"
+)
+
+// Kind labels a component type.
+type Kind int
+
+// Component kinds the paper names explicitly.
+const (
+	CPU Kind = iota
+	DIMM
+	NIC
+	Disk
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case DIMM:
+		return "dimm"
+	case NIC:
+		return "nic"
+	case Disk:
+		return "disk"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one component's electrical and thermal identity.
+type Spec struct {
+	Kind    Kind
+	Name    string
+	Static  float64 // watts drawn regardless of activity
+	Dynamic float64 // additional watts at 100 % activity
+	Thermal thermal.Model
+	// ShareOfLoad maps server-level utilization to this component's
+	// activity in [0, 1]. CPUs track utilization 1:1; a NIC might see
+	// 0.6 of it, a disk 0.3. Must be in (0, 1].
+	ShareOfLoad float64
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Static < 0 || s.Dynamic < 0 {
+		return fmt.Errorf("device %s: negative power coefficients", s.Name)
+	}
+	if s.ShareOfLoad <= 0 || s.ShareOfLoad > 1 {
+		return fmt.Errorf("device %s: share of load %v outside (0, 1]", s.Name, s.ShareOfLoad)
+	}
+	return s.Thermal.Validate()
+}
+
+// Peak returns the component's maximum draw.
+func (s Spec) Peak() float64 { return s.Static + s.Dynamic }
+
+// Component is the runtime state of one device.
+type Component struct {
+	Spec    Spec
+	Thermal *thermal.State
+	// Throttle is the fraction of offered activity currently admitted
+	// (1 = full speed, 0 = fully throttled) — the T-state analogue.
+	Throttle float64
+	// Demand is the power the component wants this window given the
+	// server's offered load.
+	Demand float64
+	// Budget is the power granted by the intra-server PMU.
+	Budget float64
+	// Consumed is the power actually drawn after throttling.
+	Consumed float64
+}
+
+// newComponent returns a component at ambient temperature, unthrottled.
+func newComponent(spec Spec) *Component {
+	return &Component{
+		Spec:     spec,
+		Thermal:  thermal.NewState(spec.Thermal),
+		Throttle: 1,
+	}
+}
+
+// demandAt returns the component's power demand when the server runs at
+// utilization u, before any throttling.
+func (c *Component) demandAt(u float64) float64 {
+	activity := u * c.Spec.ShareOfLoad
+	if activity > 1 {
+		activity = 1
+	}
+	return c.Spec.Static + c.Spec.Dynamic*activity
+}
+
+// PMU is the intra-server power management unit: the level-0 instance of
+// Willow's proportional budget division with hard thermal constraints.
+type PMU struct {
+	Components []*Component
+	// Window is the Eq. 3 adjustment window for component thermal caps.
+	Window float64
+	// Dt is the thermal integration step per control window.
+	Dt float64
+	// throttleEvents counts windows in which any component had to
+	// throttle below full speed.
+	throttleEvents int
+}
+
+// NewPMU builds an intra-server PMU over the given component specs.
+func NewPMU(specs []Spec, window, dt float64) (*PMU, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("device: a server needs at least one component")
+	}
+	if window <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("device: window %v and dt %v must be positive", window, dt)
+	}
+	p := &PMU{Window: window, Dt: dt}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		p.Components = append(p.Components, newComponent(s))
+	}
+	return p, nil
+}
+
+// DefaultServer returns a plausible component complement for one of the
+// simulation's 450 W servers: two CPU packages, four DIMMs, a NIC and
+// two disks, with the CPU dominating the dynamic range — matching the
+// paper's observation that CPU (or sometimes the network adapter) is the
+// first bottleneck.
+func DefaultServer(ambient float64) []Spec {
+	cpuThermal := thermal.Model{C1: 0.02, C2: 0.08, Ambient: ambient, Limit: 85}
+	dimmThermal := thermal.Model{C1: 0.05, C2: 0.06, Ambient: ambient, Limit: 95}
+	nicThermal := thermal.Model{C1: 0.06, C2: 0.05, Ambient: ambient, Limit: 90}
+	diskThermal := thermal.Model{C1: 0.08, C2: 0.04, Ambient: ambient, Limit: 60}
+	return []Spec{
+		{Kind: CPU, Name: "cpu0", Static: 25, Dynamic: 110, Thermal: cpuThermal, ShareOfLoad: 1},
+		{Kind: CPU, Name: "cpu1", Static: 25, Dynamic: 110, Thermal: cpuThermal, ShareOfLoad: 1},
+		{Kind: DIMM, Name: "dimm0", Static: 8, Dynamic: 12, Thermal: dimmThermal, ShareOfLoad: 0.9},
+		{Kind: DIMM, Name: "dimm1", Static: 8, Dynamic: 12, Thermal: dimmThermal, ShareOfLoad: 0.9},
+		{Kind: DIMM, Name: "dimm2", Static: 8, Dynamic: 12, Thermal: dimmThermal, ShareOfLoad: 0.9},
+		{Kind: DIMM, Name: "dimm3", Static: 8, Dynamic: 12, Thermal: dimmThermal, ShareOfLoad: 0.9},
+		{Kind: NIC, Name: "nic0", Static: 6, Dynamic: 14, Thermal: nicThermal, ShareOfLoad: 0.6},
+		{Kind: Disk, Name: "disk0", Static: 5, Dynamic: 7, Thermal: diskThermal, ShareOfLoad: 0.5},
+		{Kind: Disk, Name: "disk1", Static: 5, Dynamic: 7, Thermal: diskThermal, ShareOfLoad: 0.5},
+	}
+}
+
+// TotalPeak returns the complement's summed maximum draw.
+func (p *PMU) TotalPeak() float64 {
+	var sum float64
+	for _, c := range p.Components {
+		sum += c.Spec.Peak()
+	}
+	return sum
+}
+
+// Step runs one control window: components derive demand from the
+// server's offered utilization, the budget divides proportionally with
+// per-component thermal caps as hard constraints, components throttle to
+// their grants, and temperatures integrate. It returns the power
+// actually consumed and the utilization actually delivered (≤ offered —
+// throttled components slow the whole server down to the most-throttled
+// critical component).
+func (p *PMU) Step(offeredUtil, budget float64) (consumed, deliveredUtil float64) {
+	if offeredUtil < 0 {
+		offeredUtil = 0
+	} else if offeredUtil > 1 {
+		offeredUtil = 1
+	}
+
+	// Demands and thermal caps.
+	demands := make([]float64, len(p.Components))
+	caps := make([]float64, len(p.Components))
+	var floorSum float64
+	for i, c := range p.Components {
+		c.Demand = c.demandAt(offeredUtil)
+		demands[i] = c.Demand
+		cap := c.Thermal.Model.PowerLimit(c.Thermal.T, p.Window)
+		if peak := c.Spec.Peak(); peak < cap {
+			cap = peak
+		}
+		caps[i] = cap
+		floorSum += c.Spec.Static
+	}
+
+	// Proportional division with static floors first, then dynamic
+	// demand — the same two-round rule the upper levels use.
+	grants := make([]float64, len(p.Components))
+	remaining := budget
+	if floorSum >= budget {
+		// Even idle power exceeds the budget: scale floors down
+		// proportionally. (The server-level controller should have
+		// drained such a server already; this is defensive.)
+		for i, c := range p.Components {
+			if floorSum > 0 {
+				grants[i] = budget * c.Spec.Static / floorSum
+			}
+		}
+		remaining = 0
+	} else {
+		var dynSum float64
+		dynWants := make([]float64, len(p.Components))
+		for i, c := range p.Components {
+			grants[i] = c.Spec.Static
+			w := demands[i]
+			if w > caps[i] {
+				w = caps[i]
+			}
+			w -= c.Spec.Static
+			if w < 0 {
+				w = 0
+			}
+			dynWants[i] = w
+			dynSum += w
+		}
+		remaining -= floorSum
+		if dynSum <= remaining {
+			for i := range grants {
+				grants[i] += dynWants[i]
+			}
+		} else if dynSum > 0 {
+			for i := range grants {
+				grants[i] += remaining * dynWants[i] / dynSum
+			}
+		}
+	}
+
+	// Throttle each component to its grant; the server's delivered
+	// utilization is gated by the most-throttled component (a stalled
+	// CPU or saturated NIC stalls the workload).
+	deliveredUtil = offeredUtil
+	throttled := false
+	consumed = 0
+	for i, c := range p.Components {
+		c.Budget = grants[i]
+		dyn := c.Demand - c.Spec.Static
+		grantDyn := grants[i] - c.Spec.Static
+		if grantDyn < 0 {
+			grantDyn = 0
+		}
+		if dyn <= grantDyn+1e-9 || dyn <= 0 {
+			c.Throttle = 1
+			c.Consumed = c.Demand
+		} else {
+			c.Throttle = grantDyn / dyn
+			c.Consumed = c.Spec.Static + grantDyn
+			throttled = true
+			if u := offeredUtil * c.Throttle; u < deliveredUtil {
+				deliveredUtil = u
+			}
+		}
+		if c.Consumed > grants[i]+1e-9 && floorSum >= budget {
+			// Deep-scarcity branch: even static was scaled; draw the
+			// grant only.
+			c.Consumed = grants[i]
+		}
+		c.Thermal.Advance(c.Consumed, p.Dt)
+		consumed += c.Consumed
+	}
+	if throttled {
+		p.throttleEvents++
+	}
+	return consumed, deliveredUtil
+}
+
+// ThrottleEvents reports how many windows saw any component throttle.
+func (p *PMU) ThrottleEvents() int { return p.throttleEvents }
+
+// HottestComponent returns the component closest to its thermal limit
+// (smallest headroom).
+func (p *PMU) HottestComponent() *Component {
+	var hot *Component
+	for _, c := range p.Components {
+		if hot == nil || c.Thermal.Headroom() < hot.Thermal.Headroom() {
+			hot = c
+		}
+	}
+	return hot
+}
+
+// PowerLimit returns the server-level hard cap implied by the component
+// tier: the sum of per-component thermal power limits over the next
+// window — what the intra-server PMU reports up to its server PMU.
+func (p *PMU) PowerLimit() float64 {
+	var sum float64
+	for _, c := range p.Components {
+		cap := c.Thermal.Model.PowerLimit(c.Thermal.T, p.Window)
+		if peak := c.Spec.Peak(); peak < cap {
+			cap = peak
+		}
+		sum += cap
+	}
+	return sum
+}

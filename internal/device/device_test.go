@@ -1,0 +1,260 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"willow/internal/thermal"
+)
+
+func benignSpec(name string, static, dynamic float64) Spec {
+	return Spec{
+		Kind:        CPU,
+		Name:        name,
+		Static:      static,
+		Dynamic:     dynamic,
+		Thermal:     thermal.Model{C1: 0.001, C2: 0.1, Ambient: 25, Limit: 90},
+		ShareOfLoad: 1,
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{CPU: "cpu", DIMM: "dimm", NIC: "nic", Disk: "disk"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q", int(k), k.String())
+		}
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("unknown kind: %q", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := benignSpec("a", 5, 20)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+	bad := good
+	bad.Static = -1
+	if bad.Validate() == nil {
+		t.Error("negative static accepted")
+	}
+	bad = good
+	bad.ShareOfLoad = 0
+	if bad.Validate() == nil {
+		t.Error("zero share accepted")
+	}
+	bad = good
+	bad.Thermal.C1 = 0
+	if bad.Validate() == nil {
+		t.Error("bad thermal accepted")
+	}
+	if got := good.Peak(); got != 25 {
+		t.Errorf("Peak = %v, want 25", got)
+	}
+}
+
+func TestNewPMUValidation(t *testing.T) {
+	if _, err := NewPMU(nil, 4, 1); err == nil {
+		t.Error("empty complement accepted")
+	}
+	if _, err := NewPMU([]Spec{benignSpec("a", 1, 1)}, 0, 1); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewPMU([]Spec{{Kind: CPU, ShareOfLoad: 2}}, 4, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestDefaultServerComplement(t *testing.T) {
+	specs := DefaultServer(25)
+	p, err := NewPMU(specs, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two CPUs dominate the dynamic range, per the paper's bottleneck
+	// assumption.
+	var cpuDyn, totalDyn float64
+	for _, s := range specs {
+		totalDyn += s.Dynamic
+		if s.Kind == CPU {
+			cpuDyn += s.Dynamic
+		}
+	}
+	if cpuDyn/totalDyn < 0.5 {
+		t.Errorf("CPU dynamic share %v, want dominant", cpuDyn/totalDyn)
+	}
+	// Peak complement draw is in the neighbourhood of the simulation's
+	// 450 W server.
+	if peak := p.TotalPeak(); peak < 350 || peak > 500 {
+		t.Errorf("complement peak %v W, want a ~450 W server", peak)
+	}
+}
+
+func TestStepFullBudgetNoThrottle(t *testing.T) {
+	p, err := NewPMU(DefaultServer(25), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed, delivered := p.Step(0.6, p.TotalPeak())
+	if delivered != 0.6 {
+		t.Errorf("delivered %v, want full 0.6", delivered)
+	}
+	if consumed <= 0 || consumed > p.TotalPeak() {
+		t.Errorf("consumed %v out of range", consumed)
+	}
+	if p.ThrottleEvents() != 0 {
+		t.Error("throttled despite full budget")
+	}
+	for _, c := range p.Components {
+		if c.Throttle != 1 {
+			t.Errorf("%s throttled to %v with full budget", c.Spec.Name, c.Throttle)
+		}
+	}
+}
+
+func TestStepScarceBudgetThrottles(t *testing.T) {
+	p, err := NewPMU(DefaultServer(25), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand at 100 %: ~peak. Grant only 60 % of it.
+	budget := p.TotalPeak() * 0.6
+	consumed, delivered := p.Step(1.0, budget)
+	if consumed > budget+1e-6 {
+		t.Errorf("consumed %v over budget %v", consumed, budget)
+	}
+	if delivered >= 1.0 {
+		t.Error("throttling did not reduce delivered utilization")
+	}
+	if p.ThrottleEvents() != 1 {
+		t.Errorf("throttle events = %d, want 1", p.ThrottleEvents())
+	}
+}
+
+func TestStepUtilizationClamped(t *testing.T) {
+	p, err := NewPMU([]Spec{benignSpec("a", 5, 20)}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, d := p.Step(2.0, 100); d != 1 {
+		t.Errorf("delivered %v, want clamp to 1", d)
+	}
+	if c, _ := p.Step(-1, 100); math.Abs(c-5) > 1e-9 {
+		t.Errorf("idle consumed %v, want static 5", c)
+	}
+}
+
+func TestStepDeepScarcityScalesFloors(t *testing.T) {
+	p, err := NewPMU([]Spec{benignSpec("a", 10, 10), benignSpec("b", 30, 10)}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed, _ := p.Step(0.5, 20) // floors are 40, budget 20
+	if consumed > 20+1e-6 {
+		t.Errorf("consumed %v over a 20 W budget", consumed)
+	}
+	// Floor-proportional: a gets 5, b gets 15.
+	if got := p.Components[0].Budget; math.Abs(got-5) > 1e-9 {
+		t.Errorf("component a grant %v, want 5", got)
+	}
+	if got := p.Components[1].Budget; math.Abs(got-15) > 1e-9 {
+		t.Errorf("component b grant %v, want 15", got)
+	}
+}
+
+// TestThermalThrottleProtectsDisk: the disk's 60 °C limit is the tightest
+// in the default complement; sustained full load must never push it over.
+func TestThermalThrottleProtectsDisk(t *testing.T) {
+	p, err := NewPMU(DefaultServer(40), 4, 1) // hot aisle
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p.Step(1.0, p.TotalPeak())
+		for _, c := range p.Components {
+			if c.Thermal.T > c.Spec.Thermal.Limit+1e-6 {
+				t.Fatalf("window %d: %s at %.2f °C over its %v °C limit",
+					i, c.Spec.Name, c.Thermal.T, c.Spec.Thermal.Limit)
+			}
+		}
+	}
+}
+
+func TestHottestComponent(t *testing.T) {
+	p, err := NewPMU(DefaultServer(25), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Step(1.0, p.TotalPeak())
+	}
+	hot := p.HottestComponent()
+	if hot == nil {
+		t.Fatal("no hottest component")
+	}
+	for _, c := range p.Components {
+		if c.Thermal.Headroom() < hot.Thermal.Headroom() {
+			t.Errorf("%s has less headroom than reported hottest %s", c.Spec.Name, hot.Spec.Name)
+		}
+	}
+}
+
+func TestPowerLimitReflectsHeat(t *testing.T) {
+	// In a 45 °C hot aisle the disks' 60 °C limit binds, so the reported
+	// cap must fall as the complement heats. (At 25 °C ambient nothing
+	// binds and the cap stays at the rated peak — by design.)
+	p, err := NewPMU(DefaultServer(45), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := p.PowerLimit()
+	for i := 0; i < 200; i++ {
+		p.Step(1.0, p.TotalPeak())
+	}
+	warm := p.PowerLimit()
+	if warm >= cold {
+		t.Errorf("power limit did not fall with heat: cold %v, warm %v", cold, warm)
+	}
+	if warm <= 0 {
+		t.Errorf("warm power limit %v, want positive", warm)
+	}
+}
+
+// Property: consumption never exceeds the budget (within tolerance) nor
+// the complement's peak, for arbitrary utilizations and budgets.
+func TestStepBudgetInvariantQuick(t *testing.T) {
+	f := func(rawU, rawB uint16) bool {
+		p, err := NewPMU(DefaultServer(25), 4, 1)
+		if err != nil {
+			return false
+		}
+		u := float64(rawU%101) / 100
+		budget := float64(rawB % 600)
+		for i := 0; i < 5; i++ {
+			consumed, delivered := p.Step(u, budget)
+			if consumed > budget+1e-6 && consumed > p.TotalPeak()*0+budget+1e-6 {
+				return false
+			}
+			if consumed < 0 || delivered < 0 || delivered > u+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPMUStep(b *testing.B) {
+	p, err := NewPMU(DefaultServer(25), 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p.Step(float64(i%100)/100, 400)
+	}
+}

@@ -1,0 +1,180 @@
+// Package dist provides deterministic pseudo-random number generation and
+// the random variates used throughout the Willow simulator.
+//
+// Every stochastic component of the simulation (per-server demand, supply
+// jitter, workload placement) draws from its own Source so that runs are
+// reproducible and components are statistically independent: giving each
+// consumer a distinct stream means adding a new consumer never perturbs the
+// draws seen by existing ones.
+//
+// The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): tiny,
+// fast, passes BigCrush when used as a 64-bit generator, and — unlike
+// math/rand's global state — trivially forkable into independent streams.
+package dist
+
+import "math"
+
+// Source is a deterministic stream of pseudo-random numbers.
+// The zero value is a valid stream seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Fork derives a new, statistically independent Source from s.
+// The child's seed is drawn from s, so forking advances s by one step.
+func (s *Source) Fork() *Source {
+	return &Source{state: s.Uint64()}
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64 step).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	// 53 high bits -> uniform dyadic rational in [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method would remove modulo bias
+	// entirely; for simulation purposes the bias of a plain modulo over a
+	// 64-bit stream (< 2^-50 for any n we use) is negligible, but the
+	// multiply method is just as cheap, so use it.
+	v := s.Uint64()
+	hi, _ := mul64(v, uint64(n))
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Exponential returns an exponentially distributed variate with the given
+// mean. It panics if mean <= 0.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("dist: Exponential requires mean > 0")
+	}
+	// Inverse CDF. 1-U in (0,1] avoids log(0).
+	return -mean * math.Log(1-s.Float64())
+}
+
+// Normal returns a normally distributed variate with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// Poisson returns a Poisson-distributed variate with the given mean λ.
+// The paper models per-node power demand as Poisson (Section V-B1).
+//
+// Knuth's multiplication method is used for λ ≤ 30; for larger λ the
+// PTRS transformed-rejection method of Hörmann (1993) keeps the cost O(1).
+// It panics if lambda < 0.
+func (s *Source) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic("dist: Poisson requires lambda >= 0")
+	case lambda == 0:
+		return 0
+	case lambda <= 30:
+		return s.poissonKnuth(lambda)
+	default:
+		return s.poissonPTRS(lambda)
+	}
+}
+
+func (s *Source) poissonKnuth(lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm for λ > ~10.
+func (s *Source) poissonPTRS(lambda float64) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-logGamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+// logGamma is a thin wrapper over math.Lgamma that drops the sign
+// (the argument is always positive here).
+func logGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// PoissonScaled returns a Poisson variate with mean lambda, scaled so that
+// its expectation is target: it draws Poisson(lambda) and multiplies by
+// target/lambda. This yields a discrete fluctuation around target whose
+// coefficient of variation is 1/sqrt(lambda), which is how the simulator
+// turns a mean power demand into a fluctuating one with controllable noise.
+func (s *Source) PoissonScaled(target, lambda float64) float64 {
+	if target <= 0 {
+		return 0
+	}
+	return target * float64(s.Poisson(lambda)) / lambda
+}

@@ -1,0 +1,298 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a := NewSource(1)
+	b := NewSource(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("sources with different seeds produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewSource(7)
+	child := parent.Fork()
+	// The child must not replay the parent's stream.
+	p := make([]uint64, 100)
+	c := make([]uint64, 100)
+	for i := range p {
+		p[i] = parent.Uint64()
+		c[i] = child.Uint64()
+	}
+	same := 0
+	for i := range p {
+		if p[i] == c[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("forked stream matched parent on %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := NewSource(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewSource(5)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 10000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := NewSource(6)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d: count %d deviates from expected %v", i, c, want)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewSource(8)
+	const n = 200000
+	for _, mean := range []float64{0.5, 1, 10} {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.Exponential(mean)
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.02 {
+			t.Errorf("Exponential(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exponential(-1) did not panic")
+		}
+	}()
+	NewSource(1).Exponential(-1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSource(9)
+	const n = 200000
+	mean, stddev := 5.0, 2.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("Normal mean = %v, want %v", m, mean)
+	}
+	if math.Abs(sd-stddev) > 0.05 {
+		t.Errorf("Normal stddev = %v, want %v", sd, stddev)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := NewSource(10)
+	const n = 100000
+	// Cover both the Knuth branch (λ<=30) and the PTRS branch (λ>30).
+	for _, lambda := range []float64{0.5, 3, 12, 30, 45, 200} {
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		varr := sumSq/n - m*m
+		if math.Abs(m-lambda)/lambda > 0.03 {
+			t.Errorf("Poisson(%v) sample mean = %v", lambda, m)
+		}
+		// Poisson variance equals the mean.
+		if math.Abs(varr-lambda)/lambda > 0.06 {
+			t.Errorf("Poisson(%v) sample variance = %v", lambda, varr)
+		}
+	}
+}
+
+func TestPoissonZeroLambda(t *testing.T) {
+	s := NewSource(11)
+	for i := 0; i < 100; i++ {
+		if v := s.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", v)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson(-1) did not panic")
+		}
+	}()
+	NewSource(1).Poisson(-1)
+}
+
+func TestPoissonScaledMean(t *testing.T) {
+	s := NewSource(12)
+	const n = 100000
+	target, lambda := 37.5, 20.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.PoissonScaled(target, lambda)
+	}
+	m := sum / n
+	if math.Abs(m-target)/target > 0.02 {
+		t.Errorf("PoissonScaled mean = %v, want ~%v", m, target)
+	}
+}
+
+func TestPoissonScaledNonPositiveTarget(t *testing.T) {
+	s := NewSource(13)
+	if v := s.PoissonScaled(0, 10); v != 0 {
+		t.Errorf("PoissonScaled(0, 10) = %v, want 0", v)
+	}
+	if v := s.PoissonScaled(-5, 10); v != 0 {
+		t.Errorf("PoissonScaled(-5, 10) = %v, want 0", v)
+	}
+}
+
+// Property: Poisson draws are always non-negative, for any seed and a range
+// of lambda values.
+func TestPoissonNonNegativeQuick(t *testing.T) {
+	f := func(seed uint64, raw uint8) bool {
+		lambda := float64(raw) // 0..255, spans both algorithm branches
+		s := NewSource(seed)
+		for i := 0; i < 20; i++ {
+			if s.Poisson(lambda) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Uniform(lo, hi) stays within [lo, hi) for arbitrary bounds.
+func TestUniformRangeQuick(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true // skip degenerate float inputs
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo <= 0 || math.IsInf(hi-lo, 0) {
+			return true
+		}
+		s := NewSource(seed)
+		for i := 0; i < 10; i++ {
+			v := s.Uniform(lo, hi)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		x, y   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d, %d) = (%d, %d), want (%d, %d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkPoissonSmallLambda(b *testing.B) {
+	s := NewSource(1)
+	for i := 0; i < b.N; i++ {
+		s.Poisson(10)
+	}
+}
+
+func BenchmarkPoissonLargeLambda(b *testing.B) {
+	s := NewSource(1)
+	for i := 0; i < b.N; i++ {
+		s.Poisson(500)
+	}
+}

@@ -1,0 +1,91 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Section V). Each experiment has a stable identifier (e.g.
+// "fig5", "table3"); Run executes one and returns its rows as a
+// metrics.Table whose series mirror what the paper plots. The
+// cmd/willow-exp binary and the repository's bench_test.go both drive
+// this package, so the printed rows and the benchmarked work are
+// identical.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"willow/internal/metrics"
+)
+
+// Options tune experiment execution.
+type Options struct {
+	// Quick shrinks run lengths and sweep densities for smoke tests and
+	// benchmarks; the shapes remain, the averages get noisier.
+	Quick bool
+	// Seed overrides the default deterministic seed when non-zero.
+	Seed uint64
+}
+
+func (o Options) seed(def uint64) uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the stable identifier (table/figure number).
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment.
+	Run Runner
+}
+
+// Runner executes an experiment and renders its result.
+type Runner func(Options) (*Result, error)
+
+// Result bundles an experiment's rendered table with the headline
+// numbers EXPERIMENTS.md records.
+type Result struct {
+	Table *metrics.Table
+	// Notes are headline observations ("savings = 27.5 %", "spike at
+	// 50 % utilization") suitable for the paper-vs-measured record.
+	Notes []string
+}
+
+// registry holds every experiment keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (try one of %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs returns all experiment identifiers, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opts Options) (*Result, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}

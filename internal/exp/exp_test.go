@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment in
+// quick mode and checks each produces a non-empty table and notes.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.Table == nil || len(res.Table.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			if len(res.Notes) == 0 {
+				t.Errorf("%s: no headline notes", id)
+			}
+			if out := res.Table.String(); !strings.Contains(out, res.Table.Columns[0]) {
+				t.Errorf("%s: table does not render", id)
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12",
+		"table1", "table2", "fig14", "fig15", "fig16", "fig17", "fig19", "table3",
+		"prop-messages", "prop-stability", "prop-binpack",
+		"prop-convergence", "prop-scaling", "prop-imbalance",
+		"ablation-margin", "ablation-local", "ablation-hier",
+		"ablation-granularity", "ablation-smoothing", "ablation-foresight",
+		"ext-demandside",
+		"ext-qos", "ext-cooling", "ext-ipc", "ext-device", "ext-idle",
+		"ext-async", "ext-latency", "ext-transfer",
+		"ext-hetero", "ext-variance", "ext-failure",
+	}
+	ids := map[string]bool{}
+	for _, id := range IDs() {
+		ids[id] = true
+	}
+	for _, w := range want {
+		if !ids[w] {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("Run with unknown id succeeded")
+	}
+}
+
+func TestSeedOverride(t *testing.T) {
+	o := Options{}
+	if got := o.seed(9); got != 9 {
+		t.Errorf("default seed = %d", got)
+	}
+	o.Seed = 4
+	if got := o.seed(9); got != 4 {
+		t.Errorf("override seed = %d", got)
+	}
+}

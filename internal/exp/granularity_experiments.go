@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"fmt"
+
+	"willow/internal/baseline"
+	"willow/internal/cluster"
+	"willow/internal/metrics"
+	"willow/internal/power"
+)
+
+func init() {
+	register("ablation-granularity", "Ablation — the η1/η2 time-granularity choices of §IV-C", runAblationGranularity)
+	register("ablation-smoothing", "Ablation — the Eq. 4 smoothing parameter α", runAblationSmoothing)
+	register("ext-demandside", "Demand-side variation — a diurnal workload intensity curve", runExtDemandside)
+}
+
+// runAblationGranularity sweeps the supply and consolidation cadences
+// (Δ_S = η1·Δ_D, Δ_A = η2·Δ_D). The paper fixes η1 = 4, η2 = 7 for its
+// simulation; the sweep shows the trade the choice makes: frequent
+// supply updates track a volatile feed closely (less shed demand) at the
+// cost of more reallocation churn, while slow consolidation reviews
+// leave idle servers burning their static draw for longer.
+func runAblationGranularity(opts Options) (*Result, error) {
+	run := func(eta1, eta2 int) (*cluster.Result, error) {
+		cfg := cluster.PaperConfig(0.45)
+		shortenFor(opts)(&cfg)
+		// Supply traces are indexed by supply epoch (t/η1), so to compare
+		// cadences against the *same wall-clock feed* the sine's period
+		// must shrink with η1: 48 ticks of wall-clock period throughout.
+		cfg.Supply = power.Sine{Base: 6400, Amplitude: 2200, Period: 48 / eta1}
+		cfg.Core.Eta1 = eta1
+		cfg.Core.Eta2 = eta2
+		return cluster.Run(cfg)
+	}
+	type pair struct{ eta1, eta2 int }
+	pairs := []pair{{1, 2}, {2, 4}, {4, 7}, {8, 14}, {16, 28}}
+	if opts.Quick {
+		pairs = []pair{{1, 2}, {4, 7}, {16, 28}}
+	}
+	tb := metrics.NewTable(
+		"Time-granularity sweep under a volatile supply (U=45%; paper uses η1=4, η2=7)",
+		"η1", "η2", "migrations", "dropped (watt-ticks)", "mean asleep servers", "SLO miss %",
+	)
+	var fast, slow *cluster.Result
+	for _, p := range pairs {
+		r, err := run(p.eta1, p.eta2)
+		if err != nil {
+			return nil, err
+		}
+		var asleep float64
+		for _, f := range r.AsleepFraction {
+			asleep += f
+		}
+		tb.AddRow(fmt.Sprintf("%d", p.eta1), fmt.Sprintf("%d", p.eta2),
+			fmt.Sprintf("%d", len(r.Stats.Migrations)),
+			fmt.Sprintf("%.0f", r.DroppedWattTicks),
+			fmt.Sprintf("%.1f", asleep),
+			fmt.Sprintf("%.2f", r.SLOMissFraction*100))
+		if p.eta1 == 1 {
+			fast = r
+		}
+		slow = r
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("tracking the feed 16x more slowly sheds %.1fx the demand (%.0f vs %.0f watt-ticks) — the supply-side granularity is a real knob, and the paper's η1=4 sits in the flat part of the curve",
+				safeRatio(slow.DroppedWattTicks, fast.DroppedWattTicks),
+				slow.DroppedWattTicks, fast.DroppedWattTicks),
+		},
+	}, nil
+}
+
+// runAblationSmoothing sweeps the Eq. 4 exponential-smoothing parameter.
+// Small α makes the controller see a heavily damped demand (sluggish but
+// calm); α = 1 means reacting to every Poisson fluctuation.
+func runAblationSmoothing(opts Options) (*Result, error) {
+	alphas := []float64{0.05, 0.15, 0.3, 0.6, 1.0}
+	if opts.Quick {
+		alphas = []float64{0.05, 0.3, 1.0}
+	}
+	tb := metrics.NewTable(
+		"Smoothing sweep at U=60% under supply dips (paper's simulation behaviour uses α≈0.3)",
+		"α", "migrations", "dropped (watt-ticks)", "ping-pongs",
+	)
+	var rows []*cluster.Result
+	for _, alpha := range alphas {
+		cfg := cluster.PaperConfig(0.6)
+		shortenFor(opts)(&cfg)
+		cfg.Supply = power.Trace{8100, 8100, 6100, 6100, 8100, 8100, 6400, 8100}
+		cfg.Core.Alpha = alpha
+		r, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+		tb.AddRow(fmt.Sprintf("%.2f", alpha),
+			fmt.Sprintf("%d", len(r.Stats.Migrations)),
+			fmt.Sprintf("%.0f", r.DroppedWattTicks),
+			fmt.Sprintf("%d", r.Stats.PingPongs))
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("unsmoothed demand (α=1) migrates %d times vs %d at α=0.3 — Eq. 4's damping absorbs Poisson noise before it reaches the planner",
+				len(rows[len(rows)-1].Stats.Migrations), len(rows[len(alphas)/2].Stats.Migrations)),
+			"every setting keeps zero ping-pongs: the Δf guard is independent of smoothing",
+		},
+	}, nil
+}
+
+// runExtDemandside drives the demand side instead of the supply side: a
+// diurnal request-intensity curve (0.4x at night to 1.6x at midday) under
+// a constant supply. Willow should consolidate overnight and wake
+// capacity back for the peak — demand-side adaptation, the other half of
+// Section I's variation taxonomy.
+func runExtDemandside(opts Options) (*Result, error) {
+	cfg := cluster.PaperConfig(0.5)
+	if opts.Quick {
+		cfg.Warmup = 0
+		cfg.Ticks = 48 * cfg.Core.Eta1
+	} else {
+		cfg.Warmup = 0
+		cfg.Ticks = 192 * cfg.Core.Eta1 // two simulated days
+	}
+	cfg.HotServers = nil
+	cfg.DemandProfile = power.Sine{Base: 1.0, Amplitude: 0.6, Period: 96}
+	r, err := cluster.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var asleepMean float64
+	asleepAny := 0
+	for _, f := range r.AsleepFraction {
+		asleepMean += f
+		if f > 0.05 {
+			asleepAny++
+		}
+	}
+	tb := metrics.NewTable(
+		"Diurnal demand (0.4x–1.6x of U=50%) under constant supply",
+		"quantity", "value",
+	)
+	tb.AddRow("consolidation migrations", fmt.Sprintf("%d", r.ConsolidationMigrations))
+	tb.AddRow("demand migrations", fmt.Sprintf("%d", r.DemandMigrations))
+	tb.AddRow("servers that slept at some point", fmt.Sprintf("%d / 18", asleepAny))
+	tb.AddRow("server wakes", fmt.Sprintf("%d", r.Stats.Wakes))
+	tb.AddRow("mean asleep fraction", fmt.Sprintf("%.2f", asleepMean/18))
+	tb.AddRow("dropped (watt-ticks)", fmt.Sprintf("%.0f", r.DroppedWattTicks))
+	tb.AddRow("ping-pongs", fmt.Sprintf("%d", r.Stats.PingPongs))
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("over two simulated days Willow consolidates each night (%d consolidation migrations, %d servers slept) and wakes capacity for each peak (%d wakes), shedding %.2f%% of energy served",
+				r.ConsolidationMigrations, asleepAny, r.Stats.Wakes,
+				100*r.DroppedWattTicks/r.TotalEnergy),
+		},
+	}, nil
+}
+
+func init() {
+	register("ablation-foresight", "Ablation — reactive control vs a one-epoch supply forecast", runAblationForesight)
+}
+
+// runAblationForesight compares reactive Willow with an oracle fed a
+// one-epoch supply forecast (day-ahead renewable forecasts make this
+// realistic). Foresight lets adaptation complete before a plunge lands
+// instead of during it.
+func runAblationForesight(opts Options) (*Result, error) {
+	plunges := power.Trace{8100, 8100, 8100, 5200, 5200, 8100, 8100, 8100, 5400, 5400, 8100, 8100}
+	run := func(v baseline.Variant) (*cluster.Result, error) {
+		return baseline.Run(v, 0.6, func(c *cluster.Config) {
+			shortenFor(opts)(c)
+			c.Supply = plunges
+		})
+	}
+	reactive, err := run(baseline.Willow)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := run(baseline.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Reactive control vs one-epoch supply foresight (repeated plunges, U=60%)",
+		"variant", "migrations", "dropped (watt-ticks)", "SLO miss %",
+	)
+	for _, row := range []struct {
+		name string
+		r    *cluster.Result
+	}{{"willow (reactive)", reactive}, {"willow + forecast", oracle}} {
+		tb.AddRow(row.name,
+			fmt.Sprintf("%d", len(row.r.Stats.Migrations)),
+			fmt.Sprintf("%.0f", row.r.DroppedWattTicks),
+			fmt.Sprintf("%.2f", row.r.SLOMissFraction*100))
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("the forecast cuts churn (%d migrations vs %d reactive): adaptation completes before the plunge instead of during it",
+				len(oracle.Stats.Migrations), len(reactive.Stats.Migrations)),
+			fmt.Sprintf("total shed demand is a wash (%.0f vs %.0f watt-ticks): the oracle throttles one epoch early, trading when it sheds, not whether",
+				oracle.DroppedWattTicks, reactive.DroppedWattTicks),
+		},
+	}, nil
+}

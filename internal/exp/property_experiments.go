@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"fmt"
+
+	"willow/internal/baseline"
+	"willow/internal/binpack"
+	"willow/internal/cluster"
+	"willow/internal/dist"
+	"willow/internal/metrics"
+	"willow/internal/power"
+	"willow/internal/testbed"
+)
+
+func init() {
+	register("prop-messages", "Property 3 — ≤2 control messages per link per Δ_D", runPropMessages)
+	register("prop-stability", "Property 4 — decision stability / no ping-pong within Δf", runPropStability)
+	register("prop-binpack", "Section IV-F — FFDLR bound 3/2·OPT+1 vs exact solver", runPropBinpack)
+	register("ablation-margin", "Ablation — the P_min migration margin", runAblationMargin)
+	register("ablation-local", "Ablation — locality preference / non-local escalation", runAblationLocal)
+	register("ablation-hier", "Ablation — distributed hierarchy vs centralized control", runAblationHier)
+}
+
+func shortenFor(opts Options) func(*cluster.Config) {
+	return func(c *cluster.Config) {
+		if opts.Quick {
+			c.Warmup = 40
+			c.Ticks = 140
+		} else {
+			c.Warmup = 80
+			c.Ticks = 320
+		}
+		if opts.Seed != 0 {
+			c.Seed = opts.Seed
+		}
+	}
+}
+
+// runPropMessages stresses the hierarchy with a volatile supply and
+// verifies no link ever carries more than two control messages per tick.
+func runPropMessages(opts Options) (*Result, error) {
+	cfg := cluster.PaperConfig(0.6)
+	shortenFor(opts)(&cfg)
+	cfg.Supply = power.Sine{Base: 6800, Amplitude: 1800, Period: 13}
+	r, err := cluster.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ticks := int64(cfg.Ticks)
+	links := int64(26) // 27 nodes - root
+	tb := metrics.NewTable(
+		"Property 3 — control message accounting over a volatile-supply run",
+		"quantity", "value",
+	)
+	tb.AddRow("ticks", fmt.Sprintf("%d", ticks))
+	tb.AddRow("tree links", fmt.Sprintf("%d", links))
+	tb.AddRow("upward messages", fmt.Sprintf("%d", r.Stats.MessagesUp))
+	tb.AddRow("downward messages", fmt.Sprintf("%d", r.Stats.MessagesDown))
+	tb.AddRow("max messages on any link in any tick", fmt.Sprintf("%d", r.Stats.MaxLinkMessagesPerTick))
+	ok := r.Stats.MaxLinkMessagesPerTick <= 2
+	if !ok {
+		return nil, fmt.Errorf("exp: Property 3 violated: %d messages on a link", r.Stats.MaxLinkMessagesPerTick)
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{fmt.Sprintf("bound holds: max %d ≤ 2 messages per link per Δ_D", r.Stats.MaxLinkMessagesPerTick)},
+	}, nil
+}
+
+// runPropStability runs the deficit scenario and checks the paper's
+// stability observations: zero ping-pongs, and no migration activity in
+// the windows following a settled decision.
+func runPropStability(opts Options) (*Result, error) {
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if opts.Quick {
+		seeds = seeds[:2]
+	}
+	tb := metrics.NewTable(
+		"Property 4 — stability of the deficit-run decisions across seeds",
+		"seed", "migrations", "ping-pongs", "quiet during persisting deficit",
+	)
+	var notes []string
+	for _, seed := range seeds {
+		r, err := testbed.DeficitRun(seed)
+		if err != nil {
+			return nil, err
+		}
+		quiet := true
+		for u := 8; u <= 10; u++ {
+			if r.MigrationsPerUnit[u] != 0 {
+				quiet = false
+			}
+		}
+		if r.Stats.PingPongs != 0 {
+			return nil, fmt.Errorf("exp: ping-pong observed with seed %d", seed)
+		}
+		tb.AddRow(fmt.Sprintf("%d", seed),
+			fmt.Sprintf("%d", len(r.Stats.Migrations)),
+			fmt.Sprintf("%d", r.Stats.PingPongs),
+			fmt.Sprintf("%v", quiet))
+	}
+	notes = append(notes, "zero ping-pong migrations in every run (paper: none observed for Δf < 50·Δ_D)")
+	return &Result{Table: tb, Notes: notes}, nil
+}
+
+// runPropBinpack measures FFDLR against the exact solver on random
+// instances and reports the worst observed capacity ratio, checking the
+// 3/2·OPT+1 guarantee.
+func runPropBinpack(opts Options) (*Result, error) {
+	trials := 150
+	if opts.Quick {
+		trials = 30
+	}
+	src := dist.NewSource(opts.seed(17))
+	sizes := []float64{0.25, 0.4, 0.7, 1}
+	worst := 0.0
+	var worstOpt, worstHeur float64
+	violations := 0
+	for i := 0; i < trials; i++ {
+		n := 2 + src.Intn(9)
+		items := make([]float64, n)
+		for j := range items {
+			items[j] = src.Uniform(0.02, 1)
+		}
+		opt, err := binpack.Exact(items, sizes)
+		if err != nil {
+			return nil, err
+		}
+		heur, err := binpack.FFDLR(items, sizes)
+		if err != nil {
+			return nil, err
+		}
+		if heur.TotalCapacity > 1.5*opt.TotalCapacity+1+1e-9 {
+			violations++
+		}
+		if ratio := heur.TotalCapacity / opt.TotalCapacity; ratio > worst {
+			worst, worstOpt, worstHeur = ratio, opt.TotalCapacity, heur.TotalCapacity
+		}
+	}
+	tb := metrics.NewTable(
+		"Section IV-F — FFDLR vs optimal on random variable-sized instances",
+		"quantity", "value",
+	)
+	tb.AddRow("trials", fmt.Sprintf("%d", trials))
+	tb.AddRow("bound (3/2·OPT+1) violations", fmt.Sprintf("%d", violations))
+	tb.AddRow("worst capacity ratio", fmt.Sprintf("%.3f (%.2f vs OPT %.2f)", worst, worstHeur, worstOpt))
+	if violations > 0 {
+		return nil, fmt.Errorf("exp: FFDLR bound violated %d times", violations)
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{fmt.Sprintf("guarantee holds on all %d instances; worst ratio %.3f", trials, worst)},
+	}, nil
+}
+
+// ablationTable compares two variants on the standard sweep point.
+func ablationTable(title string, opts Options, u float64, a, b baseline.Variant) (*Result, map[baseline.Variant]*cluster.Result, error) {
+	res, err := baseline.Compare([]baseline.Variant{a, b}, u, shortenFor(opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := metrics.NewTable(title,
+		"variant", "migrations", "local", "dropped (watt-ticks)", "energy served", "migration share",
+	)
+	for _, v := range []baseline.Variant{a, b} {
+		r := res[v]
+		tb.AddRow(string(v),
+			fmt.Sprintf("%d", len(r.Stats.Migrations)),
+			fmt.Sprintf("%d", r.Stats.LocalMigrations),
+			fmt.Sprintf("%.0f", r.DroppedWattTicks),
+			fmt.Sprintf("%.0f", r.TotalEnergy),
+			fmt.Sprintf("%.5f", r.MigrationShare))
+	}
+	return &Result{Table: tb}, res, nil
+}
+
+func runAblationMargin(opts Options) (*Result, error) {
+	result, res, err := ablationTable(
+		"Ablation — removing the P_min margin", opts, 0.6, baseline.Willow, baseline.NoMargin)
+	if err != nil {
+		return nil, err
+	}
+	w, nm := res[baseline.Willow], res[baseline.NoMargin]
+	result.Notes = []string{
+		fmt.Sprintf("without the margin the controller migrates %d times vs %d with it — the hysteresis the paper's P_min buys",
+			len(nm.Stats.Migrations), len(w.Stats.Migrations)),
+	}
+	return result, nil
+}
+
+func runAblationLocal(opts Options) (*Result, error) {
+	result, res, err := ablationTable(
+		"Ablation — restricting migrations to siblings", opts, 0.75, baseline.Willow, baseline.LocalOnly)
+	if err != nil {
+		return nil, err
+	}
+	w, lo := res[baseline.Willow], res[baseline.LocalOnly]
+	result.Notes = []string{
+		fmt.Sprintf("local-only drops %.0f watt-ticks vs %.0f for full Willow — cross-rack imbalance needs non-local escalation",
+			lo.DroppedWattTicks, w.DroppedWattTicks),
+	}
+	return result, nil
+}
+
+func runAblationHier(opts Options) (*Result, error) {
+	result, res, err := ablationTable(
+		"Ablation — distributed hierarchy vs centralized controller", opts, 0.6, baseline.Willow, baseline.Centralized)
+	if err != nil {
+		return nil, err
+	}
+	w, c := res[baseline.Willow], res[baseline.Centralized]
+	ratio := w.TotalEnergy / c.TotalEnergy
+	result.Notes = []string{
+		fmt.Sprintf("energy served ratio distributed/centralized = %.3f — solution quality matches (paper's Property 2), while the hierarchy caps per-link message load", ratio),
+	}
+	return result, nil
+}

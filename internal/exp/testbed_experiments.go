@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+
+	"willow/internal/metrics"
+	"willow/internal/power"
+	"willow/internal/testbed"
+)
+
+func init() {
+	register("table1", "Table I — utilization vs power consumption (testbed)", runTable1)
+	register("table2", "Table II — application power profiles (testbed)", runTable2)
+	register("fig14", "Fig. 14 — experimental estimation of c1 and c2", runFig14)
+	register("fig15", "Fig. 15 — power supply variation (energy-deficient)", runFig15)
+	register("fig16", "Fig. 16 — number of migrations (deficit run)", runFig16)
+	register("fig17", "Fig. 17/18 — temperature time series and averages", runFig17)
+	register("fig19", "Fig. 19 — power supply variation (energy-plenty)", runFig19)
+	register("table3", "Table III — utilization of servers after consolidation", runTable3)
+}
+
+func samplesFor(opts Options) int {
+	if opts.Quick {
+		return 50
+	}
+	return 400
+}
+
+func runTable1(opts Options) (*Result, error) {
+	rows, err := testbed.MeasureTableI(samplesFor(opts), opts.seed(1))
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Table I — utilization vs measured power (emulated testbed; reconstructed curve, see DESIGN.md §5)",
+		"utilization %", "power (W)",
+	)
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprintf("%.0f", r.Util*100), fmt.Sprintf("%.1f", r.Watts))
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("power at 100%% utilization: %.1f W (paper: ≈232 W)", rows[10].Watts),
+			"power is a continuously increasing, near-linear function of utilization (paper's observation)",
+		},
+	}, nil
+}
+
+func runTable2(opts Options) (*Result, error) {
+	profiles, err := testbed.MeasureAppProfiles(samplesFor(opts), opts.seed(2))
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Table II — application power profiles",
+		"application", "increase in power (W)",
+	)
+	var notes []string
+	paper := map[string]float64{"A1": 8, "A2": 10, "A3": 15}
+	for _, p := range profiles {
+		tb.AddRow(p.Name, fmt.Sprintf("%.1f", p.Watts))
+		notes = append(notes, fmt.Sprintf("%s: measured %.1f W (paper: %.0f W)", p.Name, p.Watts, paper[p.Name]))
+	}
+	return &Result{Table: tb, Notes: notes}, nil
+}
+
+func runFig14(opts Options) (*Result, error) {
+	steps := 300
+	if opts.Quick {
+		steps = 80
+	}
+	res, err := testbed.CalibrateThermal(steps, opts.seed(3))
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Fig. 14 — least-squares estimation of the Eq. 1 constants from a (power, temperature) trace",
+		"quantity", "true (emulated hw)", "fitted",
+	)
+	tb.AddRow("c1", fmt.Sprintf("%.4f", res.TrueC1), fmt.Sprintf("%.4f", res.C1))
+	tb.AddRow("c2", fmt.Sprintf("%.4f", res.TrueC2), fmt.Sprintf("%.4f", res.C2))
+	tb.AddRow("RMSE (°C/unit)", "-", fmt.Sprintf("%.4f", res.RMSE))
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("fit recovers the hardware constants within %.1f%% / %.1f%% (paper fitted c1=0.2, c2=0.008 on its Dell hardware)",
+				100*abs(res.C1-res.TrueC1)/res.TrueC1, 100*abs(res.C2-res.TrueC2)/res.TrueC2),
+		},
+	}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func traceTable(title string, tr power.Trace) *metrics.Table {
+	tb := metrics.NewTable(title, "time unit", "supply (W)")
+	for i, v := range tr {
+		tb.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.0f", v))
+	}
+	return tb
+}
+
+func runFig15(Options) (*Result, error) {
+	tr := power.DeficitTrace()
+	return &Result{
+		Table: traceTable("Fig. 15 — injected supply variation, energy-deficient scenario", tr),
+		Notes: []string{
+			fmt.Sprintf("mean %.0f W (≈ demand of three hosts at 60%% utilization), deep plunges at units 7, 12, 25", tr.Mean()),
+		},
+	}, nil
+}
+
+func runFig16(opts Options) (*Result, error) {
+	r, err := testbed.DeficitRun(opts.seed(4))
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Fig. 16 — migrations per time unit under the Fig. 15 supply",
+		"time unit", "supply (W)", "migrations",
+	)
+	tr := power.DeficitTrace()
+	for u := 0; u < r.Units; u++ {
+		tb.AddRow(fmt.Sprintf("%d", u), fmt.Sprintf("%.0f", tr[u]), fmt.Sprintf("%d", r.MigrationsPerUnit[u]))
+	}
+	quiet := true
+	for u := 8; u <= 10; u++ {
+		if r.MigrationsPerUnit[u] != 0 {
+			quiet = false
+		}
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("migration burst at the plunge (unit 7): %d migrations", r.MigrationsPerUnit[7]),
+			fmt.Sprintf("no migrations while the deficit persists (units 8–10): %v (paper's decision-stability observation)", quiet),
+			fmt.Sprintf("shed demand %.0f watt-ticks; ping-pongs %d", r.DroppedWattTicks, r.Stats.PingPongs),
+		},
+	}, nil
+}
+
+func runFig17(opts Options) (*Result, error) {
+	r, err := testbed.DeficitRun(opts.seed(4))
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Fig. 17/18 — temperature per time unit (°C), deficit run",
+		"time unit", "host A", "host B", "host C",
+	)
+	for u := 0; u < r.Units; u++ {
+		tb.AddRow(fmt.Sprintf("%d", u),
+			fmt.Sprintf("%.1f", r.TempSeries[0][u]),
+			fmt.Sprintf("%.1f", r.TempSeries[1][u]),
+			fmt.Sprintf("%.1f", r.TempSeries[2][u]))
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("mean temperatures A/B/C: %.1f / %.1f / %.1f °C; no host exceeded the 70 °C limit",
+				r.MeanTemp[0], r.MeanTemp[1], r.MeanTemp[2]),
+		},
+	}, nil
+}
+
+func runFig19(Options) (*Result, error) {
+	tr := power.PlentyTrace()
+	return &Result{
+		Table: traceTable("Fig. 19 — injected supply variation, energy-plenty scenario", tr),
+		Notes: []string{
+			fmt.Sprintf("mean %.0f W, close to the ~750 W needed for all three hosts at 100%% utilization", tr.Mean()),
+		},
+	}, nil
+}
+
+func runTable3(opts Options) (*Result, error) {
+	r, err := testbed.PlentyRun(opts.seed(5))
+	if err != nil {
+		return nil, err
+	}
+	tb := metrics.NewTable(
+		"Table III — utilization of servers before and after consolidation",
+		"server", "initial utilization %", "final utilization %", "asleep",
+	)
+	for i, name := range testbed.HostNames {
+		tb.AddRow(name,
+			fmt.Sprintf("%.0f", r.UtilInitial[i]*100),
+			fmt.Sprintf("%.0f", r.UtilFinal[i]*100),
+			fmt.Sprintf("%v", r.AsleepAtEnd[i]))
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("consolidation power savings: %.1f%% (paper: ≈27.5%%)", r.Savings()*100),
+			fmt.Sprintf("host C drained to %.0f%% and deactivated; A and B stay within limits so C is never woken (paper's observation)", r.UtilFinal[2]*100),
+		},
+	}, nil
+}

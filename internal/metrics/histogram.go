@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram accumulates weighted observations in logarithmic buckets and
+// answers quantile queries. Buckets grow geometrically from Min by
+// Growth per bucket, which keeps relative quantile error bounded by the
+// growth factor across many decades — the right trade for latency-style
+// distributions whose tail matters more than their absolute resolution.
+type Histogram struct {
+	min     float64
+	growth  float64
+	logG    float64
+	buckets []float64 // weight per bucket
+	under   float64   // weight below min
+	total   float64
+	maxSeen float64
+}
+
+// NewHistogram returns a histogram covering [min, min·growth^buckets)
+// with the given per-bucket growth factor (> 1).
+func NewHistogram(min, growth float64, buckets int) (*Histogram, error) {
+	if min <= 0 {
+		return nil, fmt.Errorf("metrics: histogram min must be positive, got %v", min)
+	}
+	if growth <= 1 {
+		return nil, fmt.Errorf("metrics: histogram growth must exceed 1, got %v", growth)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("metrics: histogram needs at least 1 bucket")
+	}
+	return &Histogram{
+		min:     min,
+		growth:  growth,
+		logG:    math.Log(growth),
+		buckets: make([]float64, buckets),
+	}, nil
+}
+
+// Add records an observation with the given weight. Values below min
+// land in an underflow bucket; values beyond the top land in the last
+// bucket (their weight still counts toward quantiles as "at least the
+// top edge").
+func (h *Histogram) Add(value, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	h.total += weight
+	if value > h.maxSeen {
+		h.maxSeen = value
+	}
+	if value < h.min {
+		h.under += weight
+		return
+	}
+	idx := int(math.Log(value/h.min) / h.logG)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx] += weight
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]) —
+// the upper edge of the bucket where the cumulative weight crosses q.
+// It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * h.total
+	cum := h.under
+	if cum >= target {
+		return h.min
+	}
+	for i, w := range h.buckets {
+		cum += w
+		if cum >= target {
+			upper := h.min * math.Pow(h.growth, float64(i+1))
+			if i == len(h.buckets)-1 && h.maxSeen > upper {
+				// Overflow bucket: its true upper edge is the largest
+				// value ever recorded.
+				return h.maxSeen
+			}
+			if upper > h.maxSeen && h.maxSeen > 0 {
+				return h.maxSeen
+			}
+			return upper
+		}
+	}
+	return h.maxSeen
+}
+
+// Total returns the accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Max returns the largest value observed.
+func (h *Histogram) Max() float64 { return h.maxSeen }

@@ -1,0 +1,309 @@
+// Package metrics provides the measurement plumbing shared by all Willow
+// experiments: time series, online mean/variance accumulators, counters,
+// and table rendering (plain text and CSV) for regenerating the paper's
+// tables and figure series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// Series is an append-only sequence of (time, value) samples.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends one sample.
+func (s *Series) Add(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Mean returns the arithmetic mean of the values (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Sum returns the sum of the values.
+func (s *Series) Sum() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum
+}
+
+// Max returns the maximum value (−Inf for an empty series).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the minimum value (+Inf for an empty series).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Last returns the most recent value (0 for an empty series).
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// MeanFrom returns the mean of samples with Times >= from; useful for
+// skipping a warm-up transient.
+func (s *Series) MeanFrom(from float64) float64 {
+	var sum float64
+	n := 0
+	for i, t := range s.Times {
+		if t >= from {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Welford accumulates mean and variance online in a single pass
+// (numerically stable, Welford 1962). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds in one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Counter is a monotonically growing event count.
+type Counter struct{ n int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (which must be non-negative; Counter is monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row. The cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloats appends a row of numeric cells formatted with %.4g after a
+// leading label cell.
+func (t *Table) AddFloats(label string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.4g", v))
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table as aligned plain text. Widths count runes so
+// non-ASCII cells (degree signs, dashes) stay aligned.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table with
+// the title as a bold caption line.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("**")
+		sb.WriteString(t.Title)
+		sb.WriteString("**\n\n")
+	}
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for _, c := range cells {
+			sb.WriteByte(' ')
+			sb.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sb.WriteString("|")
+	for range t.Columns {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (cells containing commas or
+// quotes are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Registry is a named collection of series, for models that create
+// metrics dynamically.
+type Registry struct {
+	series map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{series: map[string]*Series{}} }
+
+// Series returns the series with the given name, creating it on first
+// use.
+func (r *Registry) Series(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name)
+		r.series[name] = s
+	}
+	return s
+}
+
+// Names returns all registered series names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

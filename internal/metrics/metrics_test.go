@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("power")
+	if s.Len() != 0 || s.Mean() != 0 || s.Last() != 0 {
+		t.Error("empty series stats wrong")
+	}
+	if !math.IsInf(s.Max(), -1) || !math.IsInf(s.Min(), 1) {
+		t.Error("empty series extrema wrong")
+	}
+	s.Add(0, 10)
+	s.Add(1, 20)
+	s.Add(2, 30)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 20 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Sum(); got != 60 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := s.Max(); got != 30 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Min(); got != 10 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Last(); got != 30 {
+		t.Errorf("Last = %v", got)
+	}
+}
+
+func TestSeriesMeanFrom(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	if got := s.MeanFrom(5); got != 7 {
+		t.Errorf("MeanFrom(5) = %v, want 7", got)
+	}
+	if got := s.MeanFrom(100); got != 0 {
+		t.Errorf("MeanFrom past end = %v, want 0", got)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero Welford not zero")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		w.Add(x)
+	}
+	if w.N() != len(data) {
+		t.Errorf("N = %d", w.N())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := w.Variance(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := w.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Variance() != 0 {
+		t.Errorf("variance of one sample = %v", w.Variance())
+	}
+	if w.Mean() != 42 {
+		t.Errorf("mean = %v", w.Mean())
+	}
+}
+
+// Property: Welford agrees with the naive two-pass computation.
+func TestWelfordMatchesNaiveQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, r := range raw {
+			w.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		wantVar := 0.0
+		if len(raw) >= 2 {
+			wantVar = ss / float64(len(raw))
+		}
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Variance()-wantVar) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Table I", "Utilization %", "Power (W)")
+	tb.AddRow("0", "159.5")
+	tb.AddRow("100", "232")
+	s := tb.String()
+	if !strings.Contains(s, "Table I") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "Utilization %") || !strings.Contains(s, "159.5") {
+		t.Errorf("table content missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTableAddFloats(t *testing.T) {
+	tb := NewTable("", "label", "a", "b")
+	tb.AddFloats("row", 1.23456, 42)
+	if tb.Rows[0][1] != "1.235" || tb.Rows[0][2] != "42" {
+		t.Errorf("AddFloats formatted %v", tb.Rows[0])
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row did not panic")
+		}
+	}()
+	NewTable("t", "a", "b").AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow(`has "quote", and comma`, "2")
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"has ""quote"", and comma"`) {
+		t.Errorf("quoting wrong: %q", lines[2])
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("b-series")
+	a.Add(0, 1)
+	if got := r.Series("b-series"); got != a {
+		t.Error("Series did not return the same instance")
+	}
+	r.Series("a-series")
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a-series" || names[1] != "b-series" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 1000))
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 2, 4); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("growth 1 accepted")
+	}
+	if _, err := NewHistogram(1, 2, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h, err := NewHistogram(1, 2, 10) // buckets [1,2) [2,4) ... [512,1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	// 90 units of weight at ~1.5, 10 at ~100.
+	h.Add(1.5, 90)
+	h.Add(100, 10)
+	if got := h.Quantile(0.5); got > 2 {
+		t.Errorf("p50 = %v, want within the first bucket (<= 2)", got)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 64 || p95 > 128 {
+		t.Errorf("p95 = %v, want in the bucket containing 100", p95)
+	}
+	if h.Total() != 100 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramUnderAndOverflow(t *testing.T) {
+	h, _ := NewHistogram(10, 2, 3) // covers [10, 80)
+	h.Add(1, 50)                   // underflow
+	h.Add(1e6, 50)                 // overflow -> top bucket, capped at maxSeen
+	if got := h.Quantile(0.25); got != 10 {
+		t.Errorf("underflow quantile = %v, want min 10", got)
+	}
+	if got := h.Quantile(0.99); got != 1e6 {
+		t.Errorf("overflow quantile = %v, want maxSeen 1e6", got)
+	}
+	h.Add(5, 0) // zero weight ignored
+	if h.Total() != 100 {
+		t.Errorf("Total = %v", h.Total())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, maxSeen].
+func TestHistogramMonotoneQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h, err := NewHistogram(0.5, 1.5, 24)
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			h.Add(float64(r%2000)/10+0.01, float64(r%7)+1)
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Caption", "a", "b")
+	tb.AddRow("1", "has|pipe")
+	md := tb.Markdown()
+	if !strings.Contains(md, "**Caption**") {
+		t.Error("caption missing")
+	}
+	if !strings.Contains(md, "| a | b |") {
+		t.Errorf("header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(md, `has\|pipe`) {
+		t.Errorf("pipe not escaped:\n%s", md)
+	}
+}

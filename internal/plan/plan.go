@@ -1,0 +1,231 @@
+// Package plan answers capacity-planning questions by searching over
+// Willow simulations: how much supply does a fleet need to carry a given
+// load, how much load can a given feed carry, and how much battery
+// bridges a solar-powered day. This is the operational payoff of the
+// paper's lean-provisioning argument (Section I): under-provision the
+// feed deliberately and let Willow absorb the gap — but by *how much*
+// can you under-provision? The planner binary-searches the answer
+// against the simulator.
+//
+// All searches are deterministic (fixed seeds) and bound the acceptable
+// QoS loss as a maximum shed fraction of served energy.
+package plan
+
+import (
+	"fmt"
+
+	"willow/internal/cluster"
+	"willow/internal/power"
+)
+
+// Options bound the search.
+type Options struct {
+	// MaxShedFraction is the acceptable shed demand as a fraction of
+	// energy served (default 0.002 = 0.2 %).
+	MaxShedFraction float64
+	// Quick shrinks simulation length for tests.
+	Quick bool
+	// Seed fixes the workload realization.
+	Seed uint64
+	// Modify, when non-nil, adjusts the base configuration (fleet shape,
+	// thermals) before each probe run.
+	Modify func(*cluster.Config)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxShedFraction == 0 {
+		o.MaxShedFraction = 0.002
+	}
+	if o.Seed == 0 {
+		o.Seed = 2011
+	}
+	return o
+}
+
+// probe runs the fleet at utilization u under the given supply and
+// reports the shed fraction.
+func probe(u float64, supply power.Supply, o Options) (float64, error) {
+	cfg := cluster.PaperConfig(u)
+	if o.Quick {
+		cfg.Warmup = 30
+		cfg.Ticks = 110
+	} else {
+		cfg.Warmup = 60
+		cfg.Ticks = 260
+	}
+	cfg.Seed = o.Seed
+	cfg.Supply = supply
+	if o.Modify != nil {
+		o.Modify(&cfg)
+	}
+	r, err := cluster.Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if r.TotalEnergy <= 0 {
+		return 1, nil
+	}
+	return r.DroppedWattTicks / r.TotalEnergy, nil
+}
+
+// MinSupply returns the smallest constant supply (to within tol watts)
+// that carries the paper fleet at utilization u within the shed bound.
+// The bound is measured *above the structural shed*: thermal caps (the
+// hot zone) shed a little demand no matter how much supply exists, and
+// that part is not the feed's fault.
+func MinSupply(u, tol float64, opts Options) (float64, error) {
+	o := opts.withDefaults()
+	if tol <= 0 {
+		tol = 25
+	}
+	lo := 0.0
+	hi := 18 * 450 * 1.2 // comfortably above the fleet's rating
+	structural, err := probe(u, power.Constant(hi), o)
+	if err != nil {
+		return 0, err
+	}
+	target := structural + o.MaxShedFraction
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		shed, err := probe(u, power.Constant(mid), o)
+		if err != nil {
+			return 0, err
+		}
+		if shed > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// MaxUtilization returns the highest target utilization (to within tol)
+// the paper fleet sustains under the given constant supply within the
+// shed bound. It returns 0 when even idle load sheds.
+func MaxUtilization(supplyWatts, tol float64, opts Options) (float64, error) {
+	o := opts.withDefaults()
+	if tol <= 0 {
+		tol = 0.01
+	}
+	supply := power.Constant(supplyWatts)
+	abundant := power.Constant(18 * 450 * 1.2)
+	// excess reports how much more the feed sheds than the structural
+	// (thermal-cap) shed at the same utilization.
+	excess := func(u float64) (float64, error) {
+		shed, err := probe(u, supply, o)
+		if err != nil {
+			return 0, err
+		}
+		structural, err := probe(u, abundant, o)
+		if err != nil {
+			return 0, err
+		}
+		return shed - structural, nil
+	}
+	// Start at 5 %: below that the fleet's energy base is so small that
+	// consolidation's migration-cost transients dominate the shed
+	// fraction and say nothing about capacity.
+	lo, hi := 0.05, 1.0
+	e, err := excess(lo)
+	if err != nil {
+		return 0, err
+	}
+	if e > o.MaxShedFraction {
+		return 0, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		e, err := excess(mid)
+		if err != nil {
+			return 0, err
+		}
+		if e > o.MaxShedFraction {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}
+
+// batterySupply couples a raw feed with a UPS battery, memoizing per
+// epoch so budget re-derivations within one epoch do not double-drain.
+type batterySupply struct {
+	raw    power.Supply
+	ups    *power.UPS
+	demand float64
+	cache  map[int]float64
+}
+
+func (b *batterySupply) At(t int) float64 {
+	if v, ok := b.cache[t]; ok {
+		return v
+	}
+	v := b.ups.Deliver(b.raw.At(t), b.demand)
+	b.cache[t] = v
+	return v
+}
+
+// SolarDay describes a diurnal generation profile for battery sizing.
+type SolarDay struct {
+	// PeakWatts is the midday generation; NightWatts the overnight floor
+	// (grid backstop). EpochsPerDay is the day length in supply epochs.
+	PeakWatts, NightWatts float64
+	EpochsPerDay          int
+}
+
+// supply builds the sinusoidal feed for the day.
+func (s SolarDay) supply() power.Supply {
+	base := (s.PeakWatts + s.NightWatts) / 2
+	amp := (s.PeakWatts - s.NightWatts) / 2
+	return power.Sine{Base: base, Amplitude: amp, Period: s.EpochsPerDay}
+}
+
+// BatteryCapacity returns the smallest battery (in watt-epochs, to
+// within tol) that lets the paper fleet run at utilization u through the
+// solar day within the shed bound. dischargeWatts caps the battery's
+// output power. An error is returned when no battery up to maxCapacity
+// suffices.
+func BatteryCapacity(u float64, day SolarDay, dischargeWatts, tol, maxCapacity float64, opts Options) (float64, error) {
+	o := opts.withDefaults()
+	if tol <= 0 {
+		tol = 500
+	}
+	run := func(capacity float64) (float64, error) {
+		supply := &batterySupply{
+			raw:    day.supply(),
+			ups:    power.NewUPS(capacity, dischargeWatts, 0.92),
+			demand: 18 * 450 * 0.6, // sizing draw: a loaded fleet
+			cache:  map[int]float64{},
+		}
+		return probe(u, supply, o)
+	}
+	structural, err := probe(u, power.Constant(18*450*1.2), o)
+	if err != nil {
+		return 0, err
+	}
+	target := structural + o.MaxShedFraction
+	shed, err := run(maxCapacity)
+	if err != nil {
+		return 0, err
+	}
+	if shed > target {
+		return 0, fmt.Errorf("plan: even a %v watt-epoch battery sheds %.3f%% at U=%v — raise the night floor or discharge rate",
+			maxCapacity, shed*100, u)
+	}
+	lo, hi := 0.0, maxCapacity
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		shed, err := run(mid)
+		if err != nil {
+			return 0, err
+		}
+		if shed > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

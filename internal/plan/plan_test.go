@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, MaxShedFraction: 0.005}
+}
+
+func TestMinSupplyMonotoneInLoad(t *testing.T) {
+	low, err := MinSupply(0.3, 100, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := MinSupply(0.6, 100, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= high {
+		t.Errorf("MinSupply(0.3)=%v >= MinSupply(0.6)=%v", low, high)
+	}
+	// Sanity band: the fleet at U=0.6 demands roughly
+	// 18·(135 + 0.6·315) ≈ 5832 W; consolidation can push the need lower,
+	// never higher than the full rating.
+	if high < 2500 || high > 9000 {
+		t.Errorf("MinSupply(0.6) = %v W, implausible", high)
+	}
+}
+
+func TestMinSupplyBelowNaiveProvisioning(t *testing.T) {
+	// The whole point of the paper's leanness argument: Willow needs less
+	// than the naive "every server at its rating" provisioning.
+	got, err := MinSupply(0.5, 100, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := 18.0 * 450
+	if got >= naive {
+		t.Errorf("MinSupply(0.5) = %v, not below naive %v", got, naive)
+	}
+}
+
+func TestMaxUtilizationInverseOfMinSupply(t *testing.T) {
+	supply, err := MinSupply(0.5, 100, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := MaxUtilization(supply*1.05, 0.02, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 5 % more supply than the minimum for U=0.5, the sustainable
+	// utilization must be at least near 0.5.
+	if u < 0.45 {
+		t.Errorf("MaxUtilization(minsupply·1.05) = %v, want >= 0.45", u)
+	}
+}
+
+func TestMaxUtilizationZeroSupply(t *testing.T) {
+	u, err := MaxUtilization(100, 0.02, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0 {
+		t.Errorf("MaxUtilization(100 W) = %v, want 0", u)
+	}
+}
+
+func TestBatteryCapacitySizing(t *testing.T) {
+	day := SolarDay{PeakWatts: 9000, NightWatts: 2500, EpochsPerDay: 48}
+	capNeeded, err := BatteryCapacity(0.35, day, 3000, 2000, 400000, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capNeeded <= 0 {
+		t.Error("battery sizing returned zero despite an overnight deficit")
+	}
+	// A bigger night floor needs less battery.
+	easier := SolarDay{PeakWatts: 9000, NightWatts: 4500, EpochsPerDay: 48}
+	capEasier, err := BatteryCapacity(0.35, easier, 3000, 2000, 400000, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capEasier > capNeeded {
+		t.Errorf("stronger night floor needs more battery: %v > %v", capEasier, capNeeded)
+	}
+}
+
+func TestBatteryCapacityInfeasible(t *testing.T) {
+	// No night floor, trivial discharge rate: no battery can carry it.
+	day := SolarDay{PeakWatts: 9000, NightWatts: 0, EpochsPerDay: 48}
+	if _, err := BatteryCapacity(0.6, day, 100, 2000, 50000, quickOpts()); err == nil {
+		t.Error("infeasible battery sizing did not error")
+	}
+}

@@ -1,0 +1,164 @@
+package sim
+
+import "fmt"
+
+// Process-oriented simulation. Beyond raw events, the kernel supports
+// SimPy-style processes: bodies of sequential code that sleep in
+// *simulated* time and queue on resources. Each process runs in its own
+// goroutine, but execution is strictly deterministic: exactly one of
+// {engine, some process} runs at any instant, exchanged through
+// synchronous handshakes, so the Go scheduler never influences event
+// order.
+//
+// The handshake protocol: whenever a process is running, the engine (or
+// the event that woke the process) blocks on the process's park channel.
+// The process hands control back by parking — sleeping, waiting on a
+// resource, or finishing — and is handed control by a resume signal from
+// a scheduled event.
+
+// Proc is a simulated process. Its methods may only be called from
+// within the process's own body.
+type Proc struct {
+	e      *Engine
+	name   string
+	park   chan struct{} // process -> engine: "I'm parked, carry on"
+	resume chan struct{} // engine -> process: "your wake event fired"
+	done   bool
+}
+
+// Name returns the process's label.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated tick.
+func (p *Proc) Now() Tick { return p.e.Now() }
+
+// Engine returns the engine the process runs on (to schedule raw events
+// or start further processes).
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Go starts a process whose body begins executing at the current tick
+// (after already-queued same-tick events). The body runs until it
+// returns; a body that blocks forever on a resource simply never
+// completes, like any other starved process — note that its goroutine
+// then outlives the run (parked on a channel), so simulations should be
+// constructed to quiesce: every Acquire eventually satisfiable, every
+// process eventually returning.
+func (e *Engine) Go(name string, body func(*Proc)) *Proc {
+	if body == nil {
+		panic("sim: Go with nil body")
+	}
+	p := &Proc{
+		e:      e,
+		name:   name,
+		park:   make(chan struct{}),
+		resume: make(chan struct{}),
+	}
+	e.ScheduleNamed(e.now, fmt.Sprintf("start %s", name), func(Tick) {
+		go func() {
+			body(p)
+			p.done = true
+			p.park <- struct{}{}
+		}()
+		<-p.park // run the body until it first parks or finishes
+	})
+	return p
+}
+
+// parkAndWait hands control to the engine and blocks until a wake event
+// resumes this process.
+func (p *Proc) parkAndWait() {
+	p.park <- struct{}{}
+	<-p.resume
+}
+
+// wake is the body of a wake event: it resumes the process and waits for
+// it to park again (or finish) before letting the engine continue.
+func (p *Proc) wake(Tick) {
+	p.resume <- struct{}{}
+	<-p.park
+}
+
+// Sleep suspends the process for d simulated ticks.
+func (p *Proc) Sleep(d Tick) {
+	if d < 0 {
+		panic("sim: Sleep with negative duration")
+	}
+	p.e.ScheduleNamed(p.e.now+d, fmt.Sprintf("wake %s", p.name), p.wake)
+	p.parkAndWait()
+}
+
+// Done reports whether the process body has returned. Callable from the
+// engine context (events), not from the process itself.
+func (p *Proc) Done() bool { return p.done }
+
+// Resource is a counted resource (servers, channels, tokens) with a FIFO
+// wait queue: the discipline of a single-queue service center.
+type Resource struct {
+	e        *Engine
+	capacity int
+	inUse    int
+	waiters  []resourceWaiter
+}
+
+type resourceWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{e: e, capacity: capacity}
+}
+
+// Capacity returns the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns how many processes are waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks the calling process until n units are available. FIFO:
+// a large request at the head blocks smaller ones behind it (no
+// overtaking), as in a strict queue.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: Acquire(%d) on capacity-%d resource", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resourceWaiter{p: p, n: n})
+	p.parkAndWait()
+	// By the time we are resumed, grantHead has already accounted the
+	// units to us.
+}
+
+// Release returns n units and hands them to queued waiters in FIFO
+// order. Callable from process bodies or plain events.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: Release(%d) with %d in use", n, r.inUse))
+	}
+	r.inUse -= n
+	r.grantHead()
+}
+
+// grantHead admits queue-head waiters that now fit, waking each via a
+// same-tick event so execution order stays deterministic.
+func (r *Resource) grantHead() {
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if r.inUse+head.n > r.capacity {
+			return
+		}
+		r.inUse += head.n
+		r.waiters = r.waiters[1:]
+		r.e.ScheduleNamed(r.e.now, fmt.Sprintf("grant %s", head.p.name), head.p.wake)
+	}
+}

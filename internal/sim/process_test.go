@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcRunsAndSleeps(t *testing.T) {
+	e := New()
+	var trace []Tick
+	e.Go("worker", func(p *Proc) {
+		trace = append(trace, p.Now())
+		p.Sleep(5)
+		trace = append(trace, p.Now())
+		p.Sleep(3)
+		trace = append(trace, p.Now())
+	})
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []Tick{0, 5, 8}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var order []string
+		for _, spec := range []struct {
+			name  string
+			sleep Tick
+		}{{"a", 2}, {"b", 1}, {"c", 2}} {
+			spec := spec
+			e.Go(spec.name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(spec.sleep)
+					order = append(order, spec.name)
+				}
+			})
+		}
+		if err := e.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("lengths diverged")
+		} else {
+			for i := range got {
+				if got[i] != first[i] {
+					t.Fatalf("trial %d: order diverged at %d: %v vs %v", trial, i, got, first)
+				}
+			}
+		}
+	}
+	// b sleeps 1 so it fires first.
+	if first[0] != "b" {
+		t.Errorf("first wake was %q, want b", first[0])
+	}
+}
+
+func TestProcDone(t *testing.T) {
+	e := New()
+	p := e.Go("quick", func(p *Proc) { p.Sleep(1) })
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Error("process not done after run")
+	}
+	if p.Name() != "quick" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestGoNilBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil body accepted")
+		}
+	}()
+	New().Go("x", nil)
+}
+
+func TestSleepNegativePanics(t *testing.T) {
+	e := New()
+	panicked := false
+	e.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	_ = e.Run(5)
+	if !panicked {
+		t.Error("negative sleep did not panic")
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := New()
+	r := NewResource(e, 2)
+	var acquired Tick = -1
+	e.Go("p", func(p *Proc) {
+		r.Acquire(p, 2)
+		acquired = p.Now()
+		p.Sleep(3)
+		r.Release(2)
+	})
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if acquired != 0 {
+		t.Errorf("acquired at %d, want 0 (no contention)", acquired)
+	}
+	if r.InUse() != 0 {
+		t.Errorf("in use %d after release", r.InUse())
+	}
+}
+
+func TestResourceFIFOBlocking(t *testing.T) {
+	e := New()
+	r := NewResource(e, 1)
+	var got []string
+	serve := func(name string, hold Tick) {
+		e.Go(name, func(p *Proc) {
+			r.Acquire(p, 1)
+			got = append(got, name)
+			p.Sleep(hold)
+			r.Release(1)
+		})
+	}
+	serve("first", 4)
+	serve("second", 2)
+	serve("third", 1)
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service order %v, want %v", got, want)
+		}
+	}
+	if r.QueueLen() != 0 {
+		t.Errorf("queue len %d at end", r.QueueLen())
+	}
+}
+
+func TestResourceNoOvertaking(t *testing.T) {
+	e := New()
+	r := NewResource(e, 2)
+	var got []string
+	e.Go("hog", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(5)
+		r.Release(2)
+	})
+	e.Go("big", func(p *Proc) {
+		p.Sleep(1)
+		r.Acquire(p, 2) // queues behind nothing but needs full capacity
+		got = append(got, "big")
+		r.Release(2)
+	})
+	e.Go("small", func(p *Proc) {
+		p.Sleep(2)
+		r.Acquire(p, 1) // would fit sooner, but FIFO forbids overtaking
+		got = append(got, "small")
+		r.Release(1)
+	})
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "big" || got[1] != "small" {
+		t.Errorf("order %v, want [big small]", got)
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	e := New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero capacity accepted")
+			}
+		}()
+		NewResource(e, 0)
+	}()
+	r := NewResource(e, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-release accepted")
+			}
+		}()
+		r.Release(1)
+	}()
+}
+
+// TestManyProcesses drives hundreds of interleaved processes through a
+// contended resource and checks global conservation.
+func TestManyProcesses(t *testing.T) {
+	e := New()
+	r := NewResource(e, 4)
+	finished := 0
+	for i := 0; i < 300; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			p.Sleep(Tick(i % 17))
+			r.Acquire(p, 1+i%3)
+			p.Sleep(Tick(1 + i%5))
+			r.Release(1 + i%3)
+			finished++
+		})
+	}
+	if err := e.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 300 {
+		t.Fatalf("finished %d/300 processes", finished)
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Errorf("resource not drained: inUse %d queue %d", r.InUse(), r.QueueLen())
+	}
+}
+
+func BenchmarkProcessChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		r := NewResource(e, 4)
+		for j := 0; j < 100; j++ {
+			j := j
+			e.Go("p", func(p *Proc) {
+				p.Sleep(Tick(j % 7))
+				r.Acquire(p, 1)
+				p.Sleep(2)
+				r.Release(1)
+			})
+		}
+		if err := e.Run(10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestProcEngineAndResourceAccessors(t *testing.T) {
+	e := New()
+	r := NewResource(e, 3)
+	if r.Capacity() != 3 {
+		t.Errorf("Capacity = %d", r.Capacity())
+	}
+	e.Go("p", func(p *Proc) {
+		if p.Engine() != e {
+			t.Error("Engine() returned a different engine")
+		}
+		// A process can schedule raw events on its engine.
+		p.Engine().Schedule(p.Now()+2, func(Tick) {})
+		p.Sleep(1)
+	})
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}

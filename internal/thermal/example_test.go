@@ -1,0 +1,56 @@
+package thermal_test
+
+import (
+	"fmt"
+
+	"willow/internal/thermal"
+)
+
+// Example shows the core control-relevant use of the thermal model: ask
+// how much power a server may draw over the next adjustment window
+// without crossing its temperature limit (the paper's Eq. 3), then
+// integrate the temperature forward under that power.
+func Example() {
+	m := thermal.Model{C1: 0.005, C2: 0.05, Ambient: 25, Limit: 70}
+	state := thermal.NewState(m)
+
+	cap := m.PowerLimit(state.T, 4)
+	fmt.Printf("cold-start cap: %.0f W\n", cap)
+
+	// Run hot for a while; the cap tightens toward the sustainable
+	// limit as the server warms.
+	for i := 0; i < 100; i++ {
+		state.Advance(450, 1)
+	}
+	fmt.Printf("temperature after load: %.1f °C\n", state.T)
+	fmt.Printf("warm cap: %.0f W\n", m.PowerLimit(state.T, 4))
+	fmt.Printf("sustainable forever: %.0f W\n", m.SteadyStatePowerLimit())
+
+	// Output:
+	// cold-start cap: 2482 W
+	// temperature after load: 69.7 °C
+	// warm cap: 464 W
+	// sustainable forever: 450 W
+}
+
+// ExampleCalibrate fits the thermal constants from a (power,
+// temperature) trace, the procedure behind the paper's Fig. 14.
+func ExampleCalibrate() {
+	true_ := thermal.Model{C1: 0.2, C2: 0.008, Ambient: 25, Limit: 70}
+	var samples []thermal.Sample
+	temp := 25.0
+	for i := 0; i < 60; i++ {
+		p := float64(50 + 3*i) // a rising power staircase
+		next := true_.Step(temp, p, 0.5)
+		samples = append(samples, thermal.Sample{T0: temp, T1: next, P: p, Dt: 0.5})
+		temp = next
+	}
+	c1, c2, err := thermal.Calibrate(samples, true_.Ambient)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted c1=%.3f c2=%.4f (paper's testbed: 0.2, 0.008)\n", c1, c2)
+
+	// Output:
+	// fitted c1=0.200 c2=0.0080 (paper's testbed: 0.2, 0.008)
+}

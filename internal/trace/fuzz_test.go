@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead throws arbitrary text at the trace parser: it must either
+// return an error or a trace of non-negative samples — never panic.
+func FuzzRead(f *testing.F) {
+	f.Add("100\n200\n")
+	f.Add("time,watts\n0,630\n")
+	f.Add("# comment\n\n5")
+	f.Add("a,b,c")
+	f.Add("-1")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(tr) == 0 {
+			t.Fatal("nil error with empty trace")
+		}
+		for i, v := range tr {
+			if v < 0 {
+				t.Fatalf("sample %d negative: %v", i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+// willow.go re-exports the library's public surface. The implementation
+// lives under internal/ (one package per subsystem — see DESIGN.md), and
+// this facade is what code outside this module imports:
+//
+//	import "willow"
+//
+//	tree, _ := willow.BuildHierarchy([]int{2, 3, 3})
+//	ctrl, _ := willow.NewController(tree, specs, willow.ConstantSupply(8100),
+//		willow.ControllerDefaults(), willow.NewRandom(42))
+//	ctrl.Run(400)
+//
+// Everything here is an alias or thin wrapper; the full documentation
+// sits on the underlying types.
+package willow
+
+import (
+	"willow/internal/cluster"
+	"willow/internal/core"
+	"willow/internal/dist"
+	"willow/internal/plan"
+	"willow/internal/power"
+	"willow/internal/testbed"
+	"willow/internal/thermal"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+// Controller is the Willow hierarchical controller — the paper's primary
+// contribution. See internal/core.
+type Controller = core.Controller
+
+// ControllerConfig holds the controller's tunables (η1, η2, P_min,
+// smoothing α, consolidation threshold, async and transfer knobs).
+type ControllerConfig = core.Config
+
+// ServerSpec describes one leaf server at construction time.
+type ServerSpec = core.ServerSpec
+
+// Migration records one applied workload migration.
+type Migration = core.Migration
+
+// Stats aggregates a run's control-plane measurements.
+type Stats = core.Stats
+
+// ControllerDefaults returns the paper-faithful controller parameters
+// (η1 = 4, η2 = 7, 20 % consolidation threshold).
+func ControllerDefaults() ControllerConfig { return core.Defaults() }
+
+// NewController builds a controller over the given hierarchy.
+func NewController(tree *Hierarchy, specs []ServerSpec, supply Supply, cfg ControllerConfig, rnd *Random) (*Controller, error) {
+	return core.New(tree, specs, supply, cfg, rnd)
+}
+
+// Hierarchy is the PMU/switch tree of the data center.
+type Hierarchy = topo.Tree
+
+// Node is one vertex of the hierarchy.
+type Node = topo.Node
+
+// BuildHierarchy constructs a uniform hierarchy from a fan-out list,
+// root downward; BuildHierarchy([]int{2, 3, 3}) is the paper's 18-server
+// configuration.
+func BuildHierarchy(fanout []int) (*Hierarchy, error) { return topo.Build(fanout) }
+
+// BuildIrregularHierarchy constructs a hierarchy with per-node child
+// counts (the paper's testbed is BuildIrregularHierarchy([][]int{{2}, {2, 1}})).
+func BuildIrregularHierarchy(levels [][]int) (*Hierarchy, error) {
+	return topo.BuildIrregular(levels)
+}
+
+// Supply yields the facility's power budget per supply epoch.
+type Supply = power.Supply
+
+// SupplyTrace replays a recorded supply profile (wrapping around).
+type SupplyTrace = power.Trace
+
+// ServerPowerModel maps utilization to server power draw.
+type ServerPowerModel = power.ServerModel
+
+// UPS is a battery-backed supply smoother.
+type UPS = power.UPS
+
+// ConstantSupply returns a fixed supply of the given watts.
+func ConstantSupply(watts float64) Supply { return power.Constant(watts) }
+
+// SineSupply returns a sinusoidal supply (diurnal renewables).
+func SineSupply(base, amplitude float64, period int) Supply {
+	return power.Sine{Base: base, Amplitude: amplitude, Period: period}
+}
+
+// ThermalModel is the first-order RC thermal model of the paper's Eq. 1,
+// including the Eq. 3 power limit and least-squares calibration.
+type ThermalModel = thermal.Model
+
+// App is one application/VM — the unit of migration.
+type App = workload.App
+
+// AppClass describes an application type by its power weight.
+type AppClass = workload.Class
+
+// Random is a deterministic random stream; identical seeds reproduce
+// identical runs.
+type Random = dist.Source
+
+// NewRandom returns a Random seeded with seed.
+func NewRandom(seed uint64) *Random { return dist.NewSource(seed) }
+
+// Simulation is a full data-center run configuration binding topology,
+// thermals, power, workload and controller (see internal/cluster).
+type Simulation = cluster.Config
+
+// SimulationResult carries a run's measurements (per-server power and
+// temperature, migrations, network shares, latency statistics).
+type SimulationResult = cluster.Result
+
+// PaperSimulation returns the paper's 18-server simulation configured at
+// the given mean utilization.
+func PaperSimulation(utilization float64) Simulation { return cluster.PaperConfig(utilization) }
+
+// RunSimulation executes one simulation.
+func RunSimulation(cfg Simulation) (*SimulationResult, error) { return cluster.Run(cfg) }
+
+// RunSimulations executes independent simulations concurrently, results
+// in input order.
+func RunSimulations(cfgs []Simulation) ([]*SimulationResult, error) { return cluster.RunAll(cfgs) }
+
+// TestbedResult is the outcome of an emulated 3-server testbed run.
+type TestbedResult = testbed.RunResult
+
+// TestbedDeficitRun reproduces the paper's energy-deficient experiment
+// (Figs. 15–18).
+func TestbedDeficitRun(seed uint64) (*TestbedResult, error) { return testbed.DeficitRun(seed) }
+
+// TestbedPlentyRun reproduces the consolidation experiment (Fig. 19,
+// Table III; ≈27.5 % savings).
+func TestbedPlentyRun(seed uint64) (*TestbedResult, error) { return testbed.PlentyRun(seed) }
+
+// PlanOptions bound the capacity planner's searches.
+type PlanOptions = plan.Options
+
+// MinSupply returns the leanest constant feed (within tol watts) that
+// carries the paper fleet at the given utilization within the planner's
+// shed bound.
+func MinSupply(utilization, tol float64, opts PlanOptions) (float64, error) {
+	return plan.MinSupply(utilization, tol, opts)
+}
+
+// MaxUtilization returns the highest load a constant feed sustains.
+func MaxUtilization(supplyWatts, tol float64, opts PlanOptions) (float64, error) {
+	return plan.MaxUtilization(supplyWatts, tol, opts)
+}

@@ -1,0 +1,129 @@
+package willow_test
+
+import (
+	"math"
+	"testing"
+
+	"willow"
+	"willow/internal/thermal"
+	"willow/internal/workload"
+)
+
+// TestFacadeEndToEnd drives the whole library through the public facade
+// only: build a hierarchy, attach servers and workload, run the
+// controller, and check the control loop behaved.
+func TestFacadeEndToEnd(t *testing.T) {
+	tree, err := willow.BuildHierarchy([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := thermal.Model{C1: 0.005, C2: 0.05, Ambient: 25, Limit: 70}
+	specs := make([]willow.ServerSpec, 4)
+	for i := range specs {
+		specs[i] = willow.ServerSpec{
+			Power:   willow.ServerPowerModel{Static: 50, Peak: 250},
+			Thermal: tm,
+			Apps: []*workload.App{{
+				ID:          i,
+				Class:       willow.AppClass{Name: "vm", Weight: 1},
+				Mean:        60,
+				NoiseLambda: -1,
+			}},
+		}
+	}
+	// Force a clear deficit on server 0: 140 W of demand against a
+	// 110 W circuit (the default P_min margin is 10 W).
+	specs[0].Apps[0].Mean = 90
+	specs[0].CircuitLimit = 110
+
+	ctrl, err := willow.NewController(tree, specs,
+		willow.ConstantSupply(1000), willow.ControllerDefaults(), willow.NewRandom(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Run(60)
+	if ctrl.Stats.DemandMigrations == 0 {
+		t.Error("the circuit-capped server never shed load")
+	}
+	if ctrl.Stats.PingPongs != 0 {
+		t.Errorf("ping-pongs: %d", ctrl.Stats.PingPongs)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := willow.PaperSimulation(0.5)
+	cfg.Warmup = 40
+	cfg.Ticks = 120
+	r, err := willow.RunSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MeanPower) != 18 {
+		t.Errorf("%d servers in the paper simulation, want 18", len(r.MeanPower))
+	}
+	many, err := willow.RunSimulations([]willow.Simulation{cfg, cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many[0].TotalEnergy != many[1].TotalEnergy {
+		t.Error("identical configs diverged")
+	}
+}
+
+func TestFacadeTestbed(t *testing.T) {
+	r, err := willow.TestbedPlentyRun(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Savings()-0.275) > 0.03 {
+		t.Errorf("savings %.3f, want ~0.275", r.Savings())
+	}
+	d, err := willow.TestbedDeficitRun(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Units != 30 {
+		t.Errorf("deficit run units = %d", d.Units)
+	}
+}
+
+func TestFacadeIrregularHierarchy(t *testing.T) {
+	tree, err := willow.BuildIrregularHierarchy([][]int{{2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumServers() != 3 {
+		t.Errorf("testbed hierarchy has %d servers", tree.NumServers())
+	}
+}
+
+func TestFacadeSupplies(t *testing.T) {
+	if got := willow.ConstantSupply(450).At(7); got != 450 {
+		t.Errorf("constant supply = %v", got)
+	}
+	s := willow.SineSupply(100, 50, 40)
+	if got := s.At(10); math.Abs(got-150) > 1e-9 {
+		t.Errorf("sine quarter-period = %v", got)
+	}
+	if willow.Version == "" {
+		t.Error("version empty")
+	}
+}
+
+func TestFacadePlanner(t *testing.T) {
+	opts := willow.PlanOptions{Quick: true, MaxShedFraction: 0.005}
+	w, err := willow.MinSupply(0.4, 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 || w >= 8100 {
+		t.Errorf("MinSupply(0.4) = %v, implausible", w)
+	}
+	u, err := willow.MaxUtilization(w*1.1, 0.05, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0.3 {
+		t.Errorf("MaxUtilization = %v, want >= 0.3", u)
+	}
+}
