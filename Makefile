@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench experiments report fuzz examples clean
 
 all: build test
 
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Full verification gate: build + vet, the plain test pass, and the race
+# pass. The parallel experiment engine (exp.RunMany) makes the race run
+# load-bearing — it exercises every experiment under concurrent
+# execution, so `make ci` is the bar for any change touching the harness.
+ci: build test race
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -34,11 +40,13 @@ experiments:
 report:
 	$(GO) run ./cmd/willow-exp -report docs/REPORT.md
 
-# Short fuzz pass over the parser/packer targets.
+# Short fuzz pass over the parser/packer/seed-derivation targets.
 fuzz:
 	$(GO) test -fuzz=FuzzFFDLR -fuzztime=10s ./internal/binpack
 	$(GO) test -fuzz=FuzzMatchFFD -fuzztime=10s ./internal/binpack
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzReplicationSeeds -fuzztime=10s ./internal/exp
+	$(GO) test -fuzz=FuzzOptionsSeed -fuzztime=10s ./internal/exp
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -11,6 +11,8 @@
 package willow_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"willow/internal/exp"
@@ -27,6 +29,46 @@ func benchExperiment(b *testing.B, id string) {
 			for _, n := range res.Notes {
 				b.Logf("%s: %s", id, n)
 			}
+		}
+	}
+}
+
+// Whole-suite benchmarks: the sequential walk versus the RunMany worker
+// pool over every registered experiment. Their ratio is the headline
+// speedup of the parallel engine; rendered output is byte-identical
+// between the two (verified by TestRunManyMatchesSequential in
+// internal/exp), so the comparison is pure scheduling.
+
+func BenchmarkAllSequential(b *testing.B) {
+	ids := exp.IDs()
+	b.ReportMetric(float64(len(ids)), "experiments/op")
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			if _, err := exp.Run(id, exp.Options{Quick: true}); err != nil {
+				b.Fatalf("%s: %v", id, err)
+			}
+		}
+	}
+}
+
+func BenchmarkAllParallel(b *testing.B) {
+	ids := exp.IDs()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunMany(context.Background(), ids, exp.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllParallelReps8 times the replication fan-out: every
+// experiment × 8 derived seeds with mean ± CI aggregation — the sweep
+// shape the sensitivity studies use.
+func BenchmarkAllParallelReps8(b *testing.B) {
+	ids := exp.IDs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunMany(context.Background(), ids, exp.Options{Quick: true, Replications: 8}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -8,38 +8,47 @@
 //	willow-exp -all
 //
 // Quick mode (-quick) shrinks run lengths for a fast smoke pass; the
-// shapes remain but averages get noisier.
+// shapes remain but averages get noisier. -reps N replicates each
+// experiment N times under independent derived seeds and reports
+// mean ± 95 % CI tables; -parallel bounds the worker pool (0 =
+// GOMAXPROCS — results never depend on it, only wall-clock does).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"runtime"
 	"strings"
-	"sync"
 
 	"willow/internal/exp"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		run    = flag.String("run", "", "experiment id to run (e.g. fig5, table3)")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "shrink run lengths (smoke mode)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		seed   = flag.Uint64("seed", 0, "override the deterministic seed (0 = default)")
-		save   = flag.String("save", "", "write each experiment's CSV and notes under this directory")
-		report = flag.String("report", "", "run every experiment and write a single markdown report here")
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id to run (e.g. fig5, table3)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "shrink run lengths (smoke mode)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		seed    = flag.Uint64("seed", 0, "override the deterministic seed (0 = default)")
+		reps    = flag.Int("reps", 0, "seeded replications per experiment (aggregated as mean ± 95% CI)")
+		workers = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = sequential)")
+		save    = flag.String("save", "", "write each experiment's CSV and notes under this directory")
+		report  = flag.String("report", "", "run every experiment and write a single markdown report here")
 	)
 	flag.Parse()
 
-	opts := exp.Options{Quick: *quick, Seed: *seed}
+	opts := exp.Options{Quick: *quick, Seed: *seed, Replications: *reps, Workers: *workers}
+
+	// Ctrl-C stops scheduling new runs; in-flight simulations finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *report != "" {
-		if err := writeReport(*report, opts); err != nil {
+		if err := writeReport(ctx, *report, opts); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *report)
@@ -56,9 +65,9 @@ func main() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
 	case *all:
-		// Experiments are independent; run them concurrently and print in
+		// Experiments are independent; run them on the pool and print in
 		// registry order.
-		results, err := runAll(opts)
+		results, err := exp.RunMany(ctx, exp.IDs(), opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -69,7 +78,7 @@ func main() {
 			fmt.Println()
 		}
 	case *run != "":
-		if err := runOne(*run, opts, *csv, *save); err != nil {
+		if err := runOne(ctx, *run, opts, *csv, *save); err != nil {
 			fatal(err)
 		}
 	default:
@@ -78,38 +87,12 @@ func main() {
 	}
 }
 
-// runAll executes every registered experiment concurrently (bounded by
-// GOMAXPROCS) and returns results in registry order.
-func runAll(opts exp.Options) ([]*exp.Result, error) {
-	ids := exp.IDs()
-	results := make([]*exp.Result, len(ids))
-	errs := make([]error, len(ids))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(i int, id string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = exp.Run(id, opts)
-		}(i, id)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", ids[i], err)
-		}
-	}
-	return results, nil
-}
-
-func runOne(id string, opts exp.Options, csv bool, saveDir string) error {
-	res, err := exp.Run(id, opts)
+func runOne(ctx context.Context, id string, opts exp.Options, csv bool, saveDir string) error {
+	results, err := exp.RunMany(ctx, []string{id}, opts)
 	if err != nil {
 		return err
 	}
-	return emit(id, res, csv, saveDir)
+	return emit(id, results[0], csv, saveDir)
 }
 
 // emit prints one experiment's result and optionally saves it.
@@ -144,11 +127,11 @@ func emit(id string, res *exp.Result, csv bool, saveDir string) error {
 
 // writeReport regenerates every experiment and assembles one markdown
 // document: title, table, notes per artifact.
-func writeReport(path string, opts exp.Options) error {
+func writeReport(ctx context.Context, path string, opts exp.Options) error {
 	var sb strings.Builder
 	sb.WriteString("# Willow — regenerated evaluation\n\n")
 	sb.WriteString("Produced by `willow-exp -report`; every table below is a live run.\n\n")
-	results, err := runAll(opts)
+	results, err := exp.RunMany(ctx, exp.IDs(), opts)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,17 @@
 // regenerates every table and figure of the paper's evaluation. See
 // README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the paper-vs-measured record.
+//
+// # Parallel execution and replications
+//
+// Each experiment is a closed deterministic simulation, so the harness
+// (internal/exp) fans experiments — and, with Options.Replications,
+// N independently seeded replications of each — across a bounded worker
+// pool (internal/parallel). Replication seeds are derived by index from
+// one SplitMix64 stream and results land in preallocated slots, so the
+// rendered tables are byte-identical for any worker count; replicated
+// runs aggregate to mean ± 95 % CI tables. See the "Parallel execution
+// & replications" section of EXPERIMENTS.md for the full argument.
 package willow
 
 // Version identifies this reproduction's release.

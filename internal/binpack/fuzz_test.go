@@ -13,6 +13,13 @@ func FuzzFFDLR(f *testing.F) {
 	f.Add([]byte{10, 20, 30}, []byte{40, 100})
 	f.Add([]byte{}, []byte{1})
 	f.Add([]byte{255, 1, 128}, []byte{255})
+	// Adversarial shapes surfaced by the parallel-harness audit: an empty
+	// deficit list against no sizes, zero-capacity bins (filtered to an
+	// empty size list), and an item larger than every bin size.
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{50}, []byte{0, 0, 0})
+	f.Add([]byte{255}, []byte{1, 1})
+	f.Add([]byte{1}, []byte{255, 0, 1})
 	f.Fuzz(func(t *testing.T, rawItems, rawSizes []byte) {
 		if len(rawItems) > 64 || len(rawSizes) > 8 {
 			return // keep instances small enough to pack quickly
@@ -65,6 +72,12 @@ func FuzzFFDLR(f *testing.F) {
 func FuzzMatchFFD(f *testing.F) {
 	f.Add([]byte{50, 20, 90}, []byte{100, 60})
 	f.Add([]byte{0}, []byte{})
+	// Zero-capacity bins must take nothing; zero-size items must still be
+	// accounted exactly once; and the empty/empty instance must not panic.
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{10, 20}, []byte{0, 0})
+	f.Add([]byte{0, 0, 0}, []byte{0})
+	f.Add([]byte{255, 255}, []byte{255, 0, 1})
 	f.Fuzz(func(t *testing.T, rawItems, rawBins []byte) {
 		if len(rawItems) > 64 || len(rawBins) > 32 {
 			return

@@ -19,8 +19,18 @@ type Options struct {
 	// Quick shrinks run lengths and sweep densities for smoke tests and
 	// benchmarks; the shapes remain, the averages get noisier.
 	Quick bool
-	// Seed overrides the default deterministic seed when non-zero.
+	// Seed overrides the default deterministic seed when non-zero. Under
+	// Replications > 1 it instead seeds the SplitMix64 stream that the
+	// per-replication seeds are drawn from.
 	Seed uint64
+	// Replications, when > 1, makes RunMany execute each experiment that
+	// many times with independent SplitMix64-derived seeds and aggregate
+	// the runs into one mean ± 95 % CI table. 0 and 1 both mean a single
+	// run whose output is byte-identical to Run.
+	Replications int
+	// Workers bounds RunMany's worker pool; 0 means GOMAXPROCS. Results
+	// do not depend on it — only wall-clock time does.
+	Workers int
 }
 
 func (o Options) seed(def uint64) uint64 {
@@ -38,6 +48,11 @@ type Experiment struct {
 	Title string
 	// Run executes the experiment.
 	Run Runner
+	// Timing marks experiments whose tables embed wall-clock
+	// measurements. They are seeded like every other experiment but their
+	// rendered cells legitimately vary run to run, so the determinism
+	// contract (byte-identical output for equal Options) excludes them.
+	Timing bool
 }
 
 // Runner executes an experiment and renders its result.
@@ -60,6 +75,15 @@ func register(id, title string, run Runner) {
 		panic("exp: duplicate experiment id " + id)
 	}
 	registry[id] = Experiment{ID: id, Title: title, Run: run}
+}
+
+// registerTiming registers an experiment whose output embeds wall-clock
+// measurements (see Experiment.Timing).
+func registerTiming(id, title string, run Runner) {
+	register(id, title, run)
+	e := registry[id]
+	e.Timing = true
+	registry[id] = e
 }
 
 // Get returns the experiment with the given ID.

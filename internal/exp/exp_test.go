@@ -11,6 +11,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
+			t.Parallel() // doubles as a race-detector stress of the fan-out path
 			res, err := Run(id, Options{Quick: true})
 			if err != nil {
 				t.Fatalf("%s: %v", id, err)
@@ -56,12 +57,35 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestGetUnknown(t *testing.T) {
-	if _, err := Get("nope"); err == nil {
-		t.Error("unknown id accepted")
+	_, err := Get("nope")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// The message embeds the queried id and the full registry listing so a
+	// typo on the CLI is self-correcting.
+	if msg := err.Error(); !strings.Contains(msg, `"nope"`) {
+		t.Errorf("error %q does not name the unknown id", msg)
+	} else if !strings.Contains(msg, "fig5") || !strings.Contains(msg, "table3") {
+		t.Errorf("error %q does not list the known ids", msg)
 	}
 	if _, err := Run("nope", Options{}); err == nil {
 		t.Error("Run with unknown id succeeded")
 	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate register did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "fig5") {
+			t.Errorf("panic %v does not name the duplicate id", r)
+		}
+	}()
+	// fig5 is registered by sim_experiments.go's init; the dup check runs
+	// before any mutation, so the registry is untouched.
+	register("fig5", "duplicate", func(Options) (*Result, error) { return nil, nil })
 }
 
 func TestSeedOverride(t *testing.T) {

@@ -17,7 +17,7 @@ func init() {
 	register("ext-ipc", "Extension (§VI) — IPC-heavy workloads and migration", runExtIPC)
 	register("ext-device", "Extension (§VI) — component-level (level-0) power control", runExtDevice)
 	register("prop-convergence", "Section V-A1 — δ-convergence and the Δ_D safety rule", runPropConvergence)
-	register("prop-scaling", "Section V-A2 — decision complexity as the data center grows", runPropScaling)
+	registerTiming("prop-scaling", "Section V-A2 — decision complexity as the data center grows", runPropScaling)
 }
 
 // runExtQoS implements the paper's future-work QoS classes: three

@@ -1,0 +1,58 @@
+package exp
+
+import "testing"
+
+// FuzzReplicationSeeds checks the seed-derivation invariants for
+// arbitrary stream bases: derivation is a pure function of (base, n), no
+// derived seed is zero (zero means "experiment default" in Options and
+// would silently collapse a replication onto the unseeded run), and
+// seeds within a run are pairwise distinct — SplitMix64's output mix is
+// a bijection over distinct counter states, so a collision would mean
+// the derivation is broken.
+func FuzzReplicationSeeds(f *testing.F) {
+	f.Add(uint64(0), byte(4))
+	f.Add(replicationBase, byte(16))
+	f.Add(uint64(1), byte(0))
+	f.Add(^uint64(0), byte(32))
+	f.Add(uint64(0x9e3779b97f4a7c15), byte(8)) // base = the SplitMix64 increment
+	f.Fuzz(func(t *testing.T, base uint64, nRaw byte) {
+		n := int(nRaw % 64)
+		seeds := ReplicationSeeds(base, n)
+		if len(seeds) != n {
+			t.Fatalf("got %d seeds, want %d", len(seeds), n)
+		}
+		again := ReplicationSeeds(base, n)
+		seen := map[uint64]bool{}
+		for i, s := range seeds {
+			if s == 0 {
+				t.Fatalf("seed %d is zero", i)
+			}
+			if again[i] != s {
+				t.Fatalf("seed %d not deterministic: %#x vs %#x", i, s, again[i])
+			}
+			if seen[s] {
+				t.Fatalf("seed %#x derived twice", s)
+			}
+			seen[s] = true
+		}
+	})
+}
+
+// FuzzOptionsSeed pins the Options.Seed contract RunMany relies on: a
+// zero Seed defers to the experiment default, anything else overrides it
+// verbatim.
+func FuzzOptionsSeed(f *testing.F) {
+	f.Add(uint64(0), uint64(2011))
+	f.Add(uint64(42), uint64(2011))
+	f.Add(^uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, seed, def uint64) {
+		got := Options{Seed: seed}.seed(def)
+		want := seed
+		if seed == 0 {
+			want = def
+		}
+		if got != want {
+			t.Fatalf("Options{Seed:%d}.seed(%d) = %d, want %d", seed, def, got, want)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package exp
+
+// Parallel execution and seeded replications.
+//
+// Every experiment is an independent deterministic simulation: its only
+// inputs are Options, and all randomness flows from dist.Source streams
+// seeded by Options.Seed (or the experiment's registered default). That
+// makes the fan-out trivial to reason about — RunMany schedules
+// (experiment, replication) pairs on a bounded worker pool and writes
+// each result into a preallocated slot, so the rendered output is
+// byte-identical regardless of worker count or completion order.
+//
+// Replication seeds are drawn from a single SplitMix64 stream seeded by
+// Options.Seed (default: replicationBase), indexed by replication
+// number. Deriving by index — never by scheduling order — is what keeps
+// N-replication runs deterministic under any parallelism.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"willow/internal/dist"
+	"willow/internal/metrics"
+	"willow/internal/parallel"
+)
+
+// replicationBase seeds the replication seed stream when Options.Seed is
+// zero. The constant spells "willow" in ASCII.
+const replicationBase uint64 = 0x77696c6c6f77
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) replications() int {
+	if o.Replications > 1 {
+		return o.Replications
+	}
+	return 1
+}
+
+// ReplicationSeeds derives n per-replication seeds from one SplitMix64
+// stream seeded with base. The result depends only on (base, n-index):
+// seed i is the i-th output of the stream, re-drawn in the (1/2^64)
+// case where it would be zero, since a zero Options.Seed means "use the
+// experiment default" and would silently collapse the replication onto
+// the unseeded run.
+func ReplicationSeeds(base uint64, n int) []uint64 {
+	src := dist.NewSource(base)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		s := src.Uint64()
+		for s == 0 {
+			s = src.Uint64()
+		}
+		seeds[i] = s
+	}
+	return seeds
+}
+
+// RunMany executes the given experiments on a bounded worker pool
+// (Options.Workers, default GOMAXPROCS) and returns results in ids
+// order. With Options.Replications > 1 each experiment is fanned out
+// into that many independently seeded runs, aggregated per experiment
+// into a mean ± 95 % CI table; otherwise each result is byte-identical
+// to a sequential Run with the same Options.
+//
+// The pool aborts on the first failure (reporting the lowest-indexed
+// error) and stops scheduling new runs when ctx is cancelled; runs
+// already in flight complete, since experiments do not observe ctx.
+func RunMany(ctx context.Context, ids []string, opts Options) ([]*Result, error) {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, err := Get(id)
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = e
+	}
+
+	reps := opts.replications()
+	seeds := ReplicationSeeds(opts.seed(replicationBase), reps)
+	repResults := make([][]*Result, len(ids))
+	for i := range repResults {
+		repResults[i] = make([]*Result, reps)
+	}
+
+	err := parallel.ForEach(ctx, len(ids)*reps, opts.workers(), func(_ context.Context, t int) error {
+		i, r := t/reps, t%reps
+		ro := opts
+		ro.Replications = 0
+		ro.Workers = 0
+		if reps > 1 {
+			ro.Seed = seeds[r]
+		}
+		res, err := exps[i].Run(ro)
+		if err != nil {
+			return fmt.Errorf("%s (replication %d): %w", exps[i].ID, r, err)
+		}
+		repResults[i][r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*Result, len(ids))
+	for i := range out {
+		if reps == 1 {
+			out[i] = repResults[i][0]
+			continue
+		}
+		agg, err := aggregateReplications(exps[i], repResults[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = agg
+	}
+	return out, nil
+}
+
+// aggregateReplications folds N seeded runs of one experiment into a
+// single Result: numeric cells that vary across replications become
+// mean and 95 % CI half-width columns, stable cells pass through, and
+// the first replication's notes are kept with their provenance marked.
+func aggregateReplications(e Experiment, reps []*Result) (*Result, error) {
+	tables := make([]*metrics.Table, len(reps))
+	for i, r := range reps {
+		tables[i] = r.Table
+	}
+	agg, err := metrics.AggregateTables(tables)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	agg.Title = fmt.Sprintf("%s — mean ± 95%% CI over %d replications", agg.Title, len(reps))
+	notes := []string{
+		fmt.Sprintf("%d seeded replications; varying numeric cells report the mean with a 95%% CI half-width", len(reps)),
+	}
+	for _, n := range reps[0].Notes {
+		notes = append(notes, "rep[0]: "+n)
+	}
+	return &Result{Table: agg, Notes: notes}, nil
+}

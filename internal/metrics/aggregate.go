@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// AggregateTables combines replicated renderings of the same table —
+// one per seeded run — into a single summary table. All inputs must
+// have identical shape (columns and row count); the usual producer is
+// one experiment re-run under different seeds, which varies cell values
+// but never the grid.
+//
+// Columns are classified by their cells across every replication:
+//
+//   - a column whose cells all parse as numbers AND differ between
+//     replications is aggregated: it becomes two output columns, the
+//     per-row mean and the 95 % confidence-interval half-width;
+//   - every other column (labels, and numeric columns that are
+//     bit-identical across replications, e.g. an x-axis) passes through
+//     from the first replication unchanged.
+//
+// The classification depends only on cell contents, so the output is
+// deterministic in the inputs.
+func AggregateTables(tables []*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("metrics: no tables to aggregate")
+	}
+	first := tables[0]
+	for k, t := range tables[1:] {
+		if len(t.Columns) != len(first.Columns) || len(t.Rows) != len(first.Rows) {
+			return nil, fmt.Errorf("metrics: replication %d is %d×%d, first is %d×%d",
+				k+1, len(t.Rows), len(t.Columns), len(first.Rows), len(first.Columns))
+		}
+		for j, name := range t.Columns {
+			if name != first.Columns[j] {
+				return nil, fmt.Errorf("metrics: replication %d column %d is %q, first is %q", k+1, j, name, first.Columns[j])
+			}
+		}
+	}
+
+	aggregated := make([]bool, len(first.Columns))
+	for j := range first.Columns {
+		numeric, varies := true, false
+	scan:
+		for i := range first.Rows {
+			ref := first.Rows[i][j]
+			for _, t := range tables {
+				c := t.Rows[i][j]
+				if _, err := strconv.ParseFloat(c, 64); err != nil {
+					numeric = false
+					break scan
+				}
+				if c != ref {
+					varies = true
+				}
+			}
+		}
+		aggregated[j] = numeric && varies
+	}
+
+	cols := make([]string, 0, len(first.Columns))
+	for j, name := range first.Columns {
+		if aggregated[j] {
+			cols = append(cols, name+" (mean)", name+" (±95% CI)")
+		} else {
+			cols = append(cols, name)
+		}
+	}
+	out := NewTable(first.Title, cols...)
+	for i := range first.Rows {
+		row := make([]string, 0, len(cols))
+		for j := range first.Columns {
+			if !aggregated[j] {
+				row = append(row, first.Rows[i][j])
+				continue
+			}
+			var w Welford
+			for _, t := range tables {
+				v, err := strconv.ParseFloat(t.Rows[i][j], 64)
+				if err != nil { // unreachable: classification parsed every cell
+					return nil, fmt.Errorf("metrics: cell (%d,%d) %q: %w", i, j, t.Rows[i][j], err)
+				}
+				w.Add(v)
+			}
+			row = append(row, fmt.Sprintf("%.4g", w.Mean()), fmt.Sprintf("±%.3g", w.CI95Half()))
+		}
+		out.AddRow(row...)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func replicatedTables() []*Table {
+	// Three replications of a sweep table: column 0 is a label, column 1
+	// a seed-independent x-axis, column 2 varies across seeds, column 3
+	// is non-numeric.
+	mk := func(v1, v2 float64, zone string) *Table {
+		t := NewTable("sweep", "point", "utilization", "power", "zone")
+		t.AddRow("a", "0.2", strconv.FormatFloat(v1, 'g', -1, 64), zone)
+		t.AddRow("b", "0.8", strconv.FormatFloat(v2, 'g', -1, 64), zone)
+		return t
+	}
+	return []*Table{mk(10, 40, "hot"), mk(12, 44, "hot"), mk(14, 42, "hot")}
+}
+
+func TestAggregateTables(t *testing.T) {
+	agg, err := AggregateTables(replicatedTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"point", "utilization", "power (mean)", "power (±95% CI)", "zone"}
+	if len(agg.Columns) != len(wantCols) {
+		t.Fatalf("columns %v, want %v", agg.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if agg.Columns[i] != c {
+			t.Fatalf("column %d = %q, want %q", i, agg.Columns[i], c)
+		}
+	}
+	// Row a: mean(10,12,14) = 12; CI = 1.96·s/√3 with s = 2.
+	if got := agg.Rows[0][2]; got != "12" {
+		t.Errorf("mean cell = %q, want 12", got)
+	}
+	ci, err := strconv.ParseFloat(strings.TrimPrefix(agg.Rows[0][3], "±"), 64)
+	if err != nil {
+		t.Fatalf("CI cell %q: %v", agg.Rows[0][3], err)
+	}
+	if want := 1.96 * 2 / math.Sqrt(3); math.Abs(ci-want) > 0.01 {
+		t.Errorf("CI half-width = %v, want ≈%v", ci, want)
+	}
+	// Pass-through cells are verbatim.
+	if agg.Rows[1][0] != "b" || agg.Rows[1][1] != "0.8" || agg.Rows[1][4] != "hot" {
+		t.Errorf("pass-through row altered: %v", agg.Rows[1])
+	}
+}
+
+func TestAggregateTablesIdenticalReplications(t *testing.T) {
+	// Seed-independent experiments replicate to bit-identical tables; the
+	// aggregate must be a pure pass-through (no spurious ±0 columns).
+	tables := []*Table{replicatedTables()[0], replicatedTables()[0]}
+	agg, err := AggregateTables(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.String() != tables[0].String() {
+		t.Errorf("identical replications not passed through:\n%s\nvs\n%s", agg.String(), tables[0].String())
+	}
+}
+
+func TestAggregateTablesSingle(t *testing.T) {
+	in := replicatedTables()[0]
+	agg, err := AggregateTables([]*Table{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.String() != in.String() {
+		t.Error("single table not passed through")
+	}
+}
+
+func TestAggregateTablesErrors(t *testing.T) {
+	if _, err := AggregateTables(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	a := NewTable("t", "x", "y")
+	a.AddRow("1", "2")
+	b := NewTable("t", "x", "y")
+	if _, err := AggregateTables([]*Table{a, b}); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	c := NewTable("t", "x", "z")
+	c.AddRow("1", "2")
+	if _, err := AggregateTables([]*Table{a, c}); err == nil {
+		t.Error("column-name mismatch accepted")
+	}
+}
+
+func TestWelfordSampleCI(t *testing.T) {
+	var w Welford
+	if w.SampleVariance() != 0 || w.CI95Half() != 0 {
+		t.Error("empty Welford has non-zero spread")
+	}
+	w.Add(5)
+	if w.SampleVariance() != 0 || w.CI95Half() != 0 {
+		t.Error("single-sample Welford has non-zero spread")
+	}
+	w = Welford{}
+	for _, x := range []float64{10, 12, 14} {
+		w.Add(x)
+	}
+	if got, want := w.SampleVariance(), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if got, want := w.CI95Half(), 1.96*2/math.Sqrt(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95Half = %v, want %v", got, want)
+	}
+	// Population variance (n divisor) stays distinct from the sample one.
+	if got, want := w.Variance(), 8.0/3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}

@@ -132,6 +132,27 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// SampleVariance returns the unbiased (n−1) sample variance (0 with
+// fewer than 2 samples).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// CI95Half returns the half-width of the normal-approximation 95 %
+// confidence interval for the mean: 1.96·s/√n (0 with fewer than 2
+// samples). Replication counts are small, so this understates the
+// t-distribution interval slightly; the harness reports it as a spread
+// indicator, not a significance test.
+func (w *Welford) CI95Half() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * math.Sqrt(w.SampleVariance()/float64(w.n))
+}
+
 // Counter is a monotonically growing event count.
 type Counter struct{ n int64 }
 

@@ -1,0 +1,90 @@
+// Package parallel provides the bounded fan-out primitive shared by the
+// experiment harness and the CLI: run n independent tasks on a fixed-size
+// worker pool, abort on the first failure, and honor context
+// cancellation.
+//
+// The package deliberately contains no policy: callers decide what a
+// task is (a simulation, an experiment replication, a sweep point) and
+// how results are collected (typically an index-addressed slice, which
+// keeps output order independent of scheduling order — the foundation of
+// the harness's determinism guarantee).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a pool of at most
+// workers goroutines. workers <= 0 means GOMAXPROCS. Indices are handed
+// out in increasing order, but tasks complete in any order; callers that
+// need deterministic output should write into a preallocated slice at
+// index i.
+//
+// On the first failure the pool stops handing out new indices and the
+// context passed to still-running tasks is cancelled; ForEach then waits
+// for them to finish and returns the error with the lowest index (so the
+// reported failure is stable regardless of scheduling). If the parent
+// context is cancelled before all tasks start, ForEach returns its
+// error; tasks already started always run to completion.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next      atomic.Int64 // next index to hand out
+		completed atomic.Int64 // tasks that ran to success
+		mu        sync.Mutex
+		firstIdx  int
+		firstErr  error
+	)
+	next.Store(-1)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					record(i, err)
+					return
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	if completed.Load() != int64(n) {
+		// Cancelled before every task could start.
+		return ctx.Err()
+	}
+	return nil
+}

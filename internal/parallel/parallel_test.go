@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{0, 1, 4, n, n * 2} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			counts := make([]atomic.Int64, n)
+			err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+				counts[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ForEach: %v", err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("index %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Index 7 fails instantly; index 3 fails after a delay. The pool must
+	// report index 3's error no matter which was recorded first.
+	err := ForEach(context.Background(), 10, 4, func(_ context.Context, i int) error {
+		switch i {
+		case 3:
+			time.Sleep(20 * time.Millisecond)
+			return errA
+		case 7:
+			return errB
+		default:
+			return nil
+		}
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want lowest-index error %v", err, errA)
+	}
+}
+
+func TestForEachAbortsAfterFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := ForEach(context.Background(), 1000, 1, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	// With one worker the pool is strictly sequential: indices 0, 1, 2
+	// start, then the failure stops the hand-out.
+	if got := started.Load(); got != 3 {
+		t.Fatalf("%d tasks started after an index-2 failure with 1 worker", got)
+	}
+}
+
+func TestForEachHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 50, 4, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d tasks ran under a pre-cancelled context", got)
+	}
+}
+
+func TestForEachCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 1000, 2, func(_ context.Context, i int) error {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not stop the hand-out (%d ran)", got)
+	}
+}
+
+// TestForEachDeterministicCollection is the pattern RunMany relies on:
+// writes into a preallocated slice at index i are ordered regardless of
+// worker count.
+func TestForEachDeterministicCollection(t *testing.T) {
+	const n = 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		out := make([]int, n)
+		if err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+}

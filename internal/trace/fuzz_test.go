@@ -13,6 +13,15 @@ func FuzzRead(f *testing.F) {
 	f.Add("# comment\n\n5")
 	f.Add("a,b,c")
 	f.Add("-1")
+	// Single-tick traces and degenerate layouts from the parallel-harness
+	// audit: one bare sample, one sample with trailing newline, a
+	// header-only CSV, a zero sample, and comment/blank-only input.
+	f.Add("630")
+	f.Add("0\n")
+	f.Add("time,watts\n")
+	f.Add("# only a comment\n")
+	f.Add("\n\n\n")
+	f.Add("1e300\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		tr, err := Read(strings.NewReader(input))
 		if err != nil {
