@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline experiments report fuzz examples clean
 
 all: build test
 
@@ -17,11 +17,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full verification gate: build + vet, the plain test pass, and the race
-# pass. The parallel experiment engine (exp.RunMany) makes the race run
-# load-bearing — it exercises every experiment under concurrent
-# execution, so `make ci` is the bar for any change touching the harness.
-ci: build test race
+# Full verification gate: build + vet, the plain test pass, the race
+# pass, and the allocation gate. The parallel experiment engine
+# (exp.RunMany) makes the race run load-bearing — it exercises every
+# experiment under concurrent execution — and bench-smoke keeps the
+# telemetry layer's zero-overhead-when-disabled promise honest, so
+# `make ci` is the bar for any change touching the harness.
+ci: build test race bench-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -31,6 +33,19 @@ cover:
 # headline notes.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Allocation gate: one pass over the whole-suite benchmarks (nil sink
+# and no-op telemetry sink), failing if allocs/op regress more than 10 %
+# against the checked-in baseline. Alloc counts are machine-stable;
+# timings are not compared.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkAllSequential(Events)?$$' -benchtime 1x -benchmem . > bench_smoke.txt
+	$(GO) run ./internal/tools/benchguard -input bench_smoke.txt -baseline docs/bench_baseline.txt
+
+# Rewrite the baseline after an intentional allocation change.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '^BenchmarkAllSequential(Events)?$$' -benchtime 1x -benchmem . > bench_smoke.txt
+	$(GO) run ./internal/tools/benchguard -input bench_smoke.txt -baseline docs/bench_baseline.txt -update
 
 # Regenerate the full evaluation section at full fidelity.
 experiments:
@@ -47,6 +62,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzReplicationSeeds -fuzztime=10s ./internal/exp
 	$(GO) test -fuzz=FuzzOptionsSeed -fuzztime=10s ./internal/exp
+	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/telemetry
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -57,4 +73,4 @@ examples:
 	$(GO) run ./examples/failover
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt

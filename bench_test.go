@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"willow/internal/exp"
+	"willow/internal/telemetry"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -45,6 +46,23 @@ func BenchmarkAllSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, id := range ids {
 			if _, err := exp.Run(id, exp.Options{Quick: true}); err != nil {
+				b.Fatalf("%s: %v", id, err)
+			}
+		}
+	}
+}
+
+// BenchmarkAllSequentialEvents is BenchmarkAllSequential with every
+// simulation publishing its full telemetry stream into a no-op sink —
+// the enabled-dispatch overhead. Both it and the nil-sink walk above
+// are alloc-gated by `make bench-smoke` (internal/tools/benchguard), so
+// neither the disabled nor the enabled path can quietly grow
+// allocations.
+func BenchmarkAllSequentialEvents(b *testing.B) {
+	ids := exp.IDs()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			if _, err := exp.Run(id, exp.Options{Quick: true, EventSink: telemetry.Discard}); err != nil {
 				b.Fatalf("%s: %v", id, err)
 			}
 		}

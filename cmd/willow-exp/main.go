@@ -24,24 +24,34 @@ import (
 	"strings"
 
 	"willow/internal/exp"
+	"willow/internal/telemetry"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment id to run (e.g. fig5, table3)")
-		all     = flag.Bool("all", false, "run every experiment")
-		quick   = flag.Bool("quick", false, "shrink run lengths (smoke mode)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		seed    = flag.Uint64("seed", 0, "override the deterministic seed (0 = default)")
-		reps    = flag.Int("reps", 0, "seeded replications per experiment (aggregated as mean ± 95% CI)")
-		workers = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = sequential)")
-		save    = flag.String("save", "", "write each experiment's CSV and notes under this directory")
-		report  = flag.String("report", "", "run every experiment and write a single markdown report here")
+		list         = flag.Bool("list", false, "list available experiments")
+		run          = flag.String("run", "", "experiment id to run (e.g. fig5, table3)")
+		all          = flag.Bool("all", false, "run every experiment")
+		quick        = flag.Bool("quick", false, "shrink run lengths (smoke mode)")
+		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		seed         = flag.Uint64("seed", 0, "override the deterministic seed (0 = default)")
+		reps         = flag.Int("reps", 0, "seeded replications per experiment (aggregated as mean ± 95% CI)")
+		workers      = flag.Int("parallel", 0, "max concurrent experiment runs (0 = GOMAXPROCS, 1 = sequential)")
+		save         = flag.String("save", "", "write each experiment's CSV and notes under this directory")
+		report       = flag.String("report", "", "run every experiment and write a single markdown report here")
+		events       = flag.String("events", "", "write per-run JSONL event streams and summary reports under this directory")
+		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in streams (budget,migration,throttle,sleep-wake,failure,qos; default all)")
 	)
 	flag.Parse()
 
 	opts := exp.Options{Quick: *quick, Seed: *seed, Replications: *reps, Workers: *workers}
+	if *events != "" {
+		sinks, err := eventSinkFactory(*events, *eventsFilter, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		opts.EventSinks = sinks
+	}
 
 	// Ctrl-C stops scheduling new runs; in-flight simulations finish.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -153,6 +163,36 @@ func writeReport(ctx context.Context, path string, opts exp.Options) error {
 		sb.WriteByte('\n')
 	}
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// eventSinkFactory returns the per-(experiment, replication) sink
+// constructor RunMany installs on each task: <dir>/<id>.jsonl (or
+// <id>.rep<r>.jsonl under -reps) plus a matching .summary.txt report.
+// Each task owns its own file, so the files are byte-identical for any
+// -parallel setting.
+func eventSinkFactory(dir, filter string, reps int) (func(id string, rep int) (telemetry.Sink, error), error) {
+	keep := telemetry.AllKinds
+	if filter != "" {
+		var err error
+		if keep, err = telemetry.ParseKindSet(filter); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return func(id string, rep int) (telemetry.Sink, error) {
+		base := id
+		if reps > 1 {
+			base = fmt.Sprintf("%s.rep%d", id, rep)
+		}
+		return telemetry.OpenFileSink(
+			filepath.Join(dir, base+".jsonl"),
+			filepath.Join(dir, base+".summary.txt"),
+			fmt.Sprintf("%s — telemetry summary", base),
+			keep,
+		)
+	}, nil
 }
 
 func fatal(err error) {

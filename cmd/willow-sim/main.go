@@ -19,21 +19,24 @@ import (
 	"willow/internal/config"
 	"willow/internal/metrics"
 	"willow/internal/power"
+	"willow/internal/telemetry"
 	"willow/internal/trace"
 )
 
 func main() {
 	var (
-		util        = flag.Float64("util", 0.5, "target mean utilization in (0, 1]")
-		fanout      = flag.String("fanout", "2,3,3", "PMU hierarchy fan-out, root downward")
-		ticks       = flag.Int("ticks", 400, "total demand ticks to simulate")
-		warmup      = flag.Int("warmup", 100, "warm-up ticks excluded from averages")
-		supply      = flag.String("supply", "constant", "supply profile: constant, sine, deficit-steps, or file:PATH (CSV)")
-		seed        = flag.Uint64("seed", 2011, "random seed")
-		csv         = flag.Bool("csv", false, "emit per-server results as CSV")
-		hotants     = flag.Bool("hotzone", true, "place the last four servers in a 40 °C ambient")
-		configPath  = flag.String("config", "", "run from a JSON configuration file instead of flags")
-		writeConfig = flag.String("write-config", "", "write the default configuration to this path and exit")
+		util         = flag.Float64("util", 0.5, "target mean utilization in (0, 1]")
+		fanout       = flag.String("fanout", "2,3,3", "PMU hierarchy fan-out, root downward")
+		ticks        = flag.Int("ticks", 400, "total demand ticks to simulate")
+		warmup       = flag.Int("warmup", 100, "warm-up ticks excluded from averages")
+		supply       = flag.String("supply", "constant", "supply profile: constant, sine, deficit-steps, or file:PATH (CSV)")
+		seed         = flag.Uint64("seed", 2011, "random seed")
+		csv          = flag.Bool("csv", false, "emit per-server results as CSV")
+		hotants      = flag.Bool("hotzone", true, "place the last four servers in a 40 °C ambient")
+		configPath   = flag.String("config", "", "run from a JSON configuration file instead of flags")
+		writeConfig  = flag.String("write-config", "", "write the default configuration to this path and exit")
+		events       = flag.String("events", "", "stream controller events as JSONL to this file (plus a .summary.txt report)")
+		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the stream (budget,migration,throttle,sleep-wake,failure,qos; default all)")
 	)
 	flag.Parse()
 
@@ -98,9 +101,32 @@ func main() {
 		}
 	}
 
+	var sink *telemetry.FileSink
+	if *events != "" {
+		keep := telemetry.AllKinds
+		if *eventsFilter != "" {
+			var err error
+			if keep, err = telemetry.ParseKindSet(*eventsFilter); err != nil {
+				fatal(err)
+			}
+		}
+		base := strings.TrimSuffix(*events, ".jsonl")
+		var err error
+		sink, err = telemetry.OpenFileSink(*events, base+".summary.txt", "telemetry summary", keep)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Sink = sink
+	}
+
 	res, err := cluster.Run(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fatal(err)
+		}
 	}
 
 	supplyLabel := *supply
@@ -133,6 +159,11 @@ func main() {
 	fmt.Printf("dropped demand: %.0f watt-ticks; ping-pongs: %d; max messages/link/tick: %d\n",
 		res.DroppedWattTicks, res.Stats.PingPongs, res.Stats.MaxLinkMessagesPerTick)
 	fmt.Printf("hottest temperature reached: %.1f °C\n", res.MaxTemp)
+
+	if sink != nil {
+		fmt.Println()
+		fmt.Print(sink.Agg.Table(fmt.Sprintf("telemetry: %d events -> %s", sink.Agg.Total(), *events)).String())
+	}
 }
 
 func parseFanout(s string) ([]int, error) {

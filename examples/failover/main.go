@@ -43,10 +43,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl.OnMigration = func(m willow.Migration) {
-		fmt.Printf("  tick %3d: app %d (%.0f W) %s: server-%d -> server-%d\n",
-			m.Tick, m.AppID, m.Watts, m.Cause, m.From+1, m.To+1)
-	}
+	ctrl.Sink = willow.EventSinkFunc(func(ev willow.Event) {
+		switch ev.Kind {
+		case willow.EventMigration:
+			fmt.Printf("  tick %3d: app %d (%.0f W) %s: server-%d -> server-%d\n",
+				ev.Tick, ev.App, ev.Watts, ev.Cause, ev.From+1, ev.To+1)
+		case willow.EventFailure:
+			fmt.Printf("  tick %3d: server-%d %s (%d VMs orphaned)\n",
+				ev.Tick, ev.Server+1, ev.Cause, ev.Count)
+		}
+	})
 
 	fmt.Println("running 6 servers, 12 VMs...")
 	ctrl.Run(30)

@@ -12,6 +12,7 @@ import (
 	"willow/internal/core"
 	"willow/internal/dist"
 	"willow/internal/power"
+	"willow/internal/telemetry"
 	"willow/internal/thermal"
 	"willow/internal/topo"
 	"willow/internal/workload"
@@ -58,14 +59,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl.OnMigration = func(m core.Migration) {
+	// Watch the controller's decisions through its telemetry stream;
+	// here we only print migrations, but budget changes, throttles,
+	// sleep/wake transitions and QoS violations ride the same wire.
+	ctrl.Sink = telemetry.SinkFunc(func(ev telemetry.Event) {
+		if ev.Kind != telemetry.KindMigration {
+			return
+		}
 		kind := "non-local"
-		if m.Local {
+		if ev.Local {
 			kind = "local"
 		}
 		fmt.Printf("tick %3d: app %d (%.0f W) migrates server-%d -> server-%d (%s, %s, %d switch hops)\n",
-			m.Tick, m.AppID, m.Watts, m.From+1, m.To+1, m.Cause, kind, m.Hops)
-	}
+			ev.Tick, ev.App, ev.Watts, ev.From+1, ev.To+1, ev.Cause, kind, ev.Hops)
+	})
 
 	ctrl.Run(200)
 

@@ -16,6 +16,7 @@ import (
 	"willow/internal/power"
 	"willow/internal/queueing"
 	"willow/internal/sim"
+	"willow/internal/telemetry"
 	"willow/internal/thermal"
 	"willow/internal/topo"
 	"willow/internal/workload"
@@ -80,6 +81,14 @@ type Config struct {
 	SLO queueing.SLO
 	// Failures injects server crashes and repairs at fixed ticks.
 	Failures []FailureEvent
+	// Sink, when non-nil, receives every controller telemetry event of
+	// the run (budget changes, migrations, throttles, sleep/wake,
+	// failures, QoS violations), tick-stamped and in decision order.
+	// Sinks need not be concurrency-safe: Run publishes from a single
+	// goroutine, and RunAll transparently buffers per run and replays
+	// in input order, so even a sink shared across concurrent configs
+	// sees one deterministic stream.
+	Sink telemetry.Sink
 }
 
 // FailureEvent crashes a server at Tick and, when RepairTick > Tick,
@@ -279,10 +288,16 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctrl.OnMigration = func(m core.Migration) {
-		net.RecordMigration(m.From, m.To, m.Bytes)
-		location[m.AppID] = m.To
-	}
+	// The network model and IPC flow tracking observe migrations off the
+	// telemetry stream; the caller's sink (if any) rides the same wire.
+	observer := telemetry.SinkFunc(func(ev telemetry.Event) {
+		if ev.Kind != telemetry.KindMigration {
+			return
+		}
+		net.RecordMigration(ev.From, ev.To, ev.Bytes)
+		location[ev.App] = ev.To
+	})
+	ctrl.Sink = telemetry.Multi(observer, cfg.Sink)
 
 	n := tree.NumServers()
 	powerAcc := make([]metrics.Welford, n)
@@ -422,7 +437,24 @@ func UtilizationSweep(utils []float64, modify func(*Config)) ([]*Result, error) 
 // RunAll executes independent simulations concurrently (bounded by
 // GOMAXPROCS) and returns their results in input order. The first error
 // encountered (by input order) is returned.
+//
+// Telemetry stays deterministic under the fan-out: each config's Sink
+// is swapped for a private buffer during the run, and the buffers are
+// replayed into the original sinks sequentially in input order after
+// every run completes — so a sink shared across configs sees the exact
+// stream a sequential walk would have produced, regardless of worker
+// interleaving.
 func RunAll(configs []Config) ([]*Result, error) {
+	sinks := make([]telemetry.Sink, len(configs))
+	buffers := make([]*telemetry.Buffer, len(configs))
+	for i := range configs {
+		if configs[i].Sink != nil {
+			sinks[i] = configs[i].Sink
+			buffers[i] = &telemetry.Buffer{}
+			configs[i].Sink = buffers[i]
+		}
+	}
+
 	out := make([]*Result, len(configs))
 	errs := make([]error, len(configs))
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -440,6 +472,11 @@ func RunAll(configs []Config) ([]*Result, error) {
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: run %d (U=%v): %w", i, configs[i].Utilization, err)
+		}
+	}
+	for i, buf := range buffers {
+		if buf != nil {
+			buf.ReplayTo(sinks[i])
 		}
 	}
 	return out, nil

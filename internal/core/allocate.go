@@ -1,6 +1,9 @@
 package core
 
-import "willow/internal/topo"
+import (
+	"willow/internal/telemetry"
+	"willow/internal/topo"
+)
 
 // allocateSupply implements the supply-side adaptation of Section IV-D:
 // every Δ_S the available budget is divided top-down, at each node
@@ -18,8 +21,17 @@ import "willow/internal/topo"
 func (c *Controller) allocateSupply(t int) {
 	root := c.pmus[c.Tree.Root.ID]
 	total := c.Supply.At(t / c.Cfg.Eta1)
-	root.reduced = c.isReduced(total, root.TP, root.CP)
+	prev := root.TP
+	root.reduced = c.isReduced(total, prev, root.CP)
 	root.TP = total
+	if c.Sink != nil {
+		c.Sink.Publish(telemetry.Event{
+			Tick: t, Kind: telemetry.KindBudgetChange,
+			Node: c.Tree.Root.ID, Level: c.Tree.Root.Level,
+			Watts: total, Prev: prev, Demand: root.CP,
+			Reduced: root.reduced,
+		})
+	}
 	c.allocateNode(c.Tree.Root, total)
 }
 
@@ -115,19 +127,38 @@ func (c *Controller) allocateNode(node *topo.Node, budget float64) {
 }
 
 // assignChildBudgets stores the computed budgets, maintains reduced
-// flags, counts the downward directive messages, and recurses.
+// flags, counts the downward directive messages, publishes the
+// per-node BudgetChange events, and recurses.
 func (c *Controller) assignChildBudgets(children []*topo.Node, alloc []float64) {
 	for i, ch := range children {
 		c.countDown(ch) // parent -> child budget directive
 		if ch.IsLeaf() {
 			s := c.Servers[ch.ServerIndex]
-			s.reduced = c.isReduced(alloc[i], s.TP, s.CP)
+			prev := s.TP
+			s.reduced = c.isReduced(alloc[i], prev, s.CP)
 			s.TP = alloc[i]
+			if c.Sink != nil {
+				c.Sink.Publish(telemetry.Event{
+					Tick: c.tick, Kind: telemetry.KindBudgetChange,
+					Node: ch.ID, Level: ch.Level, Server: ch.ServerIndex,
+					Watts: alloc[i], Prev: prev, Demand: s.CP,
+					Reduced: s.reduced,
+				})
+			}
 			continue
 		}
 		p := c.pmus[ch.ID]
-		p.reduced = c.isReduced(alloc[i], p.TP, p.CP)
+		prev := p.TP
+		p.reduced = c.isReduced(alloc[i], prev, p.CP)
 		p.TP = alloc[i]
+		if c.Sink != nil {
+			c.Sink.Publish(telemetry.Event{
+				Tick: c.tick, Kind: telemetry.KindBudgetChange,
+				Node: ch.ID, Level: ch.Level,
+				Watts: alloc[i], Prev: prev, Demand: p.CP,
+				Reduced: p.reduced,
+			})
+		}
 		c.allocateNode(ch, alloc[i])
 	}
 }

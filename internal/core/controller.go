@@ -5,6 +5,7 @@ import (
 
 	"willow/internal/dist"
 	"willow/internal/power"
+	"willow/internal/telemetry"
 	"willow/internal/thermal"
 	"willow/internal/topo"
 	"willow/internal/workload"
@@ -102,9 +103,14 @@ type Controller struct {
 	tick    int          // current tick (next Step executes this tick)
 	Stats   Stats
 
-	// OnMigration, when non-nil, observes each applied migration (the
-	// network model hooks in here).
-	OnMigration func(Migration)
+	// Sink, when non-nil, receives a typed telemetry event at every
+	// control decision: budget allocations, migrations, thermal
+	// throttles, sleep/wake transitions, failures and QoS violations.
+	// Events are stamped with the simulation tick (never wall clock),
+	// so a run's stream is byte-reproducible. A nil Sink costs nothing
+	// — every publication site is guarded by a nil check before the
+	// event is even constructed.
+	Sink telemetry.Sink
 
 	// lastLeft tracks, per app, where and when it last migrated from, to
 	// detect ping-pong control.
@@ -282,8 +288,41 @@ func (c *Controller) wakeServers(t int) {
 			s.wakeAt = -1
 			s.smoother.Reset()
 			c.Stats.Wakes++
+			if c.Sink != nil {
+				c.Sink.Publish(telemetry.Event{
+					Tick: t, Kind: telemetry.KindSleepWake,
+					Server: s.Node.ServerIndex, Cause: "wake",
+					Watts: s.Power.Static,
+				})
+			}
 		}
 	}
+}
+
+// publishSleep records a server deactivating (consolidation or
+// drain-to-sleep; failures publish their own event).
+func (c *Controller) publishSleep(s *Server) {
+	if c.Sink == nil {
+		return
+	}
+	c.Sink.Publish(telemetry.Event{
+		Tick: c.tick, Kind: telemetry.KindSleepWake,
+		Server: s.Node.ServerIndex, Cause: "sleep",
+		Watts: s.Power.Static,
+	})
+}
+
+// publishMigration mirrors an applied migration into the telemetry sink.
+func (c *Controller) publishMigration(m Migration) {
+	if c.Sink == nil {
+		return
+	}
+	c.Sink.Publish(telemetry.Event{
+		Tick: m.Tick, Kind: telemetry.KindMigration,
+		App: m.AppID, From: m.From, To: m.To, Hops: m.Hops,
+		Cause: m.Cause.String(), Watts: m.Watts, Bytes: m.Bytes,
+		Local: m.Local,
+	})
 }
 
 // observeDemand draws each server's instantaneous demand, applies Eq. 4
@@ -353,6 +392,18 @@ func (c *Controller) consumeAndHeat() {
 			continue
 		}
 		eff := s.EffectiveBudget(c.Cfg.ThermalWindow)
+		if c.Sink != nil && eff < s.TP-tolerance {
+			// The hard constraint clamped the granted budget; report it
+			// as a thermal throttle when Eq. 3 is the binding limit
+			// (rather than the circuit or rated-peak cap).
+			if lim := s.Thermal.Model.PowerLimit(s.Thermal.T, c.Cfg.ThermalWindow); lim <= eff+tolerance {
+				c.Sink.Publish(telemetry.Event{
+					Tick: c.tick, Kind: telemetry.KindThermalThrottle,
+					Server: s.Node.ServerIndex,
+					Watts:  eff, Prev: s.TP, Demand: s.RawDemand,
+				})
+			}
+		}
 		s.Consumed = c.settleQoS(s, eff)
 		s.Dropped = s.RawDemand - s.Consumed
 		if s.Dropped < 0 {

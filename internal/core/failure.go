@@ -1,6 +1,9 @@
 package core
 
-import "willow/internal/workload"
+import (
+	"willow/internal/telemetry"
+	"willow/internal/workload"
+)
 
 // Failure injection. The paper assumes servers do not fail (its
 // convergence analysis only worries about control-message links); a
@@ -55,8 +58,12 @@ func (c *Controller) FailServer(idx int) {
 	delete(c.pendingSleep, idx)
 	delete(c.draining, idx)
 
+	orphaned := 0
+	var orphanWatts float64
 	for _, a := range s.Apps.Apps {
 		c.orphans = append(c.orphans, orphan{app: a, home: s})
+		orphaned++
+		orphanWatts += a.Mean
 	}
 	s.Apps.Apps = nil
 	s.Asleep = true
@@ -67,6 +74,13 @@ func (c *Controller) FailServer(idx int) {
 	s.Consumed = 0
 	s.smoother.Reset()
 	c.Stats.Failures++
+	if c.Sink != nil {
+		c.Sink.Publish(telemetry.Event{
+			Tick: c.tick, Kind: telemetry.KindFailure,
+			Server: idx, Cause: "fail",
+			Count: orphaned, Watts: orphanWatts,
+		})
+	}
 }
 
 // RepairServer returns a failed server to service as an empty, awake
@@ -83,6 +97,12 @@ func (c *Controller) RepairServer(idx int) {
 	s.Asleep = false
 	s.smoother.Reset()
 	c.Stats.Repairs++
+	if c.Sink != nil {
+		c.Sink.Publish(telemetry.Event{
+			Tick: c.tick, Kind: telemetry.KindFailure,
+			Server: idx, Cause: "repair",
+		})
+	}
 }
 
 // Orphans reports how many applications currently await restart.
@@ -127,9 +147,7 @@ func (c *Controller) restartOrphans(t int) {
 		c.Stats.Migrations = append(c.Stats.Migrations, m)
 		c.Stats.Restarts++
 		c.countDown(to.Node)
-		if c.OnMigration != nil {
-			c.OnMigration(m)
-		}
+		c.publishMigration(m)
 	}
 	c.orphans = waiting
 	if len(c.orphans) > 0 {

@@ -291,9 +291,7 @@ func (c *Controller) applyAssignments(plan []assignment, cause Cause, t int) {
 		// links, batched with any budget update issued this window.
 		c.countDown(src.Node)
 		c.countDown(dst.Node)
-		if c.OnMigration != nil {
-			c.OnMigration(m)
-		}
+		c.publishMigration(m)
 	}
 }
 

@@ -1,6 +1,10 @@
 package core
 
-import "slices"
+import (
+	"slices"
+
+	"willow/internal/telemetry"
+)
 
 // QoS settlement: when a server's instantaneous demand exceeds its
 // effective budget, something must give. The paper's mechanism
@@ -56,6 +60,7 @@ func (c *Controller) settleQoS(s *Server, eff float64) float64 {
 			c.recordService(services[i].priority, services[i].demand, 0)
 			if services[i].demand > 0 {
 				c.Stats.ShutdownAppTicks++
+				c.publishQoS(s, services[i].appID, "shutdown", 0, services[i].demand)
 			}
 		}
 		return eff
@@ -90,13 +95,28 @@ func (c *Controller) settleQoS(s *Server, eff float64) float64 {
 			sv.served = budget
 			budget = 0
 			c.Stats.DegradedAppTicks++
+			c.publishQoS(s, sv.appID, "degraded", sv.served, sv.demand)
 		default:
 			c.Stats.ShutdownAppTicks++
+			c.publishQoS(s, sv.appID, "shutdown", 0, sv.demand)
 		}
 		consumed += sv.served
 		c.recordService(sv.priority, sv.demand, sv.served)
 	}
 	return consumed
+}
+
+// publishQoS records one application served degraded or shut down
+// within the current settlement window.
+func (c *Controller) publishQoS(s *Server, appID int, cause string, served, demand float64) {
+	if c.Sink == nil {
+		return
+	}
+	c.Sink.Publish(telemetry.Event{
+		Tick: c.tick, Kind: telemetry.KindQoSViolation,
+		Server: s.Node.ServerIndex, App: appID, Cause: cause,
+		Watts: served, Demand: demand,
+	})
 }
 
 // recordService accumulates per-priority demand/served watt-ticks.

@@ -94,6 +94,7 @@ func (c *Controller) completeTransfers(t int) {
 		s.RawDemand = 0
 		s.CP = 0
 		s.smoother.Reset()
+		c.publishSleep(s)
 		slept = true
 	}
 	if slept {
@@ -116,6 +117,7 @@ func (c *Controller) sleepOrDefer(victim *Server) bool {
 	victim.RawDemand = 0
 	victim.CP = 0
 	victim.smoother.Reset()
+	c.publishSleep(victim)
 	return true
 }
 

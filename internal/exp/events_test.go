@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"willow/internal/telemetry"
+)
+
+// TestEventStreamsWorkerInvariant is the telemetry determinism
+// property: the JSONL event stream of every (experiment, replication)
+// task produced through RunMany is byte-identical whatever the worker
+// count. Each task owns a private sink, its stream depends only on
+// (experiment, seed), and fig9's sweep itself fans out concurrent
+// simulations internally (cluster.RunAll) — so this also covers the
+// buffer-and-replay ordering inside a single run.
+func TestEventStreamsWorkerInvariant(t *testing.T) {
+	collect := func(workers int) map[string]string {
+		var mu sync.Mutex
+		bufs := map[string]*bytes.Buffer{}
+		opts := Options{
+			Quick:        true,
+			Replications: 3,
+			Workers:      workers,
+			EventSinks: func(id string, rep int) (telemetry.Sink, error) {
+				buf := &bytes.Buffer{}
+				mu.Lock()
+				bufs[fmt.Sprintf("%s.rep%d", id, rep)] = buf
+				mu.Unlock()
+				return telemetry.NewWriter(buf), nil
+			},
+		}
+		if _, err := RunMany(context.Background(), []string{"fig9"}, opts); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(bufs))
+		for k, b := range bufs {
+			out[k] = b.String()
+		}
+		return out
+	}
+
+	base := collect(1)
+	if len(base) != 3 {
+		t.Fatalf("got %d streams, want 3", len(base))
+	}
+	for k, v := range base {
+		if v == "" {
+			t.Fatalf("stream %s is empty", k)
+		}
+		if evs, err := telemetry.ReadAll(bytes.NewReader([]byte(v))); err != nil || len(evs) == 0 {
+			t.Fatalf("stream %s does not decode: %d events, err %v", k, len(evs), err)
+		}
+	}
+	for _, workers := range []int{4, 8} {
+		got := collect(workers)
+		for k := range base {
+			if got[k] != base[k] {
+				t.Errorf("stream %s differs between workers=1 and workers=%d", k, workers)
+			}
+		}
+	}
+}

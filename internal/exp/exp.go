@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"willow/internal/metrics"
+	"willow/internal/telemetry"
 )
 
 // Options tune experiment execution.
@@ -31,6 +32,19 @@ type Options struct {
 	// Workers bounds RunMany's worker pool; 0 means GOMAXPROCS. Results
 	// do not depend on it — only wall-clock time does.
 	Workers int
+	// EventSink, when non-nil, receives the controller telemetry stream
+	// of every simulation the experiment runs, in a deterministic order
+	// (sweep points replay in input order — see cluster.RunAll). It is
+	// a single-run option: it must only be set on a direct Run call or
+	// installed per task by RunMany via EventSinks; sharing one sink
+	// across RunMany's concurrent tasks would race.
+	EventSink telemetry.Sink
+	// EventSinks, when non-nil, is called by RunMany once per
+	// (experiment, replication) to create that task's private sink,
+	// which is installed as the task's EventSink and closed (when it
+	// implements io.Closer) after the task completes. This is how
+	// replicated runs produce per-replication event files.
+	EventSinks func(id string, replication int) (telemetry.Sink, error)
 }
 
 func (o Options) seed(def uint64) uint64 {

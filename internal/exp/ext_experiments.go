@@ -255,6 +255,7 @@ func runPropScaling(opts Options) (*Result, error) {
 			n *= f
 		}
 		cfg := cluster.PaperConfig(0.6)
+		cfg.Sink = opts.EventSink
 		cfg.Fanout = sh.fanout
 		cfg.HotServers = nil
 		cfg.Supply = power.Constant(float64(n) * 450)

@@ -126,6 +126,7 @@ func runExtDemandside(opts Options) (*Result, error) {
 	}
 	cfg.HotServers = nil
 	cfg.DemandProfile = power.Sine{Base: 1.0, Amplitude: 0.6, Period: 96}
+	cfg.Sink = opts.EventSink
 	r, err := cluster.Run(cfg)
 	if err != nil {
 		return nil, err

@@ -33,6 +33,7 @@ func shortenFor(opts Options) func(*cluster.Config) {
 		if opts.Seed != 0 {
 			c.Seed = opts.Seed
 		}
+		c.Sink = opts.EventSink
 	}
 }
 

@@ -18,6 +18,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 
 	"willow/internal/dist"
@@ -94,10 +95,27 @@ func RunMany(ctx context.Context, ids []string, opts Options) ([]*Result, error)
 		ro := opts
 		ro.Replications = 0
 		ro.Workers = 0
+		// A sink shared across the pool's concurrent tasks would race,
+		// so each task gets its own from the EventSinks factory (or
+		// none). The per-task stream stays deterministic: it depends
+		// only on (experiment, seed), never on scheduling.
+		ro.EventSink, ro.EventSinks = nil, nil
 		if reps > 1 {
 			ro.Seed = seeds[r]
 		}
+		if opts.EventSinks != nil {
+			sink, err := opts.EventSinks(exps[i].ID, r)
+			if err != nil {
+				return fmt.Errorf("%s (replication %d): event sink: %w", exps[i].ID, r, err)
+			}
+			ro.EventSink = sink
+		}
 		res, err := exps[i].Run(ro)
+		if cl, ok := ro.EventSink.(io.Closer); ok {
+			if cerr := cl.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("event sink: %w", cerr)
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("%s (replication %d): %w", exps[i].ID, r, err)
 		}

@@ -26,6 +26,7 @@ func sweep(opts Options) ([]*cluster.Result, error) {
 		if opts.Seed != 0 {
 			c.Seed = opts.Seed
 		}
+		c.Sink = opts.EventSink
 	})
 }
 
@@ -160,6 +161,7 @@ func runFig7(opts Options) (*Result, error) {
 				configs[i].Ticks = 140
 			}
 			configs[i].Seed = opts.seed(seed)
+			configs[i].Sink = opts.EventSink
 		}
 		results, err := cluster.RunAll(configs)
 		if err != nil {

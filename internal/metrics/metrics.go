@@ -52,7 +52,9 @@ func (s *Series) Sum() float64 {
 	return sum
 }
 
-// Max returns the maximum value (−Inf for an empty series).
+// Max returns the maximum value. An empty series yields the −Inf
+// identity — callers that fold partial maxima rely on it; use MaxOK
+// when a finite answer must be guaranteed.
 func (s *Series) Max() float64 {
 	max := math.Inf(-1)
 	for _, v := range s.Values {
@@ -63,7 +65,19 @@ func (s *Series) Max() float64 {
 	return max
 }
 
-// Min returns the minimum value (+Inf for an empty series).
+// MaxOK returns the maximum value and whether the series has any
+// samples; the empty series yields (0, false) rather than Max's −Inf
+// sentinel.
+func (s *Series) MaxOK() (float64, bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	return s.Max(), true
+}
+
+// Min returns the minimum value. An empty series yields the +Inf
+// identity — see Max; use MinOK when a finite answer must be
+// guaranteed.
 func (s *Series) Min() float64 {
 	min := math.Inf(1)
 	for _, v := range s.Values {
@@ -72,6 +86,16 @@ func (s *Series) Min() float64 {
 		}
 	}
 	return min
+}
+
+// MinOK returns the minimum value and whether the series has any
+// samples; the empty series yields (0, false) rather than Min's +Inf
+// sentinel.
+func (s *Series) MinOK() (float64, bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	return s.Min(), true
 }
 
 // Last returns the most recent value (0 for an empty series).

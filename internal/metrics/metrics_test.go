@@ -38,6 +38,24 @@ func TestSeriesBasics(t *testing.T) {
 	}
 }
 
+func TestSeriesExtremaOK(t *testing.T) {
+	s := NewSeries("power")
+	if v, ok := s.MaxOK(); ok || v != 0 {
+		t.Errorf("empty MaxOK = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := s.MinOK(); ok || v != 0 {
+		t.Errorf("empty MinOK = (%v, %v), want (0, false)", v, ok)
+	}
+	s.Add(0, -5)
+	s.Add(1, 15)
+	if v, ok := s.MaxOK(); !ok || v != 15 {
+		t.Errorf("MaxOK = (%v, %v), want (15, true)", v, ok)
+	}
+	if v, ok := s.MinOK(); !ok || v != -5 {
+		t.Errorf("MinOK = (%v, %v), want (-5, true)", v, ok)
+	}
+}
+
 func TestSeriesMeanFrom(t *testing.T) {
 	s := NewSeries("x")
 	for i := 0; i < 10; i++ {

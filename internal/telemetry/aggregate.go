@@ -1,0 +1,149 @@
+package telemetry
+
+// Aggregator folds an event stream into run-level summary figures — the
+// per-run report the CLIs print or save next to the raw stream: event
+// counts by kind, migration volume, the thermal-throttle duty cycle and
+// per-level budget utilization.
+
+import (
+	"fmt"
+
+	"willow/internal/metrics"
+)
+
+// Aggregator is a Sink that accumulates summary statistics. The zero
+// value is ready to use.
+type Aggregator struct {
+	// Servers, when positive, fixes the fleet size used for the
+	// throttle duty-cycle denominator. When zero, the largest server
+	// index observed in any event is used instead — adequate whenever
+	// at least one event touched the highest-indexed server.
+	Servers int
+
+	counts         [numKinds + 1]int64
+	migrationWatts float64
+	migrationBytes float64
+	localCount     int64
+	firstTick      int
+	lastTick       int
+	sawTick        bool
+	maxServer      int
+	budgetTP       []float64 // by level
+	budgetCP       []float64 // by level
+}
+
+// Publish implements Sink.
+func (a *Aggregator) Publish(e Event) {
+	if int(e.Kind) >= 1 && int(e.Kind) <= numKinds {
+		a.counts[e.Kind]++
+	}
+	if !a.sawTick || e.Tick < a.firstTick {
+		a.firstTick = e.Tick
+	}
+	if !a.sawTick || e.Tick > a.lastTick {
+		a.lastTick = e.Tick
+	}
+	a.sawTick = true
+	for _, idx := range [...]int{e.Server, e.From, e.To} {
+		if idx > a.maxServer {
+			a.maxServer = idx
+		}
+	}
+	switch e.Kind {
+	case KindMigration:
+		a.migrationWatts += e.Watts
+		a.migrationBytes += e.Bytes
+		if e.Local {
+			a.localCount++
+		}
+	case KindBudgetChange:
+		for len(a.budgetTP) <= e.Level {
+			a.budgetTP = append(a.budgetTP, 0)
+			a.budgetCP = append(a.budgetCP, 0)
+		}
+		a.budgetTP[e.Level] += e.Watts
+		a.budgetCP[e.Level] += e.Demand
+	}
+}
+
+// Count returns how many events of the given kind were observed.
+func (a *Aggregator) Count(k Kind) int64 {
+	if int(k) < 1 || int(k) > numKinds {
+		return 0
+	}
+	return a.counts[k]
+}
+
+// Total returns the number of events observed across all kinds.
+func (a *Aggregator) Total() int64 {
+	var n int64
+	for _, c := range a.counts {
+		n += c
+	}
+	return n
+}
+
+// TickSpan returns the number of ticks covered by the stream (last −
+// first + 1), 0 when no event was observed.
+func (a *Aggregator) TickSpan() int {
+	if !a.sawTick {
+		return 0
+	}
+	return a.lastTick - a.firstTick + 1
+}
+
+// MigrationBytes returns the summed VM footprint moved.
+func (a *Aggregator) MigrationBytes() float64 { return a.migrationBytes }
+
+// ThrottleDutyCycle returns the fraction of server-ticks on which the
+// thermal limit clamped a server's budget, over the observed tick span
+// and the fleet size (see Servers).
+func (a *Aggregator) ThrottleDutyCycle() float64 {
+	span, servers := a.TickSpan(), a.servers()
+	if span == 0 || servers == 0 {
+		return 0
+	}
+	return float64(a.counts[KindThermalThrottle]) / (float64(span) * float64(servers))
+}
+
+func (a *Aggregator) servers() int {
+	if a.Servers > 0 {
+		return a.Servers
+	}
+	if a.maxServer > 0 || a.Total() > 0 {
+		return a.maxServer + 1
+	}
+	return 0
+}
+
+// BudgetUtilization returns demand-over-budget (ΣCP / ΣTP, watt-
+// weighted across that level's budget events) for the given tree level,
+// with ok=false when the level granted no budget.
+func (a *Aggregator) BudgetUtilization(level int) (float64, bool) {
+	if level < 0 || level >= len(a.budgetTP) || a.budgetTP[level] <= 0 {
+		return 0, false
+	}
+	return a.budgetCP[level] / a.budgetTP[level], true
+}
+
+// Table renders the aggregate as metric/value rows — the per-run
+// summary report.
+func (a *Aggregator) Table(title string) *metrics.Table {
+	tb := metrics.NewTable(title, "metric", "value")
+	for _, k := range Kinds() {
+		tb.AddRow("events."+k.String(), fmt.Sprintf("%d", a.counts[k]))
+	}
+	tb.AddRow("ticks.span", fmt.Sprintf("%d", a.TickSpan()))
+	tb.AddRow("migration.watts", fmt.Sprintf("%.6g", a.migrationWatts))
+	tb.AddRow("migration.bytes", fmt.Sprintf("%.6g", a.migrationBytes))
+	tb.AddRow("migration.local", fmt.Sprintf("%d", a.localCount))
+	tb.AddRow("throttle.duty", fmt.Sprintf("%.6g", a.ThrottleDutyCycle()))
+	for level := range a.budgetTP {
+		util, ok := a.BudgetUtilization(level)
+		if !ok {
+			continue
+		}
+		tb.AddRow(fmt.Sprintf("budget.util.L%d", level), fmt.Sprintf("%.6g", util))
+	}
+	return tb
+}

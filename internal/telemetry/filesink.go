@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"os"
+)
+
+// FileSink is the CLI-facing composite sink: it streams events as JSONL
+// into a file (optionally filtered to a KindSet), aggregates the
+// unfiltered stream, and on Close writes the aggregate's summary table
+// next to the stream. The aggregate always sees every event — a filter
+// narrows what lands in the file, not what the report describes, so
+// duty cycles and utilization stay meaningful under any filter.
+type FileSink struct {
+	// Agg accumulates the run summary; callers may render it after
+	// Close (e.g. to also print the report).
+	Agg Aggregator
+
+	file        *os.File
+	w           *Writer
+	keep        KindSet
+	summaryPath string
+	title       string
+}
+
+// OpenFileSink creates path and returns a FileSink streaming events
+// whose kind is in keep. When summaryPath is non-empty, Close writes
+// the aggregate summary table there under the given title.
+func OpenFileSink(path, summaryPath, title string, keep KindSet) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{
+		file:        f,
+		w:           NewWriter(f),
+		keep:        keep,
+		summaryPath: summaryPath,
+		title:       title,
+	}, nil
+}
+
+// Publish implements Sink.
+func (s *FileSink) Publish(e Event) {
+	s.Agg.Publish(e)
+	if s.keep.Has(e.Kind) {
+		s.w.Publish(e)
+	}
+}
+
+// Close flushes and closes the stream file, then writes the summary
+// report (when configured). The first error wins.
+func (s *FileSink) Close() error {
+	err := s.w.Close() // flushes and closes the underlying file
+	if s.summaryPath != "" {
+		summary := s.Agg.Table(s.title).String()
+		if werr := os.WriteFile(s.summaryPath, []byte(summary), 0o644); err == nil {
+			err = werr
+		}
+	}
+	return err
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzEventRoundTrip pins the JSONL contract: for any event with a
+// valid kind and JSON-representable payload, Encode → Decode restores
+// the event exactly (omitempty is lossless — dropped fields decode back
+// to their zero values), and a Writer-produced stream re-reads to the
+// same sequence via ReadAll.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(0, byte(1), 0, 0, 0, 0, 0, 0, "", 0.0, 0.0, false)
+	f.Add(17, byte(2), 3, 1, 4, 9, 2, 6, "deficit", 63.5, 2.0, true)
+	f.Add(-5, byte(200), -1, -2, -3, 0, 0, 0, "h\x80dr", -0.0, math.MaxFloat64, false)
+	f.Fuzz(func(t *testing.T, tick int, kindRaw byte,
+		node, level, server, app, from, to int,
+		cause string, watts, demand float64, local bool) {
+		sanitize := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0 // JSON cannot carry these; Encode rejects them
+			}
+			return v
+		}
+		in := Event{
+			Tick: tick, Kind: Kind(1 + int(kindRaw)%numKinds),
+			Node: node, Level: level, Server: server,
+			App: app, From: from, To: to,
+			// json.Marshal substitutes U+FFFD for invalid UTF-8, so
+			// only valid strings can round-trip exactly.
+			Cause: strings.ToValidUTF8(cause, "�"),
+			Watts: sanitize(watts), Demand: sanitize(demand),
+			Local: local,
+		}
+		line, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		out, err := Decode(line)
+		if err != nil {
+			t.Fatalf("decode %s: %v", line, err)
+		}
+		if out != in {
+			t.Fatalf("round trip changed the event:\n in  %+v\n out %+v\n line %s", in, out, line)
+		}
+
+		// The same event must survive the buffered Writer → ReadAll
+		// path, alongside a second event exercising the other fields.
+		seq := []Event{in, {
+			Tick: tick + 1, Kind: KindMigration,
+			Hops: level, Count: node,
+			Watts: sanitize(watts), Prev: sanitize(demand),
+			Bytes: math.Abs(sanitize(demand)), Reduced: local,
+		}}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range seq {
+			w.Publish(e)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("readall: %v", err)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("read %d events, want %d", len(got), len(seq))
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("sequence event %d changed: %+v != %+v", i, got[i], seq[i])
+			}
+		}
+	})
+}

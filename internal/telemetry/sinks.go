@@ -1,0 +1,134 @@
+package telemetry
+
+// General-purpose sinks. All of them follow the package contract: not
+// safe for concurrent use, owned by one simulation run at a time.
+
+// Discard swallows every event — a true no-op sink for measuring the
+// enabled-dispatch overhead in benchmarks.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Publish(Event) {}
+
+// Multi fans events out to every non-nil sink, in argument order. It
+// returns nil when no sink remains (so "disabled" stays a nil check in
+// the controller), and the sink itself when exactly one remains.
+func Multi(sinks ...Sink) Sink {
+	var live multi
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+type multi []Sink
+
+func (m multi) Publish(e Event) {
+	for _, s := range m {
+		s.Publish(e)
+	}
+}
+
+// Filter passes only events whose kind is in Keep through to Next.
+type Filter struct {
+	Next Sink
+	Keep KindSet
+}
+
+// Publish implements Sink.
+func (f *Filter) Publish(e Event) {
+	if f.Keep.Has(e.Kind) {
+		f.Next.Publish(e)
+	}
+}
+
+// Buffer is an unbounded in-memory sink. Parallel harnesses give each
+// simulation run its own Buffer and replay the buffers in a
+// deterministic order afterwards — that is how cluster.RunAll merges
+// concurrent runs into one byte-stable stream.
+type Buffer struct {
+	Events []Event
+}
+
+// Publish implements Sink.
+func (b *Buffer) Publish(e Event) { b.Events = append(b.Events, e) }
+
+// ReplayTo republishes every buffered event into dst in order.
+func (b *Buffer) ReplayTo(dst Sink) {
+	if dst == nil {
+		return
+	}
+	for _, e := range b.Events {
+		dst.Publish(e)
+	}
+}
+
+// Reset drops the buffered events, keeping the capacity.
+func (b *Buffer) Reset() { b.Events = b.Events[:0] }
+
+// Ring keeps the most recent events up to a fixed capacity — the test
+// sink: cheap, allocation-stable, and inspectable after a run.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int
+}
+
+// NewRing returns a ring buffer holding up to n events (n must be > 0).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic("telemetry: NewRing capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Publish implements Sink.
+func (r *Ring) Publish(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+	r.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns how many events are retained.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Dropped returns how many events were evicted to make room.
+func (r *Ring) Dropped() int { return r.dropped }
+
+// Count returns how many retained events have the given kind.
+func (r *Ring) Count(k Kind) int {
+	n := 0
+	for _, e := range r.buf {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

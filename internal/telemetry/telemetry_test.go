@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+	if Kind(0).String() == "" || Kind(200).String() == "" {
+		t.Error("out-of-range kinds must still render something")
+	}
+}
+
+func TestParseKindSet(t *testing.T) {
+	ks, err := ParseKindSet("migration, throttle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ks.Has(KindMigration) || !ks.Has(KindThermalThrottle) || ks.Has(KindFailure) {
+		t.Errorf("parsed set %b wrong", ks)
+	}
+	if _, err := ParseKindSet("migration,nope"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	for _, k := range Kinds() {
+		if !AllKinds.Has(k) {
+			t.Errorf("AllKinds misses %v", k)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Event{
+		Tick: 42, Kind: KindMigration,
+		App: 7, From: 3, To: 11, Hops: 4,
+		Cause: "deficit", Watts: 63.5, Bytes: 2, Local: true,
+	}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed the event: %+v != %+v", out, in)
+	}
+	if _, err := Decode([]byte(`{"t":1}`)); err == nil {
+		t.Error("kind-less line accepted")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriterReadAll(t *testing.T) {
+	events := []Event{
+		{Tick: 0, Kind: KindBudgetChange, Level: 2, Watts: 4000, Demand: 3600},
+		{Tick: 3, Kind: KindSleepWake, Server: 5, Cause: "sleep", Watts: 150},
+		{Tick: 9, Kind: KindQoSViolation, Server: 1, App: 4, Cause: "degraded", Watts: 10, Demand: 25},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		w.Publish(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(strings.NewReader(buf.String() + "\n")) // trailing blank line is skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestMultiAndFilter(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils must be nil")
+	}
+	var b Buffer
+	if Multi(nil, &b) != Sink(&b) {
+		t.Error("Multi of one sink must be that sink")
+	}
+	var kept Buffer
+	f := &Filter{Next: &kept, Keep: KindSet(0).With(KindFailure)}
+	m := Multi(f, &b)
+	m.Publish(Event{Kind: KindMigration})
+	m.Publish(Event{Kind: KindFailure})
+	if len(b.Events) != 2 {
+		t.Errorf("unfiltered sink saw %d events, want 2", len(b.Events))
+	}
+	if len(kept.Events) != 1 || kept.Events[0].Kind != KindFailure {
+		t.Errorf("filtered sink saw %+v", kept.Events)
+	}
+}
+
+func TestBufferReplay(t *testing.T) {
+	var b Buffer
+	b.Publish(Event{Tick: 1, Kind: KindFailure})
+	b.Publish(Event{Tick: 2, Kind: KindMigration})
+	var dst Buffer
+	b.ReplayTo(&dst)
+	b.ReplayTo(nil) // must not panic
+	if len(dst.Events) != 2 || dst.Events[0].Tick != 1 {
+		t.Errorf("replayed %+v", dst.Events)
+	}
+	b.Reset()
+	if len(b.Events) != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	for tick := 0; tick < 5; tick++ {
+		r.Publish(Event{Tick: tick, Kind: KindMigration})
+	}
+	if r.Len() != 3 || r.Dropped() != 2 {
+		t.Fatalf("Len %d Dropped %d", r.Len(), r.Dropped())
+	}
+	got := r.Events()
+	for i, want := range []int{2, 3, 4} {
+		if got[i].Tick != want {
+			t.Errorf("event %d tick %d, want %d", i, got[i].Tick, want)
+		}
+	}
+	if r.Count(KindMigration) != 3 || r.Count(KindFailure) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	var a Aggregator
+	if a.TickSpan() != 0 || a.ThrottleDutyCycle() != 0 {
+		t.Error("zero aggregator not zero-valued")
+	}
+	if _, ok := a.BudgetUtilization(0); ok {
+		t.Error("empty aggregator reports budget utilization")
+	}
+	a.Publish(Event{Tick: 0, Kind: KindBudgetChange, Level: 1, Watts: 100, Demand: 80})
+	a.Publish(Event{Tick: 0, Kind: KindBudgetChange, Level: 1, Watts: 100, Demand: 60})
+	a.Publish(Event{Tick: 4, Kind: KindMigration, From: 0, To: 3, Watts: 50, Bytes: 1, Local: true})
+	a.Publish(Event{Tick: 9, Kind: KindThermalThrottle, Server: 1})
+	if a.Total() != 4 || a.Count(KindBudgetChange) != 2 {
+		t.Errorf("counts wrong: total %d", a.Total())
+	}
+	if a.TickSpan() != 10 {
+		t.Errorf("TickSpan = %d", a.TickSpan())
+	}
+	if a.MigrationBytes() != 1 {
+		t.Errorf("MigrationBytes = %v", a.MigrationBytes())
+	}
+	// 1 throttle over 10 ticks × 4 servers (max index 3).
+	if got := a.ThrottleDutyCycle(); got != 1.0/40 {
+		t.Errorf("ThrottleDutyCycle = %v", got)
+	}
+	if u, ok := a.BudgetUtilization(1); !ok || u != 0.7 {
+		t.Errorf("BudgetUtilization(1) = %v, %v", u, ok)
+	}
+	tb := a.Table("summary")
+	if tb == nil || !strings.Contains(tb.String(), "events.migration") {
+		t.Error("Table missing rows")
+	}
+}

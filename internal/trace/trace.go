@@ -25,12 +25,15 @@ func Read(r io.Reader) (power.Trace, error) {
 	var out power.Trace
 	sc := bufio.NewScanner(r)
 	line := 0
+	first := true // first non-comment, non-blank row may be a header
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
+		isFirst := first
+		first = false
 		fields := strings.Split(text, ",")
 		var raw string
 		switch len(fields) {
@@ -43,7 +46,7 @@ func Read(r io.Reader) (power.Trace, error) {
 		}
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
-			if len(out) == 0 && line == 1 {
+			if isFirst {
 				continue // header row
 			}
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)

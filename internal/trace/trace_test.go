@@ -37,6 +37,21 @@ func TestReadTwoColumnsWithHeader(t *testing.T) {
 	}
 }
 
+func TestReadHeaderAfterCommentsAndBlanks(t *testing.T) {
+	// The header need not be the file's first line: exporters often
+	// prepend a comment banner or a blank line, and the header is still
+	// skipped (regression: the skip used to require line == 1).
+	in := "# solar inverter export\n\n# site 7\ntime,watts\n0,630\n1,625\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := power.Trace{630, 625}
+	if len(tr) != 2 || tr[0] != want[0] || tr[1] != want[1] {
+		t.Errorf("parsed %v, want %v", tr, want)
+	}
+}
+
 func TestReadRejectsBadInput(t *testing.T) {
 	cases := []string{
 		"",                 // empty

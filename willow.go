@@ -14,11 +14,14 @@
 package willow
 
 import (
+	"io"
+
 	"willow/internal/cluster"
 	"willow/internal/core"
 	"willow/internal/dist"
 	"willow/internal/plan"
 	"willow/internal/power"
+	"willow/internal/telemetry"
 	"willow/internal/testbed"
 	"willow/internal/thermal"
 	"willow/internal/topo"
@@ -41,6 +44,38 @@ type Migration = core.Migration
 
 // Stats aggregates a run's control-plane measurements.
 type Stats = core.Stats
+
+// Event is one controller telemetry event — a tick-stamped record of a
+// control decision (budget change, migration, thermal throttle,
+// sleep/wake, failure, QoS violation). Set Controller.Sink (or
+// Simulation.Sink) to receive the stream; see internal/telemetry.
+type Event = telemetry.Event
+
+// EventKind discriminates telemetry event types.
+type EventKind = telemetry.Kind
+
+// EventSink consumes controller telemetry events.
+type EventSink = telemetry.Sink
+
+// EventSinkFunc adapts a function to an EventSink.
+type EventSinkFunc = telemetry.SinkFunc
+
+// Telemetry event kinds.
+const (
+	EventBudgetChange    = telemetry.KindBudgetChange
+	EventMigration       = telemetry.KindMigration
+	EventThermalThrottle = telemetry.KindThermalThrottle
+	EventSleepWake       = telemetry.KindSleepWake
+	EventFailure         = telemetry.KindFailure
+	EventQoSViolation    = telemetry.KindQoSViolation
+)
+
+// NewEventWriter returns a sink streaming events as JSONL into w (one
+// JSON object per line); call Close to flush.
+func NewEventWriter(w io.Writer) *telemetry.Writer { return telemetry.NewWriter(w) }
+
+// ReadEvents decodes a JSONL event stream.
+func ReadEvents(r io.Reader) ([]Event, error) { return telemetry.ReadAll(r) }
 
 // ControllerDefaults returns the paper-faithful controller parameters
 // (η1 = 4, η2 = 7, 20 % consolidation threshold).
