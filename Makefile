@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline chaos-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -18,12 +18,13 @@ race:
 	$(GO) test -race ./...
 
 # Full verification gate: build + vet, the plain test pass, the race
-# pass, and the allocation gate. The parallel experiment engine
-# (exp.RunMany) makes the race run load-bearing — it exercises every
-# experiment under concurrent execution — and bench-smoke keeps the
-# telemetry layer's zero-overhead-when-disabled promise honest, so
+# pass, the allocation gate, and the chaos gate. The parallel experiment
+# engine (exp.RunMany) makes the race run load-bearing — it exercises
+# every experiment under concurrent execution — bench-smoke keeps the
+# telemetry layer's zero-overhead-when-disabled promise honest, and
+# chaos-smoke pins the failure-tolerance acceptance scenario, so
 # `make ci` is the bar for any change touching the harness.
-ci: build test race bench-smoke
+ci: build test race bench-smoke chaos-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -47,6 +48,13 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench '^BenchmarkAllSequential(Events)?$$' -benchtime 1x -benchmem . > bench_smoke.txt
 	$(GO) run ./internal/tools/benchguard -input bench_smoke.txt -baseline docs/bench_baseline.txt -update
 
+# Chaos gate: the end-to-end failure-tolerance scenarios — a seeded
+# mid-tree PMU kill/repair run inside its hard constraints, the chaos
+# plan plumbing, and worker-invariant event streams under fault
+# injection.
+chaos-smoke:
+	$(GO) test -run 'TestChaosSmoke|TestMidTreePMUKillSafety|TestChaosEventStreamsWorkerInvariant' -count=1 ./internal/cluster ./internal/core ./internal/exp
+
 # Regenerate the full evaluation section at full fidelity.
 experiments:
 	$(GO) run ./cmd/willow-exp -all
@@ -63,6 +71,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReplicationSeeds -fuzztime=10s ./internal/exp
 	$(GO) test -fuzz=FuzzOptionsSeed -fuzztime=10s ./internal/exp
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/telemetry
+	$(GO) test -fuzz=FuzzChaosSchedule -fuzztime=10s ./internal/chaos
 
 examples:
 	$(GO) run ./examples/quickstart

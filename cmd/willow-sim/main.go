@@ -36,7 +36,9 @@ func main() {
 		configPath   = flag.String("config", "", "run from a JSON configuration file instead of flags")
 		writeConfig  = flag.String("write-config", "", "write the default configuration to this path and exit")
 		events       = flag.String("events", "", "stream controller events as JSONL to this file (plus a .summary.txt report)")
-		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the stream (budget,migration,throttle,sleep-wake,failure,qos; default all)")
+		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the stream (budget,migration,throttle,sleep-wake,failure,qos,degraded; default all)")
+		chaosSpec    = flag.String("chaos", "", "inject a seeded fault schedule: preset and/or k=v overrides, e.g. \"medium\" or \"light,pmu-mtbf=400\" (see internal/chaos)")
+		chaosSeed    = flag.Uint64("chaos-seed", 0, "seed for chaos schedule expansion (0: derive from -seed)")
 	)
 	flag.Parse()
 
@@ -101,6 +103,19 @@ func main() {
 		}
 	}
 
+	var planLine string
+	if *chaosSpec != "" {
+		cseed := *chaosSeed
+		if cseed == 0 {
+			cseed = cfg.Seed
+		}
+		plan, err := cluster.ApplyChaos(&cfg, *chaosSpec, cseed)
+		if err != nil {
+			fatal(err)
+		}
+		planLine = cluster.PlanSummary(plan)
+	}
+
 	var sink *telemetry.FileSink
 	if *events != "" {
 		keep := telemetry.AllKinds
@@ -159,6 +174,13 @@ func main() {
 	fmt.Printf("dropped demand: %.0f watt-ticks; ping-pongs: %d; max messages/link/tick: %d\n",
 		res.DroppedWattTicks, res.Stats.PingPongs, res.Stats.MaxLinkMessagesPerTick)
 	fmt.Printf("hottest temperature reached: %.1f °C\n", res.MaxTemp)
+	if planLine != "" {
+		fmt.Println(planLine)
+		fmt.Printf("faults: %d server (%d repaired), %d PMU (%d repaired); lease expiries: %d; degraded server-ticks: %d; restarts: %d\n",
+			res.Stats.Failures, res.Stats.Repairs,
+			res.Stats.PMUFailures, res.Stats.PMURepairs,
+			res.Stats.LeaseExpiries, res.Stats.DegradedTicks, res.Stats.Restarts)
+	}
 
 	if sink != nil {
 		fmt.Println()

@@ -1,0 +1,244 @@
+// Package chaos is a deterministic fault-schedule generator: it expands
+// a stochastic failure model — server and PMU crash/repair processes,
+// correlated rack-level crash bursts, control-link loss windows — into
+// an explicit, sorted event plan that a simulation harness schedules at
+// fixed ticks (see cluster.ApplyChaos).
+//
+// Determinism contract: Expand is a pure function of (Schedule, seed).
+// All randomness flows through forked internal/dist streams in a fixed
+// order, so the same seed yields the identical Plan on every machine
+// and under every worker count — chaos runs replicate byte-for-byte
+// under exp.RunMany exactly like fault-free ones.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"willow/internal/dist"
+)
+
+// Schedule is the stochastic fault model. The topology fields (Ticks,
+// Servers, PMUs, Racks) describe the simulated system; the rate fields
+// parameterize independent renewal processes, every mean in ticks. A
+// zero mean disables its process.
+type Schedule struct {
+	// Ticks is the simulation horizon; all generated event ticks fall in
+	// [0, Ticks) and repair ticks in (fail, Ticks].
+	Ticks int
+	// Servers is the fleet size; generated server indices are in
+	// [0, Servers).
+	Servers int
+	// PMUs lists the internal tree node IDs eligible to crash
+	// (typically every non-root PMU; see cluster.ChaosTopology).
+	PMUs []int
+	// Racks groups server indices for correlated bursts (typically the
+	// spans of the level-1 PMUs). Empty disables bursts regardless of
+	// BurstEvery.
+	Racks [][]int
+
+	// ServerMTBF / ServerMTTR are the per-server mean ticks between
+	// failures and mean repair time (exponential).
+	ServerMTBF, ServerMTTR float64
+	// PMUMTBF / PMUMTTR are the same for each listed PMU node.
+	PMUMTBF, PMUMTTR float64
+	// BurstEvery is the mean ticks between correlated rack bursts — one
+	// randomly chosen rack's servers all crash together, sharing a
+	// repair time of mean BurstMTTR.
+	BurstEvery, BurstMTTR float64
+	// LossEvery is the mean ticks between control-link loss windows of
+	// mean length LossTicks, during which upward reports and downward
+	// budget directives are dropped with the given probabilities
+	// (each in [0, 1)).
+	LossEvery, LossTicks   float64
+	ReportLoss, BudgetLoss float64
+}
+
+// ServerFailure crashes one server at Tick; RepairTick > Tick schedules
+// its repair (RepairTick == Ticks means "not within the horizon").
+type ServerFailure struct {
+	Server     int
+	Tick       int
+	RepairTick int
+}
+
+// PMUFailure crashes one internal (PMU) node at Tick, repairing it at
+// RepairTick.
+type PMUFailure struct {
+	Node       int
+	Tick       int
+	RepairTick int
+}
+
+// LossWindow degrades every control link over [Start, End): reports are
+// lost with probability ReportLoss, budget directives with BudgetLoss.
+type LossWindow struct {
+	Start, End             int
+	ReportLoss, BudgetLoss float64
+}
+
+// Plan is an expanded, explicit fault schedule, each list sorted by
+// tick (ties by server/node index).
+type Plan struct {
+	ServerFailures []ServerFailure
+	PMUFailures    []PMUFailure
+	LossWindows    []LossWindow
+}
+
+// Events returns the total number of scheduled fault events.
+func (p Plan) Events() int {
+	return len(p.ServerFailures) + len(p.PMUFailures) + len(p.LossWindows)
+}
+
+// Validate checks the schedule's fields for expandability.
+func (s Schedule) Validate() error {
+	switch {
+	case s.Ticks <= 0:
+		return fmt.Errorf("chaos: ticks %d must be positive", s.Ticks)
+	case s.Servers < 0:
+		return fmt.Errorf("chaos: negative server count %d", s.Servers)
+	case s.ServerMTBF < 0 || s.ServerMTTR < 0 || s.PMUMTBF < 0 || s.PMUMTTR < 0 ||
+		s.BurstEvery < 0 || s.BurstMTTR < 0 || s.LossEvery < 0 || s.LossTicks < 0:
+		return fmt.Errorf("chaos: negative rate in schedule %+v", s)
+	case s.ReportLoss < 0 || s.ReportLoss >= 1:
+		return fmt.Errorf("chaos: report loss %v outside [0, 1)", s.ReportLoss)
+	case s.BudgetLoss < 0 || s.BudgetLoss >= 1:
+		return fmt.Errorf("chaos: budget loss %v outside [0, 1)", s.BudgetLoss)
+	}
+	for _, id := range s.PMUs {
+		if id < 0 {
+			return fmt.Errorf("chaos: negative PMU node ID %d", id)
+		}
+	}
+	for ri, rack := range s.Racks {
+		for _, srv := range rack {
+			if srv < 0 || srv >= s.Servers {
+				return fmt.Errorf("chaos: rack %d server %d outside [0, %d)", ri, srv, s.Servers)
+			}
+		}
+	}
+	return nil
+}
+
+// Expand derives the concrete fault plan for one seed. The expansion
+// forks one random stream per process class, in fixed order, so the
+// classes perturb neither each other nor the simulation's own streams.
+func (s Schedule) Expand(seed uint64) (Plan, error) {
+	if err := s.Validate(); err != nil {
+		return Plan{}, err
+	}
+	src := dist.NewSource(seed)
+	srvSrc, pmuSrc, burstSrc, lossSrc := src.Fork(), src.Fork(), src.Fork(), src.Fork()
+
+	var plan Plan
+	if s.ServerMTBF > 0 && s.Servers > 0 {
+		for idx := 0; idx < s.Servers; idx++ {
+			for _, ev := range renewal(srvSrc, s.Ticks, s.ServerMTBF, s.ServerMTTR) {
+				plan.ServerFailures = append(plan.ServerFailures,
+					ServerFailure{Server: idx, Tick: ev[0], RepairTick: ev[1]})
+			}
+		}
+	}
+	if s.PMUMTBF > 0 {
+		for _, id := range s.PMUs {
+			for _, ev := range renewal(pmuSrc, s.Ticks, s.PMUMTBF, s.PMUMTTR) {
+				plan.PMUFailures = append(plan.PMUFailures,
+					PMUFailure{Node: id, Tick: ev[0], RepairTick: ev[1]})
+			}
+		}
+	}
+	if s.BurstEvery > 0 && len(s.Racks) > 0 {
+		t := 0
+		for {
+			t += atLeast(burstSrc.Exponential(s.BurstEvery), 1)
+			if t >= s.Ticks {
+				break
+			}
+			rack := s.Racks[burstSrc.Intn(len(s.Racks))]
+			repair := clampTick(t+atLeast(expo(burstSrc, s.BurstMTTR), 1), s.Ticks)
+			for _, srv := range rack {
+				plan.ServerFailures = append(plan.ServerFailures,
+					ServerFailure{Server: srv, Tick: t, RepairTick: repair})
+			}
+		}
+	}
+	if s.LossEvery > 0 && (s.ReportLoss > 0 || s.BudgetLoss > 0) {
+		t := 0
+		for {
+			t += atLeast(lossSrc.Exponential(s.LossEvery), 1)
+			if t >= s.Ticks {
+				break
+			}
+			end := clampTick(t+atLeast(expo(lossSrc, s.LossTicks), 1), s.Ticks)
+			plan.LossWindows = append(plan.LossWindows, LossWindow{
+				Start: t, End: end,
+				ReportLoss: s.ReportLoss, BudgetLoss: s.BudgetLoss,
+			})
+			t = end // windows never overlap: the next one starts after this
+		}
+	}
+
+	sort.SliceStable(plan.ServerFailures, func(i, j int) bool {
+		a, b := plan.ServerFailures[i], plan.ServerFailures[j]
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		return a.Server < b.Server
+	})
+	sort.SliceStable(plan.PMUFailures, func(i, j int) bool {
+		a, b := plan.PMUFailures[i], plan.PMUFailures[j]
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		return a.Node < b.Node
+	})
+	sort.SliceStable(plan.LossWindows, func(i, j int) bool {
+		return plan.LossWindows[i].Start < plan.LossWindows[j].Start
+	})
+	return plan, nil
+}
+
+// renewal generates the alternating up/down process of one component:
+// pairs of (fail tick, repair tick) with exponential up times of mean
+// mtbf and down times of mean mttr, clipped to the horizon.
+func renewal(src *dist.Source, ticks int, mtbf, mttr float64) [][2]int {
+	var events [][2]int
+	t := 0
+	for {
+		t += atLeast(expo(src, mtbf), 1)
+		if t >= ticks {
+			return events
+		}
+		repair := clampTick(t+atLeast(expo(src, mttr), 1), ticks)
+		events = append(events, [2]int{t, repair})
+		t = repair
+	}
+}
+
+// expo draws an exponential tick count; a non-positive mean yields 0
+// (the caller's atLeast floor then applies).
+func expo(src *dist.Source, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return src.Exponential(mean)
+}
+
+// atLeast rounds v down to a tick count of at least lo (renewal
+// processes must advance or they would loop forever).
+func atLeast(v float64, lo int) int {
+	n := int(v)
+	if n < lo {
+		return lo
+	}
+	return n
+}
+
+// clampTick caps a tick at the horizon; a repair clamped to Ticks never
+// fires, modeling "still down when the run ends".
+func clampTick(t, ticks int) int {
+	if t > ticks {
+		return ticks
+	}
+	return t
+}

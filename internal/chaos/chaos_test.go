@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testSchedule() Schedule {
+	return Schedule{
+		Ticks:   800,
+		Servers: 18,
+		PMUs:    []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Racks: [][]int{
+			{0, 1, 2}, {3, 4, 5}, {6, 7, 8},
+			{9, 10, 11}, {12, 13, 14}, {15, 16, 17},
+		},
+		ServerMTBF: 150, ServerMTTR: 25,
+		PMUMTBF: 300, PMUMTTR: 40,
+		BurstEvery: 400, BurstMTTR: 30,
+		LossEvery: 300, LossTicks: 50,
+		ReportLoss: 0.3, BudgetLoss: 0.3,
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	s := testSchedule()
+	a, err := s.Expand(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Expand(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed expanded to different plans")
+	}
+	if a.Events() == 0 {
+		t.Fatal("heavy schedule expanded to an empty plan")
+	}
+	c, err := s.Expand(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds expanded to identical plans")
+	}
+}
+
+func checkPlanInRange(t *testing.T, s Schedule, p Plan) {
+	t.Helper()
+	pmuOK := map[int]bool{}
+	for _, id := range s.PMUs {
+		pmuOK[id] = true
+	}
+	lastTick := -1
+	for _, f := range p.ServerFailures {
+		if f.Server < 0 || f.Server >= s.Servers {
+			t.Fatalf("server %d outside [0, %d)", f.Server, s.Servers)
+		}
+		if f.Tick < 0 || f.Tick >= s.Ticks {
+			t.Fatalf("fail tick %d outside [0, %d)", f.Tick, s.Ticks)
+		}
+		if f.RepairTick <= f.Tick || f.RepairTick > s.Ticks {
+			t.Fatalf("repair tick %d outside (%d, %d]", f.RepairTick, f.Tick, s.Ticks)
+		}
+		if f.Tick < lastTick {
+			t.Fatalf("server failures not sorted: %d after %d", f.Tick, lastTick)
+		}
+		lastTick = f.Tick
+	}
+	for _, f := range p.PMUFailures {
+		if !pmuOK[f.Node] {
+			t.Fatalf("PMU failure for unlisted node %d", f.Node)
+		}
+		if f.Tick < 0 || f.Tick >= s.Ticks {
+			t.Fatalf("PMU fail tick %d outside [0, %d)", f.Tick, s.Ticks)
+		}
+		if f.RepairTick <= f.Tick || f.RepairTick > s.Ticks {
+			t.Fatalf("PMU repair tick %d outside (%d, %d]", f.RepairTick, f.Tick, s.Ticks)
+		}
+	}
+	for _, w := range p.LossWindows {
+		if w.Start < 0 || w.Start >= s.Ticks || w.End <= w.Start || w.End > s.Ticks {
+			t.Fatalf("loss window [%d, %d) outside the horizon %d", w.Start, w.End, s.Ticks)
+		}
+		if w.ReportLoss < 0 || w.ReportLoss >= 1 || w.BudgetLoss < 0 || w.BudgetLoss >= 1 {
+			t.Fatalf("loss window probabilities out of range: %+v", w)
+		}
+	}
+}
+
+func TestExpandInRange(t *testing.T) {
+	s := testSchedule()
+	for seed := uint64(0); seed < 25; seed++ {
+		p, err := s.Expand(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPlanInRange(t, s, p)
+	}
+}
+
+func TestExpandDisabledProcesses(t *testing.T) {
+	s := testSchedule()
+	s.ServerMTBF, s.PMUMTBF, s.BurstEvery, s.LossEvery = 0, 0, 0, 0
+	p, err := s.Expand(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Events() != 0 {
+		t.Fatalf("all processes disabled, got %d events", p.Events())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Schedule{
+		{Ticks: 0},
+		{Ticks: 100, Servers: -1},
+		{Ticks: 100, ServerMTBF: -5},
+		{Ticks: 100, ReportLoss: 1},
+		{Ticks: 100, BudgetLoss: -0.1},
+		{Ticks: 100, Servers: 2, Racks: [][]int{{0, 2}}},
+		{Ticks: 100, PMUs: []int{-3}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: schedule %+v validated", i, s)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("medium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ServerMTBF != 300 || s.ReportLoss != 0.2 {
+		t.Fatalf("medium preset wrong: %+v", s)
+	}
+
+	s, err = ParseSpec("light,pmu-mtbf=123,budget-loss=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ServerMTBF != 600 || s.PMUMTBF != 123 || s.BudgetLoss != 0.5 {
+		t.Fatalf("override parse wrong: %+v", s)
+	}
+
+	if _, err := ParseSpec("nosuchpreset"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := ParseSpec("server-mtbf=abc"); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if _, err := ParseSpec("warp-drive=1"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseSpec("server-mtbf=100,light"); err == nil {
+		t.Fatal("preset in non-leading position accepted")
+	}
+	if _, err := ParseSpec("server-mtbf=-4"); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+// FuzzChaosSchedule asserts the expansion contract over arbitrary
+// specs and seeds: parseable schedules always expand without error,
+// every emitted event stays within the topology and horizon, and the
+// same seed yields an identical plan.
+func FuzzChaosSchedule(f *testing.F) {
+	f.Add("medium", uint64(1), 400, 18)
+	f.Add("heavy,loss-ticks=5", uint64(99), 900, 9)
+	f.Add("server-mtbf=20,server-mttr=3", uint64(7), 150, 4)
+	f.Fuzz(func(t *testing.T, spec string, seed uint64, ticks, servers int) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			t.Skip()
+		}
+		if ticks <= 0 || ticks > 5000 || servers <= 0 || servers > 64 {
+			t.Skip()
+		}
+		s.Ticks = ticks
+		s.Servers = servers
+		s.PMUs = []int{1, 2}
+		half := servers / 2
+		if half > 0 {
+			racks := [][]int{{}, {}}
+			for i := 0; i < servers; i++ {
+				racks[i/max(half, 1)%2] = append(racks[i/max(half, 1)%2], i)
+			}
+			s.Racks = racks
+		}
+		a, err := s.Expand(seed)
+		if err != nil {
+			t.Fatalf("valid schedule failed to expand: %v", err)
+		}
+		checkPlanInRange(t, s, a)
+		b, err := s.Expand(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("same seed expanded to different plans")
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses a chaos specification string into the rate fields of
+// a Schedule; the topology fields (Ticks, Servers, PMUs, Racks) are the
+// caller's to fill (see cluster.ChaosTopology).
+//
+// A spec is a comma-separated list whose first element may be a preset
+// — "light", "medium" or "heavy" — followed by key=value overrides:
+//
+//	light
+//	medium,pmu-mtbf=400
+//	server-mtbf=250,server-mttr=20,loss-every=500,report-loss=0.3
+//
+// Keys (all means in ticks): server-mtbf, server-mttr, pmu-mtbf,
+// pmu-mttr, burst-every, burst-mttr, loss-every, loss-ticks,
+// report-loss, budget-loss.
+func ParseSpec(spec string) (Schedule, error) {
+	var s Schedule
+	fields := strings.Split(spec, ",")
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !strings.Contains(f, "=") {
+			if i != 0 {
+				return s, fmt.Errorf("chaos: preset %q must come first in spec %q", f, spec)
+			}
+			preset, ok := presets[f]
+			if !ok {
+				return s, fmt.Errorf("chaos: unknown preset %q (want light, medium or heavy)", f)
+			}
+			s = preset
+			continue
+		}
+		key, val, _ := strings.Cut(f, "=")
+		key = strings.TrimSpace(key)
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return s, fmt.Errorf("chaos: bad value in %q: %v", f, err)
+		}
+		if v < 0 {
+			return s, fmt.Errorf("chaos: negative value in %q", f)
+		}
+		field, ok := specKeys[key]
+		if !ok {
+			return s, fmt.Errorf("chaos: unknown key %q in spec %q", key, spec)
+		}
+		*field(&s) = v
+	}
+	return s, nil
+}
+
+// presets are the named fault-intensity levels, calibrated for runs of
+// a few hundred to a few thousand ticks over tens of servers.
+var presets = map[string]Schedule{
+	"light": {
+		ServerMTBF: 600, ServerMTTR: 40,
+		PMUMTBF: 2000, PMUMTTR: 60,
+	},
+	"medium": {
+		ServerMTBF: 300, ServerMTTR: 30,
+		PMUMTBF: 900, PMUMTTR: 50,
+		BurstEvery: 1500, BurstMTTR: 40,
+		LossEvery: 800, LossTicks: 60,
+		ReportLoss: 0.2, BudgetLoss: 0.2,
+	},
+	"heavy": {
+		ServerMTBF: 150, ServerMTTR: 25,
+		PMUMTBF: 400, PMUMTTR: 40,
+		BurstEvery: 600, BurstMTTR: 40,
+		LossEvery: 400, LossTicks: 80,
+		ReportLoss: 0.35, BudgetLoss: 0.35,
+	},
+}
+
+// specKeys maps spec keys to their Schedule fields.
+var specKeys = map[string]func(*Schedule) *float64{
+	"server-mtbf": func(s *Schedule) *float64 { return &s.ServerMTBF },
+	"server-mttr": func(s *Schedule) *float64 { return &s.ServerMTTR },
+	"pmu-mtbf":    func(s *Schedule) *float64 { return &s.PMUMTBF },
+	"pmu-mttr":    func(s *Schedule) *float64 { return &s.PMUMTTR },
+	"burst-every": func(s *Schedule) *float64 { return &s.BurstEvery },
+	"burst-mttr":  func(s *Schedule) *float64 { return &s.BurstMTTR },
+	"loss-every":  func(s *Schedule) *float64 { return &s.LossEvery },
+	"loss-ticks":  func(s *Schedule) *float64 { return &s.LossTicks },
+	"report-loss": func(s *Schedule) *float64 { return &s.ReportLoss },
+	"budget-loss": func(s *Schedule) *float64 { return &s.BudgetLoss },
+}

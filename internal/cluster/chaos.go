@@ -1,0 +1,95 @@
+package cluster
+
+// Chaos integration: expand a seeded chaos.Schedule against a run's
+// topology and fold the resulting fault plan into its Config.
+
+import (
+	"fmt"
+
+	"willow/internal/chaos"
+	"willow/internal/topo"
+)
+
+// ChaosTopology derives the fault-injection surface of a fan-out: the
+// server count, the crash-eligible PMU node IDs (every internal node
+// except the root — killing the root leaves nothing to measure against)
+// and the racks (the server spans of the level-1 PMUs) for correlated
+// bursts.
+func ChaosTopology(fanout []int) (servers int, pmus []int, racks [][]int, err error) {
+	tree, err := topo.Build(fanout)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for _, n := range tree.Nodes {
+		if n.IsLeaf() || n == tree.Root {
+			continue
+		}
+		pmus = append(pmus, n.ID)
+	}
+	for _, n := range tree.LevelNodes(1) {
+		rack := make([]int, 0, len(n.Children))
+		for _, ch := range n.Children {
+			rack = append(rack, ch.ServerIndex)
+		}
+		racks = append(racks, rack)
+	}
+	return tree.NumServers(), pmus, racks, nil
+}
+
+// ApplyPlan folds an expanded chaos plan into the run configuration,
+// appending to any fault events already present.
+func ApplyPlan(cfg *Config, plan chaos.Plan) {
+	for _, f := range plan.ServerFailures {
+		cfg.Failures = append(cfg.Failures, FailureEvent{
+			Server: f.Server, Tick: f.Tick, RepairTick: f.RepairTick,
+		})
+	}
+	for _, f := range plan.PMUFailures {
+		cfg.PMUFailures = append(cfg.PMUFailures, PMUFailureEvent{
+			Node: f.Node, Tick: f.Tick, RepairTick: f.RepairTick,
+		})
+	}
+	for _, w := range plan.LossWindows {
+		cfg.LossWindows = append(cfg.LossWindows, LossWindow{
+			Start: w.Start, End: w.End,
+			ReportLoss: w.ReportLoss, BudgetLoss: w.BudgetLoss,
+		})
+	}
+}
+
+// ApplyChaos parses a chaos spec (see chaos.ParseSpec), expands it
+// deterministically for the given seed against cfg's topology and
+// horizon, and folds the plan into cfg. It also arms budget leases
+// when the Core config has none: a chaos run without leases would ride
+// stale budgets forever, which is never what a chaos experiment means
+// to measure. It returns the expanded plan for reporting.
+func ApplyChaos(cfg *Config, spec string, seed uint64) (chaos.Plan, error) {
+	sched, err := chaos.ParseSpec(spec)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	sched.Ticks = cfg.Ticks
+	sched.Servers, sched.PMUs, sched.Racks, err = ChaosTopology(cfg.Fanout)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	plan, err := sched.Expand(seed)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	if cfg.Core.BudgetLeaseTicks == 0 {
+		eta1 := cfg.Core.Eta1
+		if eta1 == 0 {
+			eta1 = 4 // core.Defaults
+		}
+		cfg.Core.BudgetLeaseTicks = 2 * eta1
+	}
+	ApplyPlan(cfg, plan)
+	return plan, nil
+}
+
+// PlanSummary renders a one-line summary of a plan for CLI reporting.
+func PlanSummary(plan chaos.Plan) string {
+	return fmt.Sprintf("chaos plan: %d server failures, %d PMU failures, %d loss windows",
+		len(plan.ServerFailures), len(plan.PMUFailures), len(plan.LossWindows))
+}

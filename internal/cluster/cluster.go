@@ -81,6 +81,16 @@ type Config struct {
 	SLO queueing.SLO
 	// Failures injects server crashes and repairs at fixed ticks.
 	Failures []FailureEvent
+	// PMUFailures injects control-plane (internal PMU node) crashes and
+	// repairs at fixed ticks; the dead node's subtree rides its budget
+	// leases into degraded mode (core.Config.BudgetLeaseTicks).
+	PMUFailures []PMUFailureEvent
+	// LossWindows degrade every control link over fixed tick intervals,
+	// dropping upward reports and downward budget directives with the
+	// window's probabilities; outside all windows the Core config's
+	// ReportLoss/BudgetLoss apply. Typically generated, together with
+	// the failure lists, from a seeded chaos schedule (ApplyChaos).
+	LossWindows []LossWindow
 	// Sink, when non-nil, receives every controller telemetry event of
 	// the run (budget changes, migrations, throttles, sleep/wake,
 	// failures, QoS violations), tick-stamped and in decision order.
@@ -97,6 +107,20 @@ type FailureEvent struct {
 	Server     int
 	Tick       int
 	RepairTick int
+}
+
+// PMUFailureEvent crashes the internal tree node with the given ID at
+// Tick and, when RepairTick > Tick, repairs it then.
+type PMUFailureEvent struct {
+	Node       int
+	Tick       int
+	RepairTick int
+}
+
+// LossWindow drops control messages on every link over [Start, End).
+type LossWindow struct {
+	Start, End             int
+	ReportLoss, BudgetLoss float64
 }
 
 // PaperConfig returns the configuration of the paper's simulation
@@ -333,6 +357,34 @@ func Run(cfg Config) (*Result, error) {
 		engine.Schedule(sim.Tick(f.Tick), func(sim.Tick) { ctrl.FailServer(f.Server) })
 		if f.RepairTick > f.Tick {
 			engine.Schedule(sim.Tick(f.RepairTick), func(sim.Tick) { ctrl.RepairServer(f.Server) })
+		}
+	}
+	for _, f := range cfg.PMUFailures {
+		f := f
+		if f.Node < 0 || f.Node >= len(tree.Nodes) || tree.Nodes[f.Node].IsLeaf() {
+			return nil, fmt.Errorf("cluster: PMU failure event for node %d is not an internal node", f.Node)
+		}
+		engine.Schedule(sim.Tick(f.Tick), func(sim.Tick) { ctrl.FailPMU(f.Node) })
+		if f.RepairTick > f.Tick {
+			engine.Schedule(sim.Tick(f.RepairTick), func(sim.Tick) { ctrl.RepairPMU(f.Node) })
+		}
+	}
+	if len(cfg.LossWindows) > 0 {
+		baseReport, baseBudget := ctrl.Cfg.ReportLoss, ctrl.Cfg.BudgetLoss
+		for _, w := range cfg.LossWindows {
+			w := w
+			if w.Start < 0 || w.End <= w.Start {
+				return nil, fmt.Errorf("cluster: bad loss window [%d, %d)", w.Start, w.End)
+			}
+			if w.ReportLoss < 0 || w.ReportLoss >= 1 || w.BudgetLoss < 0 || w.BudgetLoss >= 1 {
+				return nil, fmt.Errorf("cluster: loss window probabilities outside [0, 1): %+v", w)
+			}
+			engine.Schedule(sim.Tick(w.Start), func(sim.Tick) {
+				ctrl.SetLinkLoss(w.ReportLoss, w.BudgetLoss)
+			})
+			engine.Schedule(sim.Tick(w.End), func(sim.Tick) {
+				ctrl.SetLinkLoss(baseReport, baseBudget)
+			})
 		}
 	}
 	engine.Every(0, 1, func(now sim.Tick) {

@@ -19,6 +19,13 @@ import (
 // Supply traces are indexed by supply epoch (t / η1), so a 30-entry trace
 // spans 30 supply windows regardless of η1.
 func (c *Controller) allocateSupply(t int) {
+	if c.resilienceEnabled() {
+		// Mid-tick re-derivation under the resilient control plane:
+		// refresh budgets directly within the live span, without
+		// advancing pipes or touching lease state (degraded.go).
+		c.allocateResilient(t, false)
+		return
+	}
 	root := c.pmus[c.Tree.Root.ID]
 	total := c.Supply.At(t / c.Cfg.Eta1)
 	prev := root.TP
@@ -51,6 +58,16 @@ func (c *Controller) allocateNode(node *topo.Node, budget float64) {
 	if node.IsLeaf() {
 		return
 	}
+	c.assignChildBudgets(node.Children, c.computeChildAllocations(node, budget))
+}
+
+// computeChildAllocations runs the three allocation rounds for one
+// internal node and returns the per-child budgets (backed by the node's
+// scratch buffer — valid until the next call for the same node). Both
+// the synchronous path (allocateNode) and the resilient path
+// (allocateNodeR, degraded.go) divide budget through here, so degraded
+// autonomous allocation is arithmetically identical to the paper's.
+func (c *Controller) computeChildAllocations(node *topo.Node, budget float64) []float64 {
 	children := node.Children
 	sc := c.scratch[node.ID]
 	demands, caps, floors := sc.demands, sc.caps, sc.floors
@@ -74,8 +91,7 @@ func (c *Controller) allocateNode(node *topo.Node, budget float64) {
 	alloc := sc.alloc
 	if floorSum > budget {
 		waterfill(alloc, budget, floors, floors, sc.active)
-		c.assignChildBudgets(children, alloc)
-		return
+		return alloc
 	}
 	copy(alloc, floors)
 	remaining := budget - floorSum
@@ -123,7 +139,7 @@ func (c *Controller) allocateNode(node *topo.Node, budget float64) {
 		}
 	}
 
-	c.assignChildBudgets(children, alloc)
+	return alloc
 }
 
 // assignChildBudgets stores the computed budgets, maintains reduced

@@ -80,6 +80,12 @@ func (c *Controller) pipeFor(n *topo.Node) *reportPipe {
 func (c *Controller) propagateReports() {
 	for level := 1; level <= c.Tree.Height; level++ {
 		for _, n := range c.levels[level] {
+			if c.failedPMUs[n.ID] {
+				// A dead PMU aggregates nothing; its CP stays frozen and
+				// the pipes of its child links do not advance (they are
+				// dropped and re-primed on repair).
+				continue
+			}
 			p := c.pmus[n.ID]
 			p.CP = 0
 			for _, child := range n.Children {
@@ -89,9 +95,13 @@ func (c *Controller) propagateReports() {
 				} else {
 					current = c.pmus[child.ID].CP
 				}
-				lost := c.Cfg.ReportLoss > 0 && c.src.Float64() < c.Cfg.ReportLoss
+				deadChild := !child.IsLeaf() && c.failedPMUs[child.ID]
+				lost := deadChild ||
+					(c.Cfg.ReportLoss > 0 && c.src.Float64() < c.Cfg.ReportLoss)
 				p.CP += c.pipeFor(child).push(current, lost)
-				c.countUp(child)
+				if !deadChild {
+					c.countUp(child)
+				}
 			}
 		}
 	}

@@ -31,6 +31,9 @@ func (c *Controller) consolidate(t int) {
 		if s.Asleep || s.wakeAt >= 0 {
 			continue
 		}
+		if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+			continue // a dead span cannot coordinate its own drain
+		}
 		if utilization(s) < c.Cfg.ConsolidateBelow {
 			candidates = append(candidates, s)
 		}

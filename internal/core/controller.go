@@ -89,6 +89,14 @@ type Stats struct {
 	// accumulates demand stranded while awaiting restart.
 	Failures, Repairs, Restarts int
 	OrphanWattTicks             float64
+	// PMUFailures / PMURepairs count injected control-plane (PMU node)
+	// crashes and repairs (failure.go).
+	PMUFailures, PMURepairs int
+	// LeaseExpiries counts nodes (servers and PMUs) entering degraded
+	// mode after their budget lease ran out; DegradedTicks accumulates
+	// server-ticks spent degraded (degraded.go).
+	LeaseExpiries int
+	DegradedTicks int64
 }
 
 // Controller is a running Willow instance.
@@ -128,8 +136,18 @@ type Controller struct {
 	upLinks, downLinks map[int]bool
 
 	// pipes delay upward reports per link when the asynchronous control
-	// plane is enabled (see async.go).
-	pipes map[int]*reportPipe
+	// plane is enabled (see async.go); budgetPipes do the same for the
+	// downward budget directives (see degraded.go).
+	pipes       map[int]*reportPipe
+	budgetPipes map[int]*budgetPipe
+
+	// failedPMUs marks crashed internal nodes (FailPMU): they neither
+	// aggregate reports nor issue budgets, and migrations never cross
+	// their span. Empty in the paper's fail-free regime. delivered is
+	// the resilient allocation pass's per-window scratch, marking which
+	// nodes heard a budget directive (degraded.go).
+	failedPMUs map[int]bool
+	delivered  []bool
 
 	// levels caches the internal nodes per level (index = level) so the
 	// per-tick aggregation does not rescan the whole tree; scratch holds
@@ -189,6 +207,8 @@ func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, s
 		upLinks:      map[int]bool{},
 		downLinks:    map[int]bool{},
 		pipes:        map[int]*reportPipe{},
+		budgetPipes:  map[int]*budgetPipe{},
+		failedPMUs:   map[int]bool{},
 		inFlight:     map[int]bool{},
 		reserved:     map[int]float64{},
 		pendingSleep: map[int]bool{},
@@ -245,7 +265,7 @@ func (c *Controller) Step() {
 	c.completeTransfers(t)
 	c.observeDemand(t)
 	if t%c.Cfg.Eta1 == 0 {
-		c.allocateSupply(t)
+		c.allocateSupplyWindow(t)
 	}
 	c.restartOrphans(t)
 	c.migrateDemand(t)
@@ -344,14 +364,22 @@ func (c *Controller) observeDemand(int) {
 		c.propagateReports()
 		return
 	}
-	// Synchronous aggregation: bottom-up, level by level.
+	// Synchronous aggregation: bottom-up, level by level. A dead PMU
+	// neither aggregates (its CP freezes at the last value it computed)
+	// nor reports upward — its parent keeps acting on that frozen view,
+	// the same "act on the previous value" semantics as a lost report.
 	for level := 1; level <= c.Tree.Height; level++ {
 		for _, n := range c.levels[level] {
+			if c.failedPMUs[n.ID] {
+				continue
+			}
 			p := c.pmus[n.ID]
 			p.CP = 0
 			for _, child := range n.Children {
 				p.CP += c.demandOf(child)
-				c.countUp(child) // child -> parent report
+				if child.IsLeaf() || !c.failedPMUs[child.ID] {
+					c.countUp(child) // child -> parent report
+				}
 			}
 		}
 	}
@@ -410,6 +438,9 @@ func (c *Controller) consumeAndHeat() {
 			s.Dropped = 0
 		}
 		c.Stats.DroppedWattTicks += s.Dropped
+		if s.Degraded {
+			c.Stats.DegradedTicks++
+		}
 		s.Thermal.Advance(s.Consumed, c.Cfg.ThermalDt)
 	}
 }

@@ -91,6 +91,29 @@ type Config struct {
 	// the transfer lands, with the destination's surplus reserved in the
 	// meantime (see transfer.go).
 	MigrationLatency int
+	// BudgetLeaseTicks makes every downward budget directive a lease: a
+	// node that has not heard from its parent within this many ticks
+	// enters degraded mode — it holds its last-known budget and decays
+	// it geometrically per supply window toward an autonomous safe floor
+	// (see degraded.go). Zero — the default — disables leases entirely:
+	// budgets are held forever, exactly the paper's fail-free control
+	// plane.
+	BudgetLeaseTicks int
+	// DegradedDecay is the geometric decay factor applied per supply
+	// window to a degraded node's budget excess over its safe floor, in
+	// (0, 1]; 1 holds the stale budget without decaying. Zero takes the
+	// default of 0.5. Only meaningful with BudgetLeaseTicks > 0.
+	DegradedDecay float64
+	// BudgetLatency delays downward budget directives by this many
+	// supply windows per link — the downward mirror of ReportLatency
+	// (directives flow once per Δ_S, so the pipe is clocked in windows).
+	// Zero delivers budgets within the window they were computed in.
+	BudgetLatency int
+	// BudgetLoss is the per-link, per-window probability that a budget
+	// directive is lost — the downward mirror of ReportLoss. A lost
+	// directive leaves the child on its previous budget and ages its
+	// lease. Must be in [0, 1).
+	BudgetLoss float64
 }
 
 // Defaults returns the configuration used by the paper's simulation:
@@ -147,6 +170,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.NoiseLambda == 0 {
 		c.NoiseLambda = d.NoiseLambda
 	}
+	if c.DegradedDecay == 0 {
+		c.DegradedDecay = 0.5
+	}
 	switch {
 	case c.Alpha <= 0 || c.Alpha > 1:
 		return c, fmt.Errorf("core: alpha %v outside (0, 1]", c.Alpha)
@@ -166,6 +192,14 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("core: report loss %v outside [0, 1)", c.ReportLoss)
 	case c.MigrationLatency < 0:
 		return c, fmt.Errorf("core: negative migration latency %d", c.MigrationLatency)
+	case c.BudgetLeaseTicks < 0:
+		return c, fmt.Errorf("core: negative budget lease %d", c.BudgetLeaseTicks)
+	case c.DegradedDecay <= 0 || c.DegradedDecay > 1:
+		return c, fmt.Errorf("core: degraded decay %v outside (0, 1]", c.DegradedDecay)
+	case c.BudgetLatency < 0:
+		return c, fmt.Errorf("core: negative budget latency %d", c.BudgetLatency)
+	case c.BudgetLoss < 0 || c.BudgetLoss >= 1:
+		return c, fmt.Errorf("core: budget loss %v outside [0, 1)", c.BudgetLoss)
 	}
 	return c, nil
 }
@@ -222,6 +256,16 @@ type Server struct {
 	// failed marks a crashed server (a failure-injection state, not a
 	// control decision); only RepairServer clears it.
 	failed bool
+
+	// Degraded marks a server whose budget lease expired: it holds its
+	// last-known budget, decayed per supply window toward its safe floor
+	// (see degraded.go). Cleared by the next delivered budget directive.
+	Degraded bool
+	// leaseTick is the tick of the last budget directive heard from the
+	// parent; lastParentTP the parent's budget reported with it (the
+	// fair-share input of the degraded safe floor).
+	leaseTick    int
+	lastParentTP float64
 }
 
 // EffectiveBudget returns min(TP, hard cap): the power the server may
@@ -289,4 +333,10 @@ type pmu struct {
 	// budget; migrations may not target any server under a reduced node
 	// (the unidirectional rule of Section IV-E).
 	reduced bool
+	// degraded, leaseTick and lastParentTP mirror the Server lease state
+	// (degraded.go): a PMU whose lease expired keeps allocating its
+	// decayed budget to its children autonomously.
+	degraded     bool
+	leaseTick    int
+	lastParentTP float64
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"willow/internal/telemetry"
+	"willow/internal/topo"
 	"willow/internal/workload"
 )
 
@@ -26,13 +27,29 @@ type orphan struct {
 // immediately, its applications are orphaned for restart, and any
 // transfer touching it is cancelled (inbound transfers return to their
 // sources; outbound ones become orphans since the source is gone).
-// Failing an already-failed or sleeping server is a no-op.
+// Failing an already-failed server is a no-op. A sleeping server can
+// die too — it hosts nothing, but it must be marked failed so tryWake
+// never selects a dead machine.
 func (c *Controller) FailServer(idx int) {
 	if idx < 0 || idx >= len(c.Servers) {
 		panic("core: FailServer index out of range")
 	}
 	s := c.Servers[idx]
+	if s.failed {
+		return
+	}
 	if s.Asleep {
+		// Dies in its sleep: drained before deactivating, so there are
+		// no applications to orphan and no transfers to cancel.
+		s.failed = true
+		s.wakeAt = -1
+		c.Stats.Failures++
+		if c.Sink != nil {
+			c.Sink.Publish(telemetry.Event{
+				Tick: c.tick, Kind: telemetry.KindFailure,
+				Server: idx, Cause: "fail",
+			})
+		}
 		return
 	}
 	// Cancel transfers touching the failed machine.
@@ -117,13 +134,35 @@ func (c *Controller) restartOrphans(t int) {
 	if len(c.orphans) == 0 {
 		return
 	}
+	var stranded float64
 	for _, o := range c.orphans {
 		c.Stats.OrphanWattTicks += o.app.Mean
+		stranded += o.app.Mean
+	}
+	if c.Sink != nil {
+		// One degradation record per waiting tick, so aggregators can
+		// integrate stranded demand (OrphanWattTicks) from the stream.
+		c.Sink.Publish(telemetry.Event{
+			Tick: t, Kind: telemetry.KindDegraded,
+			Cause: "orphans", Count: len(c.orphans), Watts: stranded,
+		})
 	}
 	ws := c.workingSurpluses(c.Cfg.ThermalWindow)
 	var waiting []orphan
 	for _, o := range c.orphans {
-		to := c.pickTarget(item{app: o.app, src: o.home}, c.Tree.Root, nil, ws, false, true)
+		scope := c.Tree.Root
+		if len(c.failedPMUs) > 0 {
+			// Restart coordination climbs the same hierarchy as
+			// migrations: a dead PMU bounds how far the orphan's home
+			// span can reach for a target.
+			limit := c.reachLimit(o.home.Node)
+			if limit == 0 {
+				waiting = append(waiting, o)
+				continue
+			}
+			scope = ancestorAt(o.home.Node, limit)
+		}
+		to := c.pickTarget(item{app: o.app, src: o.home}, scope, nil, ws, false, true)
 		if to == nil {
 			waiting = append(waiting, o)
 			continue
@@ -152,5 +191,90 @@ func (c *Controller) restartOrphans(t int) {
 	c.orphans = waiting
 	if len(c.orphans) > 0 {
 		c.tryWake(t)
+	}
+}
+
+// FailPMU crashes the internal (PMU) node with the given tree node ID:
+// it stops aggregating reports and issuing budgets, every link touching
+// it goes silent, and its subtree rides its budget leases into degraded
+// autonomous mode (degraded.go). Servers below keep running — a control
+// -plane failure does not power off machines — but migrations never
+// cross the dead span. Failing an already-failed PMU is a no-op.
+func (c *Controller) FailPMU(nodeID int) {
+	n := c.pmuNode(nodeID, "FailPMU")
+	if c.failedPMUs[nodeID] {
+		return
+	}
+	c.failedPMUs[nodeID] = true
+	c.Stats.PMUFailures++
+	if c.Sink != nil {
+		c.Sink.Publish(telemetry.Event{
+			Tick: c.tick, Kind: telemetry.KindFailure,
+			Node: nodeID, Level: n.Level, Cause: "pmu-fail",
+			Count: c.spanServers(n),
+		})
+	}
+}
+
+// RepairPMU returns a failed PMU to service and resyncs its span: the
+// report and budget pipes of every link below it are dropped so they
+// re-prime on the next observation (no stale in-flight values survive
+// the outage), and every lease in the span is refreshed so degraded
+// nodes hold steady — without further decay — until the next supply
+// window delivers fresh budgets and clears their degradation. It is a
+// no-op for PMUs that are not failed.
+func (c *Controller) RepairPMU(nodeID int) {
+	n := c.pmuNode(nodeID, "RepairPMU")
+	if !c.failedPMUs[nodeID] {
+		return
+	}
+	delete(c.failedPMUs, nodeID)
+	c.Stats.PMURepairs++
+	c.resyncSpan(n)
+	if c.Sink != nil {
+		c.Sink.Publish(telemetry.Event{
+			Tick: c.tick, Kind: telemetry.KindFailure,
+			Node: nodeID, Level: n.Level, Cause: "pmu-repair",
+			Count: c.spanServers(n),
+		})
+	}
+}
+
+// pmuNode resolves and validates an internal node ID.
+func (c *Controller) pmuNode(nodeID int, op string) *topo.Node {
+	if nodeID < 0 || nodeID >= len(c.Tree.Nodes) {
+		panic("core: " + op + " node ID out of range")
+	}
+	n := c.Tree.Nodes[nodeID]
+	if n.IsLeaf() {
+		panic("core: " + op + " on a server node (use FailServer)")
+	}
+	return n
+}
+
+// spanServers counts the leaf servers beneath n.
+func (c *Controller) spanServers(n *topo.Node) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	total := 0
+	for _, ch := range n.Children {
+		total += c.spanServers(ch)
+	}
+	return total
+}
+
+// resyncSpan drops the pipes and refreshes the leases of every node in
+// n's subtree, n included.
+func (c *Controller) resyncSpan(n *topo.Node) {
+	delete(c.pipes, n.ID)
+	delete(c.budgetPipes, n.ID)
+	if n.IsLeaf() {
+		c.Servers[n.ServerIndex].leaseTick = c.tick
+		return
+	}
+	c.pmus[n.ID].leaseTick = c.tick
+	for _, ch := range n.Children {
+		c.resyncSpan(ch)
 	}
 }

@@ -58,6 +58,37 @@ func TestFailServerOrphansAndRestarts(t *testing.T) {
 	}
 }
 
+// TestFailSleepingServer is the regression for the silent no-op bug:
+// FailServer used to return early for sleeping servers, leaving them
+// eligible for tryWake — a dead machine could be "woken" into service.
+func TestFailSleepingServer(t *testing.T) {
+	c := failureScenario(t, quietCfg())
+	c.Run(2)
+	c.Servers[3].Asleep = true // empty server parked asleep
+	c.FailServer(3)
+	if !c.Servers[3].failed {
+		t.Fatal("sleeping server not marked failed")
+	}
+	if c.Stats.Failures != 1 {
+		t.Errorf("failures = %d, want 1", c.Stats.Failures)
+	}
+	if c.Orphans() != 0 {
+		t.Errorf("a drained sleeper orphaned %d apps", c.Orphans())
+	}
+	// Crash a loaded server: the stranded orphans must never wake the
+	// dead spare, however long the pressure lasts.
+	c.FailServer(0)
+	c.Run(4 + c.Cfg.WakeLatency)
+	if !c.Servers[3].Asleep || c.Servers[3].Consumed != 0 {
+		t.Error("dead sleeping server was woken")
+	}
+	// Repair brings it back awake and usable like any other machine.
+	c.RepairServer(3)
+	if c.Servers[3].Asleep || c.Servers[3].failed {
+		t.Error("repaired sleeper not back in service")
+	}
+}
+
 func TestFailServerIdempotentAndBounds(t *testing.T) {
 	c := failureScenario(t, quietCfg())
 	c.Run(2)

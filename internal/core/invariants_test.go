@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"willow/internal/chaos"
 	"willow/internal/dist"
 	"willow/internal/power"
 	"willow/internal/thermal"
@@ -175,6 +176,204 @@ func TestRandomScenarioInvariants(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 40}
 	if testing.Short() {
 		cfg.MaxCount = 8
+	}
+	if err := quick.Check(scenario, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFaultScheduleInvariants is the property harness for the failure
+// machinery: random fleets run under random seeded chaos schedules —
+// server crashes, PMU crashes, repairs — with leases, budget latency and
+// loss in play, and every reachable state must satisfy:
+//
+//   - no migration or orphan restart ever targets a failed server, a
+//     sleeping server, or a server stranded under a dead PMU,
+//   - applications are conserved: hosted + orphaned == created,
+//   - consumption respects the hard caps (thermal Eq. 3, circuit, peak)
+//     even while spans ride decayed lease budgets,
+//   - failure/repair accounting matches the schedule.
+func TestFaultScheduleInvariants(t *testing.T) {
+	scenario := func(seed uint64) bool {
+		src := dist.NewSource(seed)
+
+		fanouts := [][]int{{4}, {2, 3}, {2, 2, 2}, {3, 3}, {2, 3, 3}}
+		fanout := fanouts[src.Intn(len(fanouts))]
+		tree, err := topo.Build(fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tree.NumServers()
+
+		cfg := Defaults()
+		cfg.Eta1 = 1 + src.Intn(4)
+		cfg.Eta2 = cfg.Eta1 + 1 + src.Intn(6)
+		cfg.BudgetLeaseTicks = cfg.Eta1 * (1 + src.Intn(3))
+		cfg.DegradedDecay = src.Uniform(0.2, 0.9)
+		if src.Float64() < 0.4 {
+			cfg.BudgetLatency = 1 + src.Intn(3)
+		}
+		if src.Float64() < 0.3 {
+			cfg.BudgetLoss = src.Uniform(0, 0.4)
+		}
+		if src.Float64() < 0.3 {
+			cfg.ReportLoss = src.Uniform(0, 0.4)
+		}
+		if src.Float64() < 0.3 {
+			cfg.MigrationLatency = 1 + src.Intn(4)
+		}
+
+		appCount := 0
+		specs := make([]ServerSpec, n)
+		for i := range specs {
+			static := src.Uniform(20, 100)
+			peak := static + src.Uniform(80, 300)
+			specs[i] = ServerSpec{
+				Power:   power.ServerModel{Static: static, Peak: peak},
+				Thermal: benignThermal,
+			}
+			if src.Float64() < 0.3 {
+				specs[i].CircuitLimit = src.Uniform(static+20, peak)
+			}
+			for a := 0; a < 1+src.Intn(3); a++ {
+				specs[i].Apps = append(specs[i].Apps, &workload.App{
+					ID:          appCount,
+					Class:       workload.Class{Weight: src.Uniform(1, 9)},
+					Mean:        src.Uniform(5, (peak-static)/2),
+					NoiseLambda: src.Uniform(5, 50),
+				})
+				appCount++
+			}
+		}
+		var rated float64
+		for _, sp := range specs {
+			rated += sp.Power.Peak
+		}
+
+		const ticks = 160
+		sched := chaos.Schedule{
+			Ticks:      ticks,
+			Servers:    n,
+			ServerMTBF: float64(20 + src.Intn(200)),
+			ServerMTTR: float64(5 + src.Intn(30)),
+			PMUMTBF:    float64(20 + src.Intn(200)),
+			PMUMTTR:    float64(5 + src.Intn(40)),
+		}
+		for _, node := range tree.Nodes {
+			if !node.IsLeaf() && node != tree.Root {
+				sched.PMUs = append(sched.PMUs, node.ID)
+			}
+		}
+		if len(sched.PMUs) == 0 {
+			sched.PMUMTBF = 0 // flat {4} tree: nothing but the root to kill
+		}
+		plan, err := sched.Expand(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Index fail/repair actions by tick, applied before the step —
+		// the same ordering cluster.Run uses.
+		type action struct {
+			server, node int
+			repair       bool
+		}
+		byTick := map[int][]action{}
+		for _, f := range plan.ServerFailures {
+			byTick[f.Tick] = append(byTick[f.Tick], action{server: f.Server, node: -1})
+			if f.RepairTick > 0 {
+				byTick[f.RepairTick] = append(byTick[f.RepairTick], action{server: f.Server, node: -1, repair: true})
+			}
+		}
+		for _, f := range plan.PMUFailures {
+			byTick[f.Tick] = append(byTick[f.Tick], action{server: -1, node: f.Node})
+			if f.RepairTick > 0 {
+				byTick[f.RepairTick] = append(byTick[f.RepairTick], action{server: -1, node: f.Node, repair: true})
+			}
+		}
+
+		c, err := New(tree, specs, power.Constant(rated*src.Uniform(0.5, 1.0)), cfg, src.Fork())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		downServers := map[int]bool{}
+		migSeen := 0
+		for tick := 0; tick < ticks; tick++ {
+			for _, a := range byTick[tick] {
+				switch {
+				case a.server >= 0 && !a.repair:
+					c.FailServer(a.server)
+					downServers[a.server] = true
+				case a.server >= 0:
+					c.RepairServer(a.server)
+					delete(downServers, a.server)
+				case !a.repair:
+					c.FailPMU(a.node)
+				default:
+					c.RepairPMU(a.node)
+				}
+			}
+			c.Step()
+
+			// Every migration recorded this tick lands on an alive,
+			// reachable server. (Sleep state is checked separately below:
+			// a target may legitimately drain to sleep later in the same
+			// tick, but failure and dead-span status only change at tick
+			// boundaries, above.)
+			for _, m := range c.Stats.Migrations[migSeen:] {
+				to := c.Servers[m.To]
+				if downServers[m.To] {
+					t.Fatalf("seed %d tick %d: migration (cause %v) targeted failed server %d",
+						seed, tick, m.Cause, m.To)
+				}
+				if c.underDeadPMU(to.Node) {
+					t.Fatalf("seed %d tick %d: migration (cause %v) crossed into the dead span at server %d",
+						seed, tick, m.Cause, m.To)
+				}
+			}
+			migSeen = len(c.Stats.Migrations)
+
+			apps := 0
+			for si, s := range c.Servers {
+				apps += s.Apps.Len()
+				if downServers[si] && s.Apps.Len() > 0 {
+					t.Fatalf("seed %d tick %d: failed server %d hosts %d apps", seed, tick, si, s.Apps.Len())
+				}
+				if s.Asleep {
+					if s.Apps.Len() > 0 {
+						t.Fatalf("seed %d tick %d: sleeping server %d hosts %d apps", seed, tick, si, s.Apps.Len())
+					}
+					continue
+				}
+				if cap := s.HardCap(c.Cfg.ThermalWindow); s.Consumed > cap+1e-6 {
+					t.Fatalf("seed %d tick %d: server %d consumed %v above hard cap %v",
+						seed, tick, si, s.Consumed, cap)
+				}
+				if s.TP < -tolerance {
+					t.Fatalf("seed %d tick %d: server %d negative budget %v", seed, tick, si, s.TP)
+				}
+			}
+			if total := apps + c.Orphans(); total != appCount {
+				t.Fatalf("seed %d tick %d: %d apps hosted + %d orphaned, want %d",
+					seed, tick, apps, c.Orphans(), appCount)
+			}
+		}
+		if c.Stats.Failures != len(plan.ServerFailures) {
+			t.Fatalf("seed %d: %d server failures recorded, schedule had %d",
+				seed, c.Stats.Failures, len(plan.ServerFailures))
+		}
+		if c.Stats.PMUFailures != len(plan.PMUFailures) {
+			t.Fatalf("seed %d: %d PMU failures recorded, schedule had %d",
+				seed, c.Stats.PMUFailures, len(plan.PMUFailures))
+		}
+		if c.Stats.PMURepairs > c.Stats.PMUFailures || c.Stats.Repairs > c.Stats.Failures {
+			t.Fatalf("seed %d: more repairs than failures", seed)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 6
 	}
 	if err := quick.Check(scenario, cfg); err != nil {
 		t.Error(err)

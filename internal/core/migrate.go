@@ -90,9 +90,13 @@ func (c *Controller) workingSurpluses(window float64) map[int]float64 {
 }
 
 // receiverEligible reports whether a server may be a migration target at
-// all: awake, not being drained, and not squeezed by the last supply
-// event (the unidirectional rule).
+// all: awake, not being drained, not squeezed by the last supply event
+// (the unidirectional rule), and not stranded under a dead PMU (no
+// coordinator can direct workload into such a span).
 func (c *Controller) receiverEligible(s *Server) bool {
+	if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+		return false
+	}
 	return !s.Asleep && !c.draining[s.Node.ServerIndex] && !s.reduced
 }
 
@@ -143,6 +147,12 @@ func (c *Controller) planPlacement(items []item, ws map[int]float64, ignoreReduc
 	for level := 1; level <= maxLevel && len(pending) > 0; level++ {
 		var next []item
 		for _, it := range pending {
+			if len(c.failedPMUs) > 0 && level > c.reachLimit(it.src.Node) {
+				// Escalation is capped at the highest coordinator the
+				// source can still reach through alive PMUs.
+				next = append(next, it)
+				continue
+			}
 			scope := ancestorAt(it.src.Node, level)
 			exclude := ancestorAt(it.src.Node, level-1)
 			to := c.pickTarget(it, scope, exclude, ws, ignoreReduced, preferEfficient)
@@ -185,6 +195,10 @@ func (c *Controller) pickTarget(it item, scope, exclude *topo.Node, ws map[int]f
 	var walk func(n *topo.Node)
 	walk = func(n *topo.Node) {
 		if n == exclude {
+			return
+		}
+		if !n.IsLeaf() && c.failedPMUs[n.ID] {
+			// No coordinator: nothing can be placed into a dead span.
 			return
 		}
 		if !ignoreReduced && !n.IsLeaf() && n != scope && c.pmus[n.ID].reduced {
@@ -323,6 +337,9 @@ func (c *Controller) drainToSleep(unplaced []item, t int) []item {
 			if c.draining[s.Node.ServerIndex] || c.transferTouches(s) {
 				continue
 			}
+			if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+				continue // cannot coordinate a drain across a dead span
+			}
 			if victim == nil || c.viewDynamic(s) < c.viewDynamic(victim) {
 				victim = s
 			}
@@ -342,6 +359,9 @@ func (c *Controller) drainToSleep(unplaced []item, t int) []item {
 		ws := make(map[int]float64, len(awake))
 		for _, s := range awake {
 			if s == victim || c.draining[s.Node.ServerIndex] {
+				continue
+			}
+			if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
 				continue
 			}
 			room := s.HardCap(c.Cfg.ThermalWindow) - c.viewCP(s) - c.Cfg.PMin - c.reservedFor(s)
@@ -394,6 +414,9 @@ func (c *Controller) tryWake(t int) {
 	for _, s := range c.Servers {
 		if !s.Asleep || s.failed {
 			continue
+		}
+		if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+			continue // no coordinator to direct demand its way once awake
 		}
 		if s.wakeAt >= 0 {
 			return // a wake is already in flight; avoid thundering herds

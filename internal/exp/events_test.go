@@ -64,3 +64,66 @@ func TestEventStreamsWorkerInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosEventStreamsWorkerInvariant extends the determinism property
+// to fault injection: a mid-tree PMU kill/repair chaos run (the
+// resilience experiment) must also produce byte-identical event streams
+// for 1, 4 and 8 workers. Leases, degraded decays, pipe losses and
+// repair resyncs all draw from the same forked SplitMix64 streams as
+// the fail-free path, so concurrency must not reorder them.
+func TestChaosEventStreamsWorkerInvariant(t *testing.T) {
+	collect := func(workers int) map[string]string {
+		var mu sync.Mutex
+		bufs := map[string]*bytes.Buffer{}
+		opts := Options{
+			Quick:        true,
+			Replications: 3,
+			Workers:      workers,
+			ChaosSpec:    "medium",
+			EventSinks: func(id string, rep int) (telemetry.Sink, error) {
+				buf := &bytes.Buffer{}
+				mu.Lock()
+				bufs[fmt.Sprintf("%s.rep%d", id, rep)] = buf
+				mu.Unlock()
+				return telemetry.NewWriter(buf), nil
+			},
+		}
+		if _, err := RunMany(context.Background(), []string{"resilience"}, opts); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(bufs))
+		for k, b := range bufs {
+			out[k] = b.String()
+		}
+		return out
+	}
+
+	base := collect(1)
+	if len(base) != 3 {
+		t.Fatalf("got %d streams, want 3", len(base))
+	}
+	sawDegraded := false
+	for k, v := range base {
+		evs, err := telemetry.ReadAll(bytes.NewReader([]byte(v)))
+		if err != nil || len(evs) == 0 {
+			t.Fatalf("stream %s does not decode: %d events, err %v", k, len(evs), err)
+		}
+		for _, ev := range evs {
+			if ev.Kind == telemetry.KindDegraded {
+				sawDegraded = true
+				break
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("no degraded events in any chaos stream — schedule injected nothing")
+	}
+	for _, workers := range []int{4, 8} {
+		got := collect(workers)
+		for k := range base {
+			if got[k] != base[k] {
+				t.Errorf("stream %s differs between workers=1 and workers=%d", k, workers)
+			}
+		}
+	}
+}

@@ -45,6 +45,14 @@ type Options struct {
 	// implements io.Closer) after the task completes. This is how
 	// replicated runs produce per-replication event files.
 	EventSinks func(id string, replication int) (telemetry.Sink, error)
+	// ChaosSpec, when non-empty, is a chaos schedule specification
+	// (chaos.ParseSpec) for the experiments that inject faults — the
+	// resilience experiment swaps its default intensity sweep for this
+	// one spec. ChaosSeed seeds the schedule expansion (0 takes a fixed
+	// default); it is deliberately independent of Seed so replications
+	// vary the workload under an identical fault plan.
+	ChaosSpec string
+	ChaosSeed uint64
 }
 
 func (o Options) seed(def uint64) uint64 {

@@ -24,6 +24,12 @@ type Aggregator struct {
 	migrationWatts float64
 	migrationBytes float64
 	localCount     int64
+	serverFails    int64
+	serverRepairs  int64
+	pmuFails       int64
+	pmuRepairs     int64
+	leaseExpiries  int64
+	orphanWatts    float64
 	firstTick      int
 	lastTick       int
 	sawTick        bool
@@ -63,6 +69,24 @@ func (a *Aggregator) Publish(e Event) {
 		}
 		a.budgetTP[e.Level] += e.Watts
 		a.budgetCP[e.Level] += e.Demand
+	case KindFailure:
+		switch e.Cause {
+		case "fail":
+			a.serverFails++
+		case "repair":
+			a.serverRepairs++
+		case "pmu-fail":
+			a.pmuFails++
+		case "pmu-repair":
+			a.pmuRepairs++
+		}
+	case KindDegraded:
+		switch e.Cause {
+		case "enter":
+			a.leaseExpiries++
+		case "orphans":
+			a.orphanWatts += e.Watts
+		}
 	}
 }
 
@@ -116,6 +140,20 @@ func (a *Aggregator) servers() int {
 	return 0
 }
 
+// Failures returns the observed (server, PMU) crash counts.
+func (a *Aggregator) Failures() (servers, pmus int64) { return a.serverFails, a.pmuFails }
+
+// Repairs returns the observed (server, PMU) repair counts.
+func (a *Aggregator) Repairs() (servers, pmus int64) { return a.serverRepairs, a.pmuRepairs }
+
+// LeaseExpiries returns how many times a node entered budget-lease
+// degraded mode.
+func (a *Aggregator) LeaseExpiries() int64 { return a.leaseExpiries }
+
+// OrphanWattTicks returns the demand stranded awaiting restart, summed
+// over the per-tick "orphans" degradation records (watts × ticks).
+func (a *Aggregator) OrphanWattTicks() float64 { return a.orphanWatts }
+
 // BudgetUtilization returns demand-over-budget (ΣCP / ΣTP, watt-
 // weighted across that level's budget events) for the given tree level,
 // with ok=false when the level granted no budget.
@@ -138,6 +176,16 @@ func (a *Aggregator) Table(title string) *metrics.Table {
 	tb.AddRow("migration.bytes", fmt.Sprintf("%.6g", a.migrationBytes))
 	tb.AddRow("migration.local", fmt.Sprintf("%d", a.localCount))
 	tb.AddRow("throttle.duty", fmt.Sprintf("%.6g", a.ThrottleDutyCycle()))
+	if a.counts[KindFailure] > 0 || a.counts[KindDegraded] > 0 {
+		// Resilience outcomes — only rendered for runs that actually saw
+		// failures or degradation, so clean-run summaries stay compact.
+		tb.AddRow("failures.server", fmt.Sprintf("%d", a.serverFails))
+		tb.AddRow("failures.pmu", fmt.Sprintf("%d", a.pmuFails))
+		tb.AddRow("repairs.server", fmt.Sprintf("%d", a.serverRepairs))
+		tb.AddRow("repairs.pmu", fmt.Sprintf("%d", a.pmuRepairs))
+		tb.AddRow("lease.expiries", fmt.Sprintf("%d", a.leaseExpiries))
+		tb.AddRow("orphan.watt-ticks", fmt.Sprintf("%.6g", a.orphanWatts))
+	}
 	for level := range a.budgetTP {
 		util, ok := a.BudgetUtilization(level)
 		if !ok {

@@ -46,8 +46,12 @@ const (
 	// KindQoSViolation is one application served degraded or shut down
 	// within a settlement window (qos.go).
 	KindQoSViolation
+	// KindDegraded is a control-plane degradation record (degraded.go):
+	// a node entering or leaving budget-lease degraded mode ("enter" /
+	// "exit"), or orphaned demand waiting for restart ("orphans").
+	KindDegraded
 
-	numKinds = int(KindQoSViolation)
+	numKinds = int(KindDegraded)
 )
 
 // kindNames are the wire names, used in JSONL streams and CLI filters.
@@ -58,6 +62,7 @@ var kindNames = [...]string{
 	KindSleepWake:       "sleep-wake",
 	KindFailure:         "failure",
 	KindQoSViolation:    "qos",
+	KindDegraded:        "degraded",
 }
 
 // String returns the kind's wire name.
@@ -118,9 +123,16 @@ func Kinds() []Kind {
 //	                Prev (granted budget), Demand (raw demand)
 //	SleepWake       Server, Cause ("sleep"/"wake"), Watts (static floor)
 //	Failure         Server, Cause ("fail"/"repair"), Count (orphaned
-//	                apps), Watts (orphaned demand)
+//	                apps), Watts (orphaned demand); PMU crashes use
+//	                Node, Level, Cause ("pmu-fail"/"pmu-repair") and
+//	                Count (servers in the dead span)
 //	QoSViolation    Server, App, Cause ("degraded"/"shutdown"),
 //	                Watts (served), Demand (asked)
+//	Degraded        Node, Level, Server (leaves), Cause ("enter"/
+//	                "exit"), Watts (held budget), Prev (pre-decay
+//	                budget on "enter"); orphaned-demand waits use
+//	                Cause "orphans", Count (apps), Watts (stranded
+//	                demand)
 type Event struct {
 	// Tick is the simulation tick of the decision — never wall clock,
 	// so event streams are reproducible byte for byte.

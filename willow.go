@@ -47,8 +47,9 @@ type Stats = core.Stats
 
 // Event is one controller telemetry event — a tick-stamped record of a
 // control decision (budget change, migration, thermal throttle,
-// sleep/wake, failure, QoS violation). Set Controller.Sink (or
-// Simulation.Sink) to receive the stream; see internal/telemetry.
+// sleep/wake, failure, QoS violation, degraded-mode transition). Set
+// Controller.Sink (or Simulation.Sink) to receive the stream; see
+// internal/telemetry.
 type Event = telemetry.Event
 
 // EventKind discriminates telemetry event types.
@@ -68,6 +69,7 @@ const (
 	EventSleepWake       = telemetry.KindSleepWake
 	EventFailure         = telemetry.KindFailure
 	EventQoSViolation    = telemetry.KindQoSViolation
+	EventDegraded        = telemetry.KindDegraded
 )
 
 // NewEventWriter returns a sink streaming events as JSONL into w (one
