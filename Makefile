@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline chaos-smoke experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline chaos-smoke sensor-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -22,9 +22,10 @@ race:
 # engine (exp.RunMany) makes the race run load-bearing — it exercises
 # every experiment under concurrent execution — bench-smoke keeps the
 # telemetry layer's zero-overhead-when-disabled promise honest, and
-# chaos-smoke pins the failure-tolerance acceptance scenario, so
-# `make ci` is the bar for any change touching the harness.
-ci: build test race bench-smoke chaos-smoke
+# chaos-smoke pins the failure-tolerance acceptance scenario,
+# sensor-smoke the sensing-robustness one, so `make ci` is the bar for
+# any change touching the harness.
+ci: build test race bench-smoke chaos-smoke sensor-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -55,6 +56,13 @@ bench-baseline:
 chaos-smoke:
 	$(GO) test -run 'TestChaosSmoke|TestMidTreePMUKillSafety|TestChaosEventStreamsWorkerInvariant' -count=1 ./internal/cluster ./internal/core ./internal/exp
 
+# Sensing gate: corrupted telemetry in, safe thermal decisions out —
+# the robust estimator holds the true-temperature cap under heavy
+# sensor chaos where naive control violates it, and arming the
+# estimator over clean sensors changes nothing, bit for bit.
+sensor-smoke:
+	$(GO) test -run 'TestSensorSmoke|TestSensingIdentityAtClusterScale|TestSensorChaosTrueTemperatureCap|TestSensingIdentityWhenDisabled' -count=1 ./internal/cluster ./internal/core
+
 # Regenerate the full evaluation section at full fidelity.
 experiments:
 	$(GO) run ./cmd/willow-exp -all
@@ -72,6 +80,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzOptionsSeed -fuzztime=10s ./internal/exp
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/telemetry
 	$(GO) test -fuzz=FuzzChaosSchedule -fuzztime=10s ./internal/chaos
+	$(GO) test -fuzz=FuzzSensorSpec -fuzztime=10s ./internal/sensor
 
 examples:
 	$(GO) run ./examples/quickstart

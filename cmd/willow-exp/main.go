@@ -40,15 +40,17 @@ func main() {
 		save         = flag.String("save", "", "write each experiment's CSV and notes under this directory")
 		report       = flag.String("report", "", "run every experiment and write a single markdown report here")
 		events       = flag.String("events", "", "write per-run JSONL event streams and summary reports under this directory")
-		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in streams (budget,migration,throttle,sleep-wake,failure,qos,degraded; default all)")
+		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in streams (budget,migration,throttle,sleep-wake,failure,qos,degraded,sensor; default all)")
 		chaosSpec    = flag.String("chaos", "", "chaos schedule for fault-injecting experiments, e.g. \"medium\" or \"light,pmu-mtbf=400\" (the resilience experiment runs it against the fail-free baseline)")
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "seed for chaos schedule expansion (0 = fixed default)")
+		sensorSpec   = flag.String("sensor-chaos", "", "sensor-fault spec for the sensing experiment, e.g. \"heavy\" or \"light,dropout=1\" (replaces its intensity ladder)")
 	)
 	flag.Parse()
 
 	opts := exp.Options{
 		Quick: *quick, Seed: *seed, Replications: *reps, Workers: *workers,
 		ChaosSpec: *chaosSpec, ChaosSeed: *chaosSeed,
+		SensorSpec: *sensorSpec,
 	}
 	if *events != "" {
 		sinks, err := eventSinkFactory(*events, *eventsFilter, *reps)

@@ -36,9 +36,11 @@ func main() {
 		configPath   = flag.String("config", "", "run from a JSON configuration file instead of flags")
 		writeConfig  = flag.String("write-config", "", "write the default configuration to this path and exit")
 		events       = flag.String("events", "", "stream controller events as JSONL to this file (plus a .summary.txt report)")
-		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the stream (budget,migration,throttle,sleep-wake,failure,qos,degraded; default all)")
+		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the stream (budget,migration,throttle,sleep-wake,failure,qos,degraded,sensor; default all)")
 		chaosSpec    = flag.String("chaos", "", "inject a seeded fault schedule: preset and/or k=v overrides, e.g. \"medium\" or \"light,pmu-mtbf=400\" (see internal/chaos)")
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "seed for chaos schedule expansion (0: derive from -seed)")
+		sensorSpec   = flag.String("sensor-chaos", "", "inject seeded sensor faults: preset and/or k=v overrides, e.g. \"heavy\" or \"light,dropout=1\" (see internal/sensor)")
+		sensorNaive  = flag.Bool("sensor-naive", false, "disable the robust estimator under -sensor-chaos (trust every reading; unsafe baseline)")
 	)
 	flag.Parse()
 
@@ -115,6 +117,21 @@ func main() {
 		}
 		planLine = cluster.PlanSummary(plan)
 	}
+	if *sensorSpec != "" {
+		cseed := *chaosSeed
+		if cseed == 0 {
+			cseed = cfg.Seed
+		}
+		cfg.NaiveSensing = *sensorNaive
+		plan, err := cluster.ApplySensorChaos(&cfg, *sensorSpec, cseed)
+		if err != nil {
+			fatal(err)
+		}
+		if planLine != "" {
+			planLine += "; "
+		}
+		planLine += fmt.Sprintf("sensor plan: %d fault windows", len(plan.SensorFaults))
+	}
 
 	var sink *telemetry.FileSink
 	if *events != "" {
@@ -174,6 +191,13 @@ func main() {
 	fmt.Printf("dropped demand: %.0f watt-ticks; ping-pongs: %d; max messages/link/tick: %d\n",
 		res.DroppedWattTicks, res.Stats.PingPongs, res.Stats.MaxLinkMessagesPerTick)
 	fmt.Printf("hottest temperature reached: %.1f °C\n", res.MaxTemp)
+	if *sensorSpec != "" {
+		fmt.Printf("hottest observed temperature: %.1f °C; true-limit violations: %d server-ticks\n",
+			res.MaxObsTemp, res.LimitViolationTicks)
+		fmt.Printf("sensors: %d faults injected, %d readings rejected, %d unhealthy trips, %d guard-band ticks\n",
+			res.Stats.SensorFaults, res.Stats.SensorRejected,
+			res.Stats.SensorUnhealthy, res.Stats.SensorGuardTicks)
+	}
 	if planLine != "" {
 		fmt.Println(planLine)
 		fmt.Printf("faults: %d server (%d repaired), %d PMU (%d repaired); lease expiries: %d; degraded server-ticks: %d; restarts: %d\n",

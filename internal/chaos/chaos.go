@@ -1,8 +1,9 @@
 // Package chaos is a deterministic fault-schedule generator: it expands
 // a stochastic failure model — server and PMU crash/repair processes,
-// correlated rack-level crash bursts, control-link loss windows — into
-// an explicit, sorted event plan that a simulation harness schedules at
-// fixed ticks (see cluster.ApplyChaos).
+// correlated rack-level crash bursts, control-link loss windows,
+// temperature-sensor fault windows — into an explicit, sorted event
+// plan that a simulation harness schedules at fixed ticks (see
+// cluster.ApplyChaos).
 //
 // Determinism contract: Expand is a pure function of (Schedule, seed).
 // All randomness flows through forked internal/dist streams in a fixed
@@ -13,9 +14,11 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"willow/internal/dist"
+	"willow/internal/sensor"
 )
 
 // Schedule is the stochastic fault model. The topology fields (Ticks,
@@ -52,6 +55,24 @@ type Schedule struct {
 	// (each in [0, 1)).
 	LossEvery, LossTicks   float64
 	ReportLoss, BudgetLoss float64
+
+	// SensorMTBF / SensorMTTR are the per-server mean ticks between
+	// temperature-sensor fault windows and the mean window length
+	// (exponential). Each window draws one fault mode (sensor.Mode);
+	// the magnitude fields below double as mode enables — the draw
+	// weights are 1 for each magnitude-bearing mode with a positive
+	// magnitude, plus SensorStuck and SensorDropout for the
+	// magnitude-free modes. All weights zero disables the process even
+	// with SensorMTBF set.
+	SensorMTBF, SensorMTTR float64
+	// SensorNoise is the Gaussian read-noise stddev (°C); SensorBias the
+	// constant offset magnitude (°C); SensorDrift the drift rate
+	// magnitude (°C per tick). Bias and drift signs are drawn per
+	// window.
+	SensorNoise, SensorBias, SensorDrift float64
+	// SensorStuck / SensorDropout are the relative draw weights of the
+	// stuck-at and dropout (NaN) modes.
+	SensorStuck, SensorDropout float64
 }
 
 // ServerFailure crashes one server at Tick; RepairTick > Tick schedules
@@ -77,17 +98,30 @@ type LossWindow struct {
 	ReportLoss, BudgetLoss float64
 }
 
+// SensorFault corrupts one server's temperature sensor over
+// [Start, End): the sensor reports under the given fault mode, then
+// heals at End (End == Ticks means "still lying when the run ends").
+// Magnitude is signed for bias/drift, the noise stddev for noise, and
+// unused for stuck/dropout.
+type SensorFault struct {
+	Server     int
+	Start, End int
+	Mode       sensor.Mode
+	Magnitude  float64
+}
+
 // Plan is an expanded, explicit fault schedule, each list sorted by
 // tick (ties by server/node index).
 type Plan struct {
 	ServerFailures []ServerFailure
 	PMUFailures    []PMUFailure
 	LossWindows    []LossWindow
+	SensorFaults   []SensorFault
 }
 
 // Events returns the total number of scheduled fault events.
 func (p Plan) Events() int {
-	return len(p.ServerFailures) + len(p.PMUFailures) + len(p.LossWindows)
+	return len(p.ServerFailures) + len(p.PMUFailures) + len(p.LossWindows) + len(p.SensorFaults)
 }
 
 // Validate checks the schedule's fields for expandability.
@@ -98,8 +132,15 @@ func (s Schedule) Validate() error {
 	case s.Servers < 0:
 		return fmt.Errorf("chaos: negative server count %d", s.Servers)
 	case s.ServerMTBF < 0 || s.ServerMTTR < 0 || s.PMUMTBF < 0 || s.PMUMTTR < 0 ||
-		s.BurstEvery < 0 || s.BurstMTTR < 0 || s.LossEvery < 0 || s.LossTicks < 0:
+		s.BurstEvery < 0 || s.BurstMTTR < 0 || s.LossEvery < 0 || s.LossTicks < 0 ||
+		s.SensorMTBF < 0 || s.SensorMTTR < 0:
 		return fmt.Errorf("chaos: negative rate in schedule %+v", s)
+	case s.SensorNoise < 0 || s.SensorBias < 0 || s.SensorDrift < 0 ||
+		s.SensorStuck < 0 || s.SensorDropout < 0:
+		return fmt.Errorf("chaos: negative sensor-fault parameter in schedule %+v", s)
+	case !finite(s.SensorNoise) || !finite(s.SensorBias) || !finite(s.SensorDrift) ||
+		!finite(s.SensorStuck) || !finite(s.SensorDropout):
+		return fmt.Errorf("chaos: non-finite sensor-fault parameter in schedule %+v", s)
 	case s.ReportLoss < 0 || s.ReportLoss >= 1:
 		return fmt.Errorf("chaos: report loss %v outside [0, 1)", s.ReportLoss)
 	case s.BudgetLoss < 0 || s.BudgetLoss >= 1:
@@ -123,12 +164,15 @@ func (s Schedule) Validate() error {
 // Expand derives the concrete fault plan for one seed. The expansion
 // forks one random stream per process class, in fixed order, so the
 // classes perturb neither each other nor the simulation's own streams.
+// The sensor stream forks last: schedules without sensor faults expand
+// to plans byte-identical to those of earlier versions of this package.
 func (s Schedule) Expand(seed uint64) (Plan, error) {
 	if err := s.Validate(); err != nil {
 		return Plan{}, err
 	}
 	src := dist.NewSource(seed)
 	srvSrc, pmuSrc, burstSrc, lossSrc := src.Fork(), src.Fork(), src.Fork(), src.Fork()
+	sensorSrc := src.Fork()
 
 	var plan Plan
 	if s.ServerMTBF > 0 && s.Servers > 0 {
@@ -177,6 +221,23 @@ func (s Schedule) Expand(seed uint64) (Plan, error) {
 			t = end // windows never overlap: the next one starts after this
 		}
 	}
+	if modes, weights := s.sensorModes(); s.SensorMTBF > 0 && len(modes) > 0 {
+		for idx := 0; idx < s.Servers; idx++ {
+			for _, ev := range renewal(sensorSrc, s.Ticks, s.SensorMTBF, s.SensorMTTR) {
+				f := SensorFault{Server: idx, Start: ev[0], End: ev[1]}
+				f.Mode = pickMode(sensorSrc, modes, weights)
+				switch f.Mode {
+				case sensor.ModeNoise:
+					f.Magnitude = s.SensorNoise
+				case sensor.ModeBias:
+					f.Magnitude = signed(sensorSrc, s.SensorBias)
+				case sensor.ModeDrift:
+					f.Magnitude = signed(sensorSrc, s.SensorDrift)
+				}
+				plan.SensorFaults = append(plan.SensorFaults, f)
+			}
+		}
+	}
 
 	sort.SliceStable(plan.ServerFailures, func(i, j int) bool {
 		a, b := plan.ServerFailures[i], plan.ServerFailures[j]
@@ -195,7 +256,69 @@ func (s Schedule) Expand(seed uint64) (Plan, error) {
 	sort.SliceStable(plan.LossWindows, func(i, j int) bool {
 		return plan.LossWindows[i].Start < plan.LossWindows[j].Start
 	})
+	sort.SliceStable(plan.SensorFaults, func(i, j int) bool {
+		a, b := plan.SensorFaults[i], plan.SensorFaults[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Server < b.Server
+	})
 	return plan, nil
+}
+
+// sensorModes returns the enabled sensor fault modes and their draw
+// weights, in fixed mode order.
+func (s Schedule) sensorModes() (modes []sensor.Mode, weights []float64) {
+	add := func(m sensor.Mode, w float64) {
+		if w > 0 {
+			modes = append(modes, m)
+			weights = append(weights, w)
+		}
+	}
+	add(sensor.ModeNoise, boolWeight(s.SensorNoise))
+	add(sensor.ModeBias, boolWeight(s.SensorBias))
+	add(sensor.ModeDrift, boolWeight(s.SensorDrift))
+	add(sensor.ModeStuck, s.SensorStuck)
+	add(sensor.ModeDropout, s.SensorDropout)
+	return modes, weights
+}
+
+// boolWeight turns a magnitude into an enable weight: any positive
+// magnitude enters the mode draw with weight 1.
+func boolWeight(mag float64) float64 {
+	if mag > 0 {
+		return 1
+	}
+	return 0
+}
+
+// pickMode draws one mode proportionally to the weights.
+func pickMode(src *dist.Source, modes []sensor.Mode, weights []float64) sensor.Mode {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	r := src.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return modes[i]
+		}
+	}
+	return modes[len(modes)-1]
+}
+
+// signed flips the magnitude's sign with probability 1/2.
+func signed(src *dist.Source, mag float64) float64 {
+	if src.Float64() < 0.5 {
+		return -mag
+	}
+	return mag
+}
+
+// finite reports whether v is a finite float.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // renewal generates the alternating up/down process of one component:

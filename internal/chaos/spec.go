@@ -11,15 +11,19 @@ import (
 // caller's to fill (see cluster.ChaosTopology).
 //
 // A spec is a comma-separated list whose first element may be a preset
-// — "light", "medium" or "heavy" — followed by key=value overrides:
+// — "light", "medium" or "heavy", or their sensor-fault counterparts
+// "sensor-light", "sensor-medium" and "sensor-heavy" — followed by
+// key=value overrides:
 //
 //	light
 //	medium,pmu-mtbf=400
 //	server-mtbf=250,server-mttr=20,loss-every=500,report-loss=0.3
+//	heavy,sensor-mtbf=150,sensor-bias=6
 //
 // Keys (all means in ticks): server-mtbf, server-mttr, pmu-mtbf,
 // pmu-mttr, burst-every, burst-mttr, loss-every, loss-ticks,
-// report-loss, budget-loss.
+// report-loss, budget-loss, sensor-mtbf, sensor-mttr, sensor-noise,
+// sensor-bias, sensor-drift, sensor-stuck, sensor-dropout.
 func ParseSpec(spec string) (Schedule, error) {
 	var s Schedule
 	fields := strings.Split(spec, ",")
@@ -34,7 +38,7 @@ func ParseSpec(spec string) (Schedule, error) {
 			}
 			preset, ok := presets[f]
 			if !ok {
-				return s, fmt.Errorf("chaos: unknown preset %q (want light, medium or heavy)", f)
+				return s, fmt.Errorf("chaos: unknown preset %q (want light, medium, heavy or a sensor-* counterpart)", f)
 			}
 			s = preset
 			continue
@@ -78,6 +82,24 @@ var presets = map[string]Schedule{
 		LossEvery: 400, LossTicks: 80,
 		ReportLoss: 0.35, BudgetLoss: 0.35,
 	},
+	// The sensor-* presets corrupt only telemetry (sensor.Presets rates):
+	// hardware and control links stay up, instruments lie. Compose with
+	// the machine-fault presets via overrides, e.g.
+	// "medium,sensor-mtbf=220,sensor-bias=5".
+	"sensor-light": {
+		SensorMTBF: 400, SensorMTTR: 50,
+		SensorNoise: 1.5, SensorBias: 4,
+	},
+	"sensor-medium": {
+		SensorMTBF: 220, SensorMTTR: 80,
+		SensorNoise: 2, SensorBias: 5, SensorDrift: 0.3,
+		SensorStuck: 1,
+	},
+	"sensor-heavy": {
+		SensorMTBF: 120, SensorMTTR: 120,
+		SensorNoise: 2.5, SensorBias: 8, SensorDrift: 0.5,
+		SensorStuck: 1, SensorDropout: 1,
+	},
 }
 
 // specKeys maps spec keys to their Schedule fields.
@@ -92,4 +114,12 @@ var specKeys = map[string]func(*Schedule) *float64{
 	"loss-ticks":  func(s *Schedule) *float64 { return &s.LossTicks },
 	"report-loss": func(s *Schedule) *float64 { return &s.ReportLoss },
 	"budget-loss": func(s *Schedule) *float64 { return &s.BudgetLoss },
+
+	"sensor-mtbf":    func(s *Schedule) *float64 { return &s.SensorMTBF },
+	"sensor-mttr":    func(s *Schedule) *float64 { return &s.SensorMTTR },
+	"sensor-noise":   func(s *Schedule) *float64 { return &s.SensorNoise },
+	"sensor-bias":    func(s *Schedule) *float64 { return &s.SensorBias },
+	"sensor-drift":   func(s *Schedule) *float64 { return &s.SensorDrift },
+	"sensor-stuck":   func(s *Schedule) *float64 { return &s.SensorStuck },
+	"sensor-dropout": func(s *Schedule) *float64 { return &s.SensorDropout },
 }

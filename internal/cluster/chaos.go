@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"willow/internal/chaos"
+	"willow/internal/sensor"
 	"willow/internal/topo"
 )
 
@@ -55,6 +56,32 @@ func ApplyPlan(cfg *Config, plan chaos.Plan) {
 			ReportLoss: w.ReportLoss, BudgetLoss: w.BudgetLoss,
 		})
 	}
+	for _, f := range plan.SensorFaults {
+		cfg.SensorFaults = append(cfg.SensorFaults, SensorFaultEvent{
+			Server: f.Server, Start: f.Start, End: f.End,
+			Mode: f.Mode, Magnitude: f.Magnitude,
+		})
+	}
+	armSensing(cfg, plan)
+}
+
+// armSensing turns on the Core robust-estimation knobs when a plan
+// injects sensor faults and the caller has neither configured the
+// estimator nor asked for the naive (estimator-off) baseline. A sensor
+// chaos run with a blindly trusting controller is never what a chaos
+// experiment means to measure unless it says so.
+func armSensing(cfg *Config, plan chaos.Plan) {
+	if len(plan.SensorFaults) == 0 || cfg.NaiveSensing {
+		return
+	}
+	c := &cfg.Core
+	if c.SensorWindow > 0 || c.SensorGate > 0 || c.SensorTrips > 0 || c.SensorGuard > 0 {
+		return
+	}
+	c.SensorWindow = 5
+	c.SensorGate = 3
+	c.SensorTrips = 3
+	c.SensorGuard = 2
 }
 
 // ApplyChaos parses a chaos spec (see chaos.ParseSpec), expands it
@@ -88,8 +115,38 @@ func ApplyChaos(cfg *Config, spec string, seed uint64) (chaos.Plan, error) {
 	return plan, nil
 }
 
+// ApplySensorChaos parses a sensor-fault spec (see sensor.ParseSpec),
+// expands it deterministically for the given seed against cfg's topology
+// and horizon, and folds the resulting sensor-fault windows into cfg.
+// Unlike ApplyChaos it injects no server/PMU/network faults: the spec
+// corrupts only telemetry, which is exactly what a sensing-robustness
+// experiment wants to isolate. It returns the expanded plan for
+// reporting.
+func ApplySensorChaos(cfg *Config, spec string, seed uint64) (chaos.Plan, error) {
+	sp, err := sensor.ParseSpec(spec)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	sched := chaos.Schedule{
+		Ticks:      cfg.Ticks,
+		SensorMTBF: sp.MTBF, SensorMTTR: sp.MTTR,
+		SensorNoise: sp.Noise, SensorBias: sp.Bias, SensorDrift: sp.Drift,
+		SensorStuck: sp.Stuck, SensorDropout: sp.Dropout,
+	}
+	sched.Servers, sched.PMUs, sched.Racks, err = ChaosTopology(cfg.Fanout)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	plan, err := sched.Expand(seed)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	ApplyPlan(cfg, plan)
+	return plan, nil
+}
+
 // PlanSummary renders a one-line summary of a plan for CLI reporting.
 func PlanSummary(plan chaos.Plan) string {
-	return fmt.Sprintf("chaos plan: %d server failures, %d PMU failures, %d loss windows",
-		len(plan.ServerFailures), len(plan.PMUFailures), len(plan.LossWindows))
+	return fmt.Sprintf("chaos plan: %d server failures, %d PMU failures, %d loss windows, %d sensor faults",
+		len(plan.ServerFailures), len(plan.PMUFailures), len(plan.LossWindows), len(plan.SensorFaults))
 }

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -15,6 +16,7 @@ import (
 	"willow/internal/netsim"
 	"willow/internal/power"
 	"willow/internal/queueing"
+	"willow/internal/sensor"
 	"willow/internal/sim"
 	"willow/internal/telemetry"
 	"willow/internal/thermal"
@@ -91,6 +93,19 @@ type Config struct {
 	// ReportLoss/BudgetLoss apply. Typically generated, together with
 	// the failure lists, from a seeded chaos schedule (ApplyChaos).
 	LossWindows []LossWindow
+	// SensorFaults corrupt per-server temperature sensors over fixed
+	// tick windows (see internal/sensor for the fault modes). Any entry
+	// makes Run attach an instrument to every server, each with a
+	// private random stream derived from Seed, independent of the
+	// simulation's own streams — so naive and estimator-armed runs of
+	// the same plan see identical corrupted readings. Typically
+	// generated from a seeded chaos schedule (ApplySensorChaos).
+	SensorFaults []SensorFaultEvent
+	// NaiveSensing keeps the robust estimator disarmed when a chaos
+	// helper folds sensor faults into this config: the controller
+	// trusts raw readings. It is the estimator-off baseline of the
+	// sensing-robustness experiment and changes nothing else.
+	NaiveSensing bool
 	// Sink, when non-nil, receives every controller telemetry event of
 	// the run (budget changes, migrations, throttles, sleep/wake,
 	// failures, QoS violations), tick-stamped and in decision order.
@@ -122,6 +137,22 @@ type LossWindow struct {
 	Start, End             int
 	ReportLoss, BudgetLoss float64
 }
+
+// SensorFaultEvent corrupts one server's temperature sensor over
+// [Start, End): readings lie under the given mode until End clears the
+// fault (End <= Start leaves it armed to the end of the run).
+type SensorFaultEvent struct {
+	Server     int
+	Start, End int
+	Mode       sensor.Mode
+	Magnitude  float64
+}
+
+// sensorSeedSalt decorrelates the per-server sensor noise streams from
+// every simulation stream derived from Config.Seed: the same run seed
+// produces the same corruption sequence whether the estimator is armed
+// or not, without perturbing workload or chaos draws. (ASCII "SENSOR".)
+const sensorSeedSalt = 0x53454e534f52
 
 // PaperConfig returns the configuration of the paper's simulation
 // (Section V-B): 4 levels, 18 servers of 450 W, four application classes
@@ -189,8 +220,17 @@ type Result struct {
 	DroppedWattTicks float64
 	// Stats is the controller's raw accounting.
 	Stats core.Stats
-	// MaxTemp is the hottest temperature any server reached (whole run).
+	// MaxTemp is the hottest *true* temperature any server reached
+	// (whole run) — physical state, not the sensor view, so it exposes
+	// violations that a lying instrument would hide.
 	MaxTemp float64
+	// MaxObsTemp is the hottest temperature any server's sensor path
+	// reported to the controller (TObs, whole run).
+	MaxObsTemp float64
+	// LimitViolationTicks counts server-ticks (whole run) on which a
+	// server's true temperature exceeded its thermal limit — the
+	// headline safety figure of the sensing-robustness experiment.
+	LimitViolationTicks int
 	// MeanFlowHops is the average switch hops per IPC flow observation
 	// (populated when Config.IPCFlows > 0).
 	MeanFlowHops float64
@@ -387,6 +427,37 @@ func Run(cfg Config) (*Result, error) {
 			})
 		}
 	}
+	if len(cfg.SensorFaults) > 0 {
+		// Every server gets an instrument with a private stream forked in
+		// server order from a source derived from — but independent of —
+		// the run seed, so sensor noise perturbs no simulation stream and
+		// the corruption sequence is identical whether or not the
+		// estimator is armed.
+		sensorSrc := dist.NewSource(cfg.Seed ^ sensorSeedSalt)
+		for i := 0; i < n; i++ {
+			ctrl.AttachSensor(i, sensor.New(sensorSrc.Fork()))
+		}
+		for _, f := range cfg.SensorFaults {
+			f := f
+			if f.Server < 0 || f.Server >= n {
+				return nil, fmt.Errorf("cluster: sensor fault for server %d out of range", f.Server)
+			}
+			if f.Start < 0 {
+				return nil, fmt.Errorf("cluster: sensor fault start %d before the run", f.Start)
+			}
+			if math.IsNaN(f.Magnitude) || math.IsInf(f.Magnitude, 0) {
+				return nil, fmt.Errorf("cluster: non-finite sensor fault magnitude %v", f.Magnitude)
+			}
+			engine.Schedule(sim.Tick(f.Start), func(sim.Tick) {
+				ctrl.SetSensorFault(f.Server, sensor.Fault{Mode: f.Mode, Magnitude: f.Magnitude})
+			})
+			if f.End > f.Start {
+				engine.Schedule(sim.Tick(f.End), func(sim.Tick) {
+					ctrl.ClearSensorFault(f.Server)
+				})
+			}
+		}
+	}
 	engine.Every(0, 1, func(now sim.Tick) {
 		if baseMeans != nil {
 			factor := cfg.DemandProfile.At(int(now) / ctrl.Cfg.Eta1)
@@ -408,6 +479,12 @@ func Run(cfg Config) (*Result, error) {
 		for _, s := range ctrl.Servers {
 			if s.Thermal.T > res.MaxTemp {
 				res.MaxTemp = s.Thermal.T
+			}
+			if s.TObs > res.MaxObsTemp {
+				res.MaxObsTemp = s.TObs
+			}
+			if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
+				res.LimitViolationTicks++
 			}
 		}
 		if int(now) < cfg.Warmup {

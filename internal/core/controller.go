@@ -97,6 +97,14 @@ type Stats struct {
 	// server-ticks spent degraded (degraded.go).
 	LeaseExpiries int
 	DegradedTicks int64
+	// SensorFaults counts injected sensor faults; SensorRejected the
+	// readings the estimator's residual gate refused (dropouts
+	// included); SensorUnhealthy how many times a sensor tripped the
+	// persistent-rejection threshold; SensorGuardTicks the server-ticks
+	// controlled on the model-predicted fallback temperature plus guard
+	// band (sensing.go).
+	SensorFaults, SensorRejected, SensorUnhealthy int
+	SensorGuardTicks                              int64
 }
 
 // Controller is a running Willow instance.
@@ -240,6 +248,13 @@ func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, s
 			CircuitLimit: spec.CircuitLimit,
 			smoother:     sm,
 			wakeAt:       -1,
+		}
+		// The observed temperature starts at the truth (ambient); the
+		// estimator's anchor starts there too, which grounds the safe-side
+		// induction of sensing.go.
+		srv.TObs = srv.Thermal.T
+		if cfg.sensingEnabled() {
+			srv.est = newEstimator(cfg.SensorWindow, srv.Thermal.T)
 		}
 		for _, a := range spec.Apps {
 			if a.NoiseLambda == 0 {
@@ -410,21 +425,24 @@ func (c *Controller) countDown(n *topo.Node) {
 }
 
 // consumeAndHeat settles each server's consumed power against its
-// effective budget, accounts dropped demand, and integrates temperature.
+// effective budget, accounts dropped demand, integrates temperature,
+// and refreshes the observed temperature from the sensor (sensing.go).
 func (c *Controller) consumeAndHeat() {
 	for _, s := range c.Servers {
 		if s.Asleep {
 			s.Consumed = 0
 			s.Dropped = 0
 			s.Thermal.Advance(0, c.Cfg.ThermalDt)
+			c.sense(s, 0)
 			continue
 		}
 		eff := s.EffectiveBudget(c.Cfg.ThermalWindow)
 		if c.Sink != nil && eff < s.TP-tolerance {
 			// The hard constraint clamped the granted budget; report it
-			// as a thermal throttle when Eq. 3 is the binding limit
-			// (rather than the circuit or rated-peak cap).
-			if lim := s.Thermal.Model.PowerLimit(s.Thermal.T, c.Cfg.ThermalWindow); lim <= eff+tolerance {
+			// as a thermal throttle when Eq. 3 — computed, like every
+			// control decision, from the observed temperature — is the
+			// binding limit (rather than the circuit or rated-peak cap).
+			if lim := s.Thermal.Model.PowerLimit(s.TObs, c.Cfg.ThermalWindow); lim <= eff+tolerance {
 				c.Sink.Publish(telemetry.Event{
 					Tick: c.tick, Kind: telemetry.KindThermalThrottle,
 					Server: s.Node.ServerIndex,
@@ -442,6 +460,7 @@ func (c *Controller) consumeAndHeat() {
 			c.Stats.DegradedTicks++
 		}
 		s.Thermal.Advance(s.Consumed, c.Cfg.ThermalDt)
+		c.sense(s, s.Consumed)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"willow/internal/power"
+	"willow/internal/sensor"
 	"willow/internal/thermal"
 	"willow/internal/topo"
 	"willow/internal/workload"
@@ -114,6 +115,27 @@ type Config struct {
 	// directive leaves the child on its previous budget and ages its
 	// lease. Must be in [0, 1).
 	BudgetLoss float64
+	// SensorWindow enables the robust temperature estimator (sensing.go)
+	// and sets its median-filter length in accepted readings. With every
+	// Sensor* knob zero — the default — the estimator is the identity:
+	// each server's control temperature TObs tracks its sensor reading
+	// (the physical truth when no sensor fault model is attached) and
+	// the control path is byte-identical to a build without the sensing
+	// layer. Setting any Sensor* knob arms the estimator; SensorWindow
+	// then defaults to 5.
+	SensorWindow int
+	// SensorGate is the residual gate in °C: a reading farther than this
+	// from the RC-model one-step prediction is rejected. Zero accepts
+	// every finite reading (the median and model anchor still apply).
+	SensorGate float64
+	// SensorTrips is how many consecutive rejected readings flag a
+	// sensor unhealthy (and how many consecutive accepted readings heal
+	// it). Defaults to 3 when the estimator is armed.
+	SensorTrips int
+	// SensorGuard is the safe-side guard band in °C added to the
+	// model-predicted temperature while a sensor is unhealthy or
+	// dropped out, biasing the Eq. 3 power cap conservative.
+	SensorGuard float64
 }
 
 // Defaults returns the configuration used by the paper's simulation:
@@ -173,6 +195,14 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DegradedDecay == 0 {
 		c.DegradedDecay = 0.5
 	}
+	if c.sensingEnabled() {
+		if c.SensorWindow == 0 {
+			c.SensorWindow = 5
+		}
+		if c.SensorTrips == 0 {
+			c.SensorTrips = 3
+		}
+	}
 	switch {
 	case c.Alpha <= 0 || c.Alpha > 1:
 		return c, fmt.Errorf("core: alpha %v outside (0, 1]", c.Alpha)
@@ -200,8 +230,23 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("core: negative budget latency %d", c.BudgetLatency)
 	case c.BudgetLoss < 0 || c.BudgetLoss >= 1:
 		return c, fmt.Errorf("core: budget loss %v outside [0, 1)", c.BudgetLoss)
+	case c.SensorWindow < 0:
+		return c, fmt.Errorf("core: negative sensor window %d", c.SensorWindow)
+	case c.SensorGate < 0 || !isFinite(c.SensorGate):
+		return c, fmt.Errorf("core: sensor gate %v must be non-negative and finite", c.SensorGate)
+	case c.SensorTrips < 0:
+		return c, fmt.Errorf("core: negative sensor trips %d", c.SensorTrips)
+	case c.SensorGuard < 0 || !isFinite(c.SensorGuard):
+		return c, fmt.Errorf("core: sensor guard %v must be non-negative and finite", c.SensorGuard)
 	}
 	return c, nil
+}
+
+// sensingEnabled reports whether the robust estimator is armed: any
+// sensing knob non-zero. All-zero is the identity contract (see
+// Config.SensorWindow).
+func (c Config) sensingEnabled() bool {
+	return c.SensorWindow > 0 || c.SensorGate > 0 || c.SensorTrips > 0 || c.SensorGuard > 0
 }
 
 // tolerance absorbs floating-point dust in budget arithmetic.
@@ -257,6 +302,19 @@ type Server struct {
 	// control decision); only RepairServer clears it.
 	failed bool
 
+	// TObs is the controller's working temperature: what every Eq. 3
+	// power-limit computation reads instead of the physical Thermal.T.
+	// It is the sensor reading filtered through the robust estimator
+	// when sensing is armed (sensing.go), the raw — possibly lying —
+	// reading when a sensor is attached without the estimator, and the
+	// physical truth bit-for-bit in the default fault-free setup.
+	TObs float64
+	// sensor is the temperature instrument TObs is read through; nil
+	// reads the truth directly. est is the per-server robust estimator
+	// state; nil when Config's sensing knobs are all zero.
+	sensor *sensor.Sensor
+	est    *estimator
+
 	// Degraded marks a server whose budget lease expired: it holds its
 	// last-known budget, decayed per supply window toward its safe floor
 	// (see degraded.go). Cleared by the next delivered budget directive.
@@ -280,9 +338,11 @@ func (s *Server) EffectiveBudget(windowDt float64) float64 {
 }
 
 // HardCap returns the hard constraint: min(thermal power limit over the
-// next adjustment window, circuit limit, rated peak).
+// next adjustment window, circuit limit, rated peak). The Eq. 3 limit
+// is computed from the observed temperature TObs — the controller can
+// only act on what its instruments report (see sensing.go).
 func (s *Server) HardCap(windowDt float64) float64 {
-	cap := s.Thermal.Model.PowerLimit(s.Thermal.T, windowDt)
+	cap := s.Thermal.Model.PowerLimit(s.TObs, windowDt)
 	if s.CircuitLimit > 0 && s.CircuitLimit < cap {
 		cap = s.CircuitLimit
 	}

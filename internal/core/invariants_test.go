@@ -1,12 +1,14 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
 	"willow/internal/chaos"
 	"willow/internal/dist"
 	"willow/internal/power"
+	"willow/internal/sensor"
 	"willow/internal/thermal"
 	"willow/internal/topo"
 	"willow/internal/workload"
@@ -192,7 +194,11 @@ func TestRandomScenarioInvariants(t *testing.T) {
 //   - applications are conserved: hosted + orphaned == created,
 //   - consumption respects the hard caps (thermal Eq. 3, circuit, peak)
 //     even while spans ride decayed lease budgets,
-//   - failure/repair accounting matches the schedule.
+//   - failure/repair accounting matches the schedule,
+//   - under combined PMU *and* sensor chaos — instruments lying while
+//     the control plane crashes — the observed temperature stays finite
+//     (no NaN ever reaches the control path) and no server's *true*
+//     temperature crosses its limit.
 func TestFaultScheduleInvariants(t *testing.T) {
 	scenario := func(seed uint64) bool {
 		src := dist.NewSource(seed)
@@ -221,6 +227,17 @@ func TestFaultScheduleInvariants(t *testing.T) {
 		}
 		if src.Float64() < 0.3 {
 			cfg.MigrationLatency = 1 + src.Intn(4)
+		}
+		// Most scenarios run the robust estimator against the lying
+		// sensors; a minority stay naive, which must still never crash
+		// or leak NaN (benign thermal keeps naive physically safe here —
+		// the hot-model hazard is TestSensorChaosTrueTemperatureCap's).
+		robustSensing := src.Float64() < 0.7
+		if robustSensing {
+			cfg.SensorWindow = 3 + src.Intn(5)
+			cfg.SensorGate = src.Uniform(1, 5)
+			cfg.SensorTrips = 1 + src.Intn(4)
+			cfg.SensorGuard = src.Uniform(0, 4)
 		}
 
 		appCount := 0
@@ -258,6 +275,14 @@ func TestFaultScheduleInvariants(t *testing.T) {
 			ServerMTTR: float64(5 + src.Intn(30)),
 			PMUMTBF:    float64(20 + src.Intn(200)),
 			PMUMTTR:    float64(5 + src.Intn(40)),
+
+			SensorMTBF:    float64(20 + src.Intn(150)),
+			SensorMTTR:    float64(5 + src.Intn(40)),
+			SensorNoise:   src.Uniform(0.5, 3),
+			SensorBias:    src.Uniform(2, 10),
+			SensorDrift:   src.Uniform(0.1, 0.5),
+			SensorStuck:   1,
+			SensorDropout: 1,
 		}
 		for _, node := range tree.Nodes {
 			if !node.IsLeaf() && node != tree.Root {
@@ -290,10 +315,22 @@ func TestFaultScheduleInvariants(t *testing.T) {
 				byTick[f.RepairTick] = append(byTick[f.RepairTick], action{server: -1, node: f.Node, repair: true})
 			}
 		}
+		sensorSet := map[int][]chaos.SensorFault{}
+		sensorClear := map[int][]int{}
+		for _, f := range plan.SensorFaults {
+			sensorSet[f.Start] = append(sensorSet[f.Start], f)
+			if f.End > f.Start {
+				sensorClear[f.End] = append(sensorClear[f.End], f.Server)
+			}
+		}
 
 		c, err := New(tree, specs, power.Constant(rated*src.Uniform(0.5, 1.0)), cfg, src.Fork())
 		if err != nil {
 			t.Fatal(err)
+		}
+		sensorSrc := src.Fork()
+		for i := 0; i < n; i++ {
+			c.AttachSensor(i, sensor.New(sensorSrc.Fork()))
 		}
 
 		downServers := map[int]bool{}
@@ -312,6 +349,12 @@ func TestFaultScheduleInvariants(t *testing.T) {
 				default:
 					c.RepairPMU(a.node)
 				}
+			}
+			for _, f := range sensorSet[tick] {
+				c.SetSensorFault(f.Server, sensor.Fault{Mode: f.Mode, Magnitude: f.Magnitude})
+			}
+			for _, si := range sensorClear[tick] {
+				c.ClearSensorFault(si)
 			}
 			c.Step()
 
@@ -336,6 +379,14 @@ func TestFaultScheduleInvariants(t *testing.T) {
 			apps := 0
 			for si, s := range c.Servers {
 				apps += s.Apps.Len()
+				if math.IsNaN(s.TObs) || math.IsInf(s.TObs, 0) {
+					t.Fatalf("seed %d tick %d: server %d non-finite observed temperature %v",
+						seed, tick, si, s.TObs)
+				}
+				if math.IsNaN(s.Thermal.T) || s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
+					t.Fatalf("seed %d tick %d: server %d true temperature %v vs limit %v under sensor chaos",
+						seed, tick, si, s.Thermal.T, s.Thermal.Model.Limit)
+				}
 				if downServers[si] && s.Apps.Len() > 0 {
 					t.Fatalf("seed %d tick %d: failed server %d hosts %d apps", seed, tick, si, s.Apps.Len())
 				}
@@ -368,6 +419,18 @@ func TestFaultScheduleInvariants(t *testing.T) {
 		}
 		if c.Stats.PMURepairs > c.Stats.PMUFailures || c.Stats.Repairs > c.Stats.Failures {
 			t.Fatalf("seed %d: more repairs than failures", seed)
+		}
+		if c.Stats.SensorFaults != len(plan.SensorFaults) {
+			t.Fatalf("seed %d: %d sensor faults recorded, schedule had %d",
+				seed, c.Stats.SensorFaults, len(plan.SensorFaults))
+		}
+		if robustSensing && len(plan.SensorFaults) > 0 && c.Stats.SensorRejected == 0 {
+			// Not every schedule's faults are egregious enough to gate, but
+			// the counter must at least be wired; tolerate zero only when
+			// the plan was tiny.
+			if len(plan.SensorFaults) > 5 {
+				t.Logf("seed %d: %d sensor faults but none rejected (benign draw)", seed, len(plan.SensorFaults))
+			}
 		}
 		return true
 	}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"willow/internal/power"
+	"willow/internal/sensor"
+	"willow/internal/telemetry"
+	"willow/internal/thermal"
+)
+
+// hotThermal heats aggressively: a server that holds its 200 W demand
+// blows through the 70 °C limit (steady state 125 °C), so Eq. 3 must
+// throttle it to the ~112 W sustainable floor. This makes a lying
+// temperature sensor immediately dangerous.
+var hotThermal = thermal.Model{C1: 0.02, C2: 0.05, Ambient: 25, Limit: 70}
+
+// sensingScenario: one hot server under the root PMU with abundant
+// supply, so the thermal cap is the only binding constraint.
+func sensingScenario(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	spec := serverSpec(50, 250, 0, 200)
+	spec.Thermal = hotThermal
+	return buildController(t, []int{1}, uniqueIDs([]ServerSpec{spec}), power.Constant(1000), cfg)
+}
+
+func sensingCfg() Config {
+	cfg := quietCfg()
+	cfg.SensorWindow = 5
+	cfg.SensorGate = 3
+	cfg.SensorTrips = 3
+	cfg.SensorGuard = 2
+	return cfg
+}
+
+// TestSensingIdentityWhenDisabled pins the tentpole's zero-cost
+// contract twice over: with the sensing knobs all zero the observed
+// temperature tracks the physical one bit-for-bit, and arming the
+// estimator over a fault-free instrument changes nothing — the event
+// stream is byte-identical to the knobs-zero run, because a healthy
+// reading equals the model's one-step prediction exactly.
+func TestSensingIdentityWhenDisabled(t *testing.T) {
+	run := func(cfg Config) ([]telemetry.Event, *Controller) {
+		c := failureScenario(t, cfg)
+		buf := &telemetry.Buffer{}
+		c.Sink = buf
+		c.Run(60)
+		return buf.Events, c
+	}
+	off, cOff := run(quietCfg())
+	on, cOn := run(sensingCfg())
+	if len(off) == 0 {
+		t.Fatal("no events")
+	}
+	for _, c := range []*Controller{cOff, cOn} {
+		for i, s := range c.Servers {
+			if s.TObs != s.Thermal.T {
+				t.Fatalf("server %d: TObs %v != true temperature %v", i, s.TObs, s.Thermal.T)
+			}
+		}
+	}
+	if !reflect.DeepEqual(off, on) {
+		if len(off) != len(on) {
+			t.Fatalf("event counts differ: %d knobs-zero, %d estimator-armed", len(off), len(on))
+		}
+		for i := range off {
+			if off[i] != on[i] {
+				t.Fatalf("event %d differs:\nknobs-zero %+v\nestimator  %+v", i, off[i], on[i])
+			}
+		}
+	}
+	if cOn.Stats.SensorRejected != 0 || cOn.Stats.SensorGuardTicks != 0 {
+		t.Errorf("fault-free estimator rejected %d readings, guarded %d ticks; want 0, 0",
+			cOn.Stats.SensorRejected, cOn.Stats.SensorGuardTicks)
+	}
+}
+
+// TestSensorChaosTrueTemperatureCap is the safety headline at unit
+// scale: a sensor frozen at a cold start-up reading tells the naive
+// controller the server never warms, so it grants full demand and the
+// *physical* temperature sails through the limit. The robust estimator
+// gates the frozen readings against the model prediction, trips
+// unhealthy, and runs on the safe-side fallback — the true temperature
+// never crosses the limit.
+func TestSensorChaosTrueTemperatureCap(t *testing.T) {
+	run := func(cfg Config) *Controller {
+		c := sensingScenario(t, cfg)
+		c.AttachSensor(0, sensor.New(nil))
+		c.SetSensorFault(0, sensor.Fault{Mode: sensor.ModeStuck})
+		limit := c.Servers[0].Thermal.Model.Limit
+		for i := 0; i < 200; i++ {
+			c.Step()
+			if cfg.sensingEnabled() {
+				if tr := c.Servers[0].Thermal.T; tr > limit+1e-6 {
+					t.Fatalf("tick %d: robust estimator let true temperature reach %.3f °C (limit %.1f)", i, tr, limit)
+				}
+				if c.Servers[0].TObs < c.Servers[0].Thermal.T-1e-6 {
+					t.Fatalf("tick %d: TObs %.3f fell below truth %.3f — safe-side anchor broken",
+						i, c.Servers[0].TObs, c.Servers[0].Thermal.T)
+				}
+			}
+		}
+		return c
+	}
+
+	robust := run(sensingCfg())
+	if robust.Stats.SensorRejected == 0 {
+		t.Error("stuck sensor but no readings rejected")
+	}
+	if robust.Stats.SensorUnhealthy == 0 {
+		t.Error("persistently stuck sensor never tripped unhealthy")
+	}
+	if robust.Stats.SensorGuardTicks == 0 {
+		t.Error("unhealthy sensor but no guard-band ticks")
+	}
+
+	naive := run(quietCfg())
+	limit := naive.Servers[0].Thermal.Model.Limit
+	if naive.Servers[0].Thermal.T <= limit {
+		t.Fatalf("naive control under a stuck-cold sensor stayed at %.2f °C — the hazard this test exists for never materialized",
+			naive.Servers[0].Thermal.T)
+	}
+}
+
+// TestSensorDropoutFallsBackToModel: a sensor reporting NaN must never
+// leak NaN into the control path; the estimator runs open loop on the
+// prediction + guard band, and past the grace period the control
+// temperature decays toward the limit (walking the cap down to the
+// sustainable floor), so a permanent dropout ends at steady state
+// below the limit.
+func TestSensorDropoutFallsBackToModel(t *testing.T) {
+	c := sensingScenario(t, sensingCfg())
+	c.AttachSensor(0, sensor.New(nil))
+	c.Run(10)
+	c.SetSensorFault(0, sensor.Fault{Mode: sensor.ModeDropout})
+	c.Run(150)
+	s := c.Servers[0]
+	if math.IsNaN(s.TObs) || math.IsInf(s.TObs, 0) {
+		t.Fatalf("dropout leaked a non-finite TObs: %v", s.TObs)
+	}
+	limit := s.Thermal.Model.Limit
+	if s.Thermal.T > limit+1e-6 {
+		t.Fatalf("true temperature %.2f exceeds limit %.1f under dropout", s.Thermal.T, limit)
+	}
+	if s.TObs < s.Thermal.T-1e-6 {
+		t.Fatalf("TObs %.2f below truth %.2f under dropout", s.TObs, s.Thermal.T)
+	}
+	// All but the first SensorTrips-1 dropout ticks run guarded (the
+	// stale median carries the estimate until the health trip fires).
+	if c.Stats.SensorGuardTicks < 150-2 {
+		t.Errorf("guard ticks %d, want >= 148", c.Stats.SensorGuardTicks)
+	}
+	// The decay-toward-limit fallback should have pushed the control
+	// temperature near the limit, capping power near the sustainable
+	// floor rather than zero.
+	if s.TObs < limit-5 {
+		t.Errorf("long-outage control temperature %.2f never decayed toward the %.1f limit", s.TObs, limit)
+	}
+}
+
+// TestSensorHealsAfterClear: once the fault clears, SensorTrips
+// consecutive in-gate readings restore the closed loop and rejections
+// stop accruing.
+func TestSensorHealsAfterClear(t *testing.T) {
+	c := sensingScenario(t, sensingCfg())
+	c.AttachSensor(0, sensor.New(nil))
+	c.Run(10)
+	c.SetSensorFault(0, sensor.Fault{Mode: sensor.ModeBias, Magnitude: 30})
+	c.Run(40)
+	if c.Stats.SensorUnhealthy == 0 {
+		t.Fatal("30 °C bias never tripped unhealthy")
+	}
+	c.ClearSensorFault(0)
+	c.Run(40)
+	rejectedAtHeal := c.Stats.SensorRejected
+	c.Run(20)
+	if c.Stats.SensorRejected != rejectedAtHeal {
+		t.Errorf("rejections kept accruing after heal: %d -> %d", rejectedAtHeal, c.Stats.SensorRejected)
+	}
+	s := c.Servers[0]
+	if s.TObs < s.Thermal.T-1e-6 {
+		t.Errorf("healed TObs %.2f below truth %.2f", s.TObs, s.Thermal.T)
+	}
+}
+
+// TestNaiveDropoutHoldsLastReading: without the estimator a dropout
+// must still never put NaN on the control path — the last finite
+// observation holds.
+func TestNaiveDropoutHoldsLastReading(t *testing.T) {
+	c := sensingScenario(t, quietCfg())
+	c.AttachSensor(0, sensor.New(nil))
+	c.Run(10)
+	held := c.Servers[0].TObs
+	c.SetSensorFault(0, sensor.Fault{Mode: sensor.ModeDropout})
+	c.Run(20)
+	if got := c.Servers[0].TObs; got != held {
+		t.Errorf("naive dropout: TObs changed from held reading %v to %v", held, got)
+	}
+}

@@ -53,6 +53,11 @@ type Options struct {
 	// vary the workload under an identical fault plan.
 	ChaosSpec string
 	ChaosSeed uint64
+	// SensorSpec, when non-empty, is a sensor-fault specification
+	// (sensor.ParseSpec) — the sensing experiment swaps its default
+	// intensity ladder for this one spec. Expansion is seeded by
+	// ChaosSeed, like ChaosSpec.
+	SensorSpec string
 }
 
 func (o Options) seed(def uint64) uint64 {

@@ -7,6 +7,7 @@ package telemetry
 
 import (
 	"fmt"
+	"strings"
 
 	"willow/internal/metrics"
 )
@@ -30,6 +31,10 @@ type Aggregator struct {
 	pmuRepairs     int64
 	leaseExpiries  int64
 	orphanWatts    float64
+	sensorInjects  int64
+	sensorRejects  int64
+	sensorGuard    int64
+	sensorTrips    int64
 	firstTick      int
 	lastTick       int
 	sawTick        bool
@@ -86,6 +91,17 @@ func (a *Aggregator) Publish(e Event) {
 			a.leaseExpiries++
 		case "orphans":
 			a.orphanWatts += e.Watts
+		}
+	case KindSensor:
+		switch {
+		case strings.HasPrefix(e.Cause, "inject"):
+			a.sensorInjects++
+		case e.Cause == "reject" || e.Cause == "dropout":
+			a.sensorRejects++
+		case e.Cause == "guard":
+			a.sensorGuard++
+		case e.Cause == "unhealthy":
+			a.sensorTrips++
 		}
 	}
 }
@@ -154,6 +170,21 @@ func (a *Aggregator) LeaseExpiries() int64 { return a.leaseExpiries }
 // over the per-tick "orphans" degradation records (watts × ticks).
 func (a *Aggregator) OrphanWattTicks() float64 { return a.orphanWatts }
 
+// SensorFaults returns the number of sensor faults injected.
+func (a *Aggregator) SensorFaults() int64 { return a.sensorInjects }
+
+// SensorRejections returns the readings the estimator's residual gate
+// rejected (including dropout NaNs).
+func (a *Aggregator) SensorRejections() int64 { return a.sensorRejects }
+
+// SensorGuardTicks returns the server-ticks on which control ran on the
+// model-predicted fallback temperature plus guard band.
+func (a *Aggregator) SensorGuardTicks() int64 { return a.sensorGuard }
+
+// SensorUnhealthyTrips returns how many times a sensor was declared
+// unhealthy.
+func (a *Aggregator) SensorUnhealthyTrips() int64 { return a.sensorTrips }
+
 // BudgetUtilization returns demand-over-budget (ΣCP / ΣTP, watt-
 // weighted across that level's budget events) for the given tree level,
 // with ok=false when the level granted no budget.
@@ -185,6 +216,14 @@ func (a *Aggregator) Table(title string) *metrics.Table {
 		tb.AddRow("repairs.pmu", fmt.Sprintf("%d", a.pmuRepairs))
 		tb.AddRow("lease.expiries", fmt.Sprintf("%d", a.leaseExpiries))
 		tb.AddRow("orphan.watt-ticks", fmt.Sprintf("%.6g", a.orphanWatts))
+	}
+	if a.counts[KindSensor] > 0 {
+		// Sensor-health outcomes — rendered only for runs whose sensing
+		// layer saw faults or rejections.
+		tb.AddRow("sensor.faults", fmt.Sprintf("%d", a.sensorInjects))
+		tb.AddRow("sensor.rejected", fmt.Sprintf("%d", a.sensorRejects))
+		tb.AddRow("sensor.guard-ticks", fmt.Sprintf("%d", a.sensorGuard))
+		tb.AddRow("sensor.unhealthy-trips", fmt.Sprintf("%d", a.sensorTrips))
 	}
 	for level := range a.budgetTP {
 		util, ok := a.BudgetUtilization(level)

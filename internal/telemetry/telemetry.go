@@ -50,8 +50,15 @@ const (
 	// a node entering or leaving budget-lease degraded mode ("enter" /
 	// "exit"), or orphaned demand waiting for restart ("orphans").
 	KindDegraded
+	// KindSensor is a sensing-layer record (sensing.go): a sensor fault
+	// injected or cleared ("inject:<mode>" / "clear"), a reading the
+	// residual gate rejected ("reject" / "dropout"), a sensor declared
+	// unhealthy or healthy again ("unhealthy" / "healthy"), and one
+	// record per tick a server's control temperature ran on the
+	// model-predicted fallback plus guard band ("guard").
+	KindSensor
 
-	numKinds = int(KindDegraded)
+	numKinds = int(KindSensor)
 )
 
 // kindNames are the wire names, used in JSONL streams and CLI filters.
@@ -63,6 +70,7 @@ var kindNames = [...]string{
 	KindFailure:         "failure",
 	KindQoSViolation:    "qos",
 	KindDegraded:        "degraded",
+	KindSensor:          "sensor",
 }
 
 // String returns the kind's wire name.
@@ -133,6 +141,11 @@ func Kinds() []Kind {
 //	                budget on "enter"); orphaned-demand waits use
 //	                Cause "orphans", Count (apps), Watts (stranded
 //	                demand)
+//	Sensor          Server, Cause ("inject:<mode>"/"clear"/"reject"/
+//	                "dropout"/"unhealthy"/"healthy"/"guard"), Watts
+//	                (the reading, or the fault magnitude on inject, or
+//	                the guarded control temperature), Prev (the RC-model
+//	                one-step prediction the reading was gated against)
 type Event struct {
 	// Tick is the simulation tick of the decision — never wall clock,
 	// so event streams are reproducible byte for byte.

@@ -38,7 +38,18 @@ type Model struct {
 }
 
 // Validate reports whether the model's constants are physically sensible.
+// Non-finite constants are rejected explicitly: NaN fails every ordered
+// comparison, so a NaN C1 would otherwise sail through the positivity
+// checks and poison every downstream Step/PowerLimit computation.
 func (m Model) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{{"c1", m.C1}, {"c2", m.C2}, {"ambient", m.Ambient}, {"limit", m.Limit}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("thermal: %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case m.C1 <= 0:
 		return fmt.Errorf("thermal: c1 must be positive, got %v", m.C1)

@@ -27,6 +27,15 @@ func TestValidate(t *testing.T) {
 		{"zero c1", Model{C1: 0, C2: 0.05, Ambient: 25, Limit: 70}, false},
 		{"negative c2", Model{C1: 0.08, C2: -1, Ambient: 25, Limit: 70}, false},
 		{"limit below ambient", Model{C1: 0.08, C2: 0.05, Ambient: 80, Limit: 70}, false},
+		// Regression: NaN fails every ordered comparison, so non-finite
+		// constants used to slip through the positivity checks.
+		{"NaN c1", Model{C1: math.NaN(), C2: 0.05, Ambient: 25, Limit: 70}, false},
+		{"NaN c2", Model{C1: 0.08, C2: math.NaN(), Ambient: 25, Limit: 70}, false},
+		{"NaN ambient", Model{C1: 0.08, C2: 0.05, Ambient: math.NaN(), Limit: 70}, false},
+		{"NaN limit", Model{C1: 0.08, C2: 0.05, Ambient: 25, Limit: math.NaN()}, false},
+		{"inf c1", Model{C1: math.Inf(1), C2: 0.05, Ambient: 25, Limit: 70}, false},
+		{"inf limit", Model{C1: 0.08, C2: 0.05, Ambient: 25, Limit: math.Inf(1)}, false},
+		{"-inf ambient", Model{C1: 0.08, C2: 0.05, Ambient: math.Inf(-1), Limit: 70}, false},
 	}
 	for _, c := range cases {
 		err := c.m.Validate()

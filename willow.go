@@ -70,6 +70,7 @@ const (
 	EventFailure         = telemetry.KindFailure
 	EventQoSViolation    = telemetry.KindQoSViolation
 	EventDegraded        = telemetry.KindDegraded
+	EventSensor          = telemetry.KindSensor
 )
 
 // NewEventWriter returns a sink streaming events as JSONL into w (one
