@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline chaos-smoke sensor-smoke experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline chaos-smoke sensor-smoke serve-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -23,9 +23,11 @@ race:
 # every experiment under concurrent execution — bench-smoke keeps the
 # telemetry layer's zero-overhead-when-disabled promise honest, and
 # chaos-smoke pins the failure-tolerance acceptance scenario,
-# sensor-smoke the sensing-robustness one, so `make ci` is the bar for
-# any change touching the harness.
-ci: build test race bench-smoke chaos-smoke sensor-smoke
+# sensor-smoke the sensing-robustness one, and serve-smoke boots the
+# live control-plane daemon under -race and hammers it with the load
+# generator, so `make ci` is the bar for any change touching the
+# harness.
+ci: build test race bench-smoke chaos-smoke sensor-smoke serve-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -42,11 +44,13 @@ bench:
 # timings are not compared.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkAllSequential(Events)?$$' -benchtime 1x -benchmem . > bench_smoke.txt
+	$(GO) test -run '^$$' -bench '^Benchmark(ServerTick|EventsFanout)$$' -benchtime 1x -benchmem ./internal/server >> bench_smoke.txt
 	$(GO) run ./internal/tools/benchguard -input bench_smoke.txt -baseline docs/bench_baseline.txt
 
 # Rewrite the baseline after an intentional allocation change.
 bench-baseline:
 	$(GO) test -run '^$$' -bench '^BenchmarkAllSequential(Events)?$$' -benchtime 1x -benchmem . > bench_smoke.txt
+	$(GO) test -run '^$$' -bench '^Benchmark(ServerTick|EventsFanout)$$' -benchtime 1x -benchmem ./internal/server >> bench_smoke.txt
 	$(GO) run ./internal/tools/benchguard -input bench_smoke.txt -baseline docs/bench_baseline.txt -update
 
 # Chaos gate: the end-to-end failure-tolerance scenarios — a seeded
@@ -62,6 +66,14 @@ chaos-smoke:
 # estimator over clean sensors changes nothing, bit for bit.
 sensor-smoke:
 	$(GO) test -run 'TestSensorSmoke|TestSensingIdentityAtClusterScale|TestSensorChaosTrueTemperatureCap|TestSensingIdentityWhenDisabled' -count=1 ./internal/cluster ./internal/core
+
+# Live daemon gate: the concurrency, shutdown, and determinism pins
+# under -race, then a real willowd booted on a random port, hammered
+# with 1k willow-load requests, drained with SIGTERM, and resumed from
+# its final snapshot — all with race-instrumented binaries.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestFastForwardMatchesOfflineRun|TestSnapshotRestoreRoundTrip|TestConcurrentAPIHammer|TestGracefulShutdownSnapshotRoundTrip|TestSlowSubscriberNeverStallsTicks' ./internal/server
+	./scripts/serve_smoke.sh
 
 # Regenerate the full evaluation section at full fidelity.
 experiments:

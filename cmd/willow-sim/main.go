@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"willow/internal/cluster"
 	"willow/internal/config"
@@ -151,14 +155,24 @@ func main() {
 		cfg.Sink = sink
 	}
 
-	res, err := cluster.Run(cfg)
-	if err != nil {
-		fatal(err)
-	}
+	// Run under a signal-aware context: SIGINT/SIGTERM stops the
+	// simulation at the next tick boundary instead of killing the
+	// process mid-write, and the event sink is flushed and closed on
+	// every exit path — an interrupted run leaves a complete, parseable
+	// JSONL stream rather than a truncated one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := cluster.RunContext(ctx, cfg)
 	if sink != nil {
-		if err := sink.Close(); err != nil {
-			fatal(err)
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted; partial event stream flushed cleanly"))
+		}
+		fatal(err)
 	}
 
 	supplyLabel := *supply

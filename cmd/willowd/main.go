@@ -1,0 +1,226 @@
+// Command willowd runs Willow as a live control-plane daemon: the
+// simulated data center ticks under wall-clock pacing (or flat out
+// with -ff) while an HTTP API serves state, accepts live demand and
+// chaos injections, streams telemetry, and snapshots the run for
+// restart continuity.
+//
+//	willowd -addr 127.0.0.1:8080 -tick 50ms
+//	willowd -addr 127.0.0.1:0 -port-file /tmp/port -events run.jsonl
+//	willowd -restore snap.json -ff            # resume a run to completion
+//
+// SIGTERM/SIGINT drain gracefully: the tick loop stops at a boundary,
+// open event streams terminate, sinks flush, and a final snapshot is
+// written (-snapshot).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"willow/internal/server"
+	"willow/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "willowd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (host:port, port 0 for random; empty disables the API)")
+		portFile = flag.String("port-file", "", "write the bound listen address to this file (for scripts with -addr :0)")
+		tickDur  = flag.Duration("tick", 50*time.Millisecond, "wall-clock duration of one demand tick (ignored with -ff)")
+		ff       = flag.Bool("ff", false, "fast-forward: run all ticks at full speed (byte-identical to willow-sim)")
+
+		util        = flag.Float64("util", 0.5, "target mean utilization in (0, 1]")
+		fanout      = flag.String("fanout", "2,3,3", "PMU hierarchy fan-out, root downward")
+		ticks       = flag.Int("ticks", 400, "total demand ticks to simulate")
+		warmup      = flag.Int("warmup", 100, "warm-up ticks excluded from averages")
+		seed        = flag.Uint64("seed", 2011, "random seed")
+		supply      = flag.String("supply", "constant", "supply profile: constant, sine, or deficit-steps")
+		hotzone     = flag.Bool("hotzone", true, "place the last four servers in a 40 °C ambient (18-server topologies)")
+		chaosSpec   = flag.String("chaos", "", "fold a seeded fault schedule into the run at boot (see internal/chaos)")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "seed for chaos expansion (0: derive from -seed)")
+		sensorSpec  = flag.String("sensor-chaos", "", "fold seeded sensor faults into the run at boot (see internal/sensor)")
+		sensorNaive = flag.Bool("sensor-naive", false, "disable the robust estimator under sensor chaos")
+		lease       = flag.Int("lease", 0, "budget lease ticks (arm before injecting live PMU chaos; 0 = off)")
+		sensing     = flag.Bool("sensing", false, "arm the robust temperature estimator at boot (for live sensor chaos)")
+
+		events       = flag.String("events", "", "stream every event as JSONL to this file (plus a .summary.txt report)")
+		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the -events file (default all)")
+		snapshotPath = flag.String("snapshot", "", "write a final snapshot here on shutdown")
+		restorePath  = flag.String("restore", "", "boot from a snapshot instead of flags (spec comes from the snapshot)")
+	)
+	flag.Parse()
+
+	var (
+		d   *server.Daemon
+		err error
+	)
+	if *restorePath != "" {
+		snap, rerr := server.ReadSnapshot(*restorePath)
+		if rerr != nil {
+			return rerr
+		}
+		d, err = server.Restore(snap)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restored snapshot %s at tick %d/%d (%d journal entries)\n",
+			*restorePath, snap.Tick, d.Spec().Ticks, len(snap.Journal))
+	} else {
+		spec := server.Spec{
+			Util:        *util,
+			Ticks:       *ticks,
+			Warmup:      *warmup,
+			Seed:        *seed,
+			Supply:      *supply,
+			Hotzone:     *hotzone,
+			Chaos:       *chaosSpec,
+			ChaosSeed:   *chaosSeed,
+			SensorChaos: *sensorSpec,
+			SensorNaive: *sensorNaive,
+			LeaseTicks:  *lease,
+			Sensing:     *sensing,
+		}
+		if spec.Fanout, err = parseFanout(*fanout); err != nil {
+			return err
+		}
+		if d, err = server.New(spec); err != nil {
+			return err
+		}
+	}
+	defer d.Close()
+
+	var sink *telemetry.FileSink
+	if *events != "" {
+		keep := telemetry.AllKinds
+		if *eventsFilter != "" {
+			if keep, err = telemetry.ParseKindSet(*eventsFilter); err != nil {
+				return err
+			}
+		}
+		base := strings.TrimSuffix(*events, ".jsonl")
+		if sink, err = telemetry.OpenFileSink(*events, base+".summary.txt", "willowd telemetry", keep); err != nil {
+			return err
+		}
+		d.SetSink(sink)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *http.Server
+	if *addr != "" {
+		ln, lerr := net.Listen("tcp", *addr)
+		if lerr != nil {
+			return lerr
+		}
+		bound := ln.Addr().String()
+		if *portFile != "" {
+			if werr := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); werr != nil {
+				return werr
+			}
+		}
+		spec := d.Spec()
+		fmt.Printf("willowd: %d servers, U=%.0f%%, supply=%s, %d ticks; listening on http://%s\n",
+			spec.Servers(), spec.Util*100, spec.Supply, spec.Ticks, bound)
+		srv = &http.Server{Handler: server.NewHandler(d)}
+		go func() {
+			if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "willowd: http:", serr)
+			}
+		}()
+	}
+
+	pace := *tickDur
+	if *ff {
+		pace = 0
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- d.Run(ctx, pace) }()
+
+	// Serve-until-signalled when the API is up; otherwise the run's end
+	// is the daemon's end (batch restore/verify mode).
+	var driveErr error
+	if srv != nil {
+		select {
+		case <-ctx.Done():
+			driveErr = <-runErr
+		case driveErr = <-runErr:
+			if driveErr == nil {
+				fmt.Printf("run complete at tick %d; serving until SIGTERM\n", d.NextTick())
+				<-ctx.Done()
+			}
+		}
+	} else {
+		driveErr = <-runErr
+	}
+	if driveErr != nil && !errors.Is(driveErr, context.Canceled) {
+		return driveErr
+	}
+	interrupted := errors.Is(driveErr, context.Canceled)
+
+	// Graceful drain: terminate event streams first (they would
+	// otherwise hold Shutdown open), then stop the listener, then
+	// flush sinks and write the final snapshot — always at a clean
+	// tick boundary.
+	d.Close()
+	if srv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(shCtx); serr != nil {
+			fmt.Fprintln(os.Stderr, "willowd: shutdown:", serr)
+		}
+	}
+	if sink != nil {
+		d.SetSink(nil)
+		if cerr := sink.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	if *snapshotPath != "" {
+		snap := d.Snapshot()
+		if werr := snap.WriteFile(*snapshotPath); werr != nil {
+			return werr
+		}
+		fmt.Printf("snapshot written to %s (tick %d, %d journal entries)\n",
+			*snapshotPath, snap.Tick, len(snap.Journal))
+	}
+
+	st := d.Stats()
+	verb := "run complete"
+	if interrupted && st.Tick < st.Ticks {
+		verb = "interrupted"
+	}
+	fmt.Printf("%s at tick %d/%d: energy %.0f watt-ticks, dropped %.0f, max temp %.1f °C, %d+%d migrations, %d events published (%d dropped)\n",
+		verb, st.Tick, st.Ticks, st.TotalEnergy, st.DroppedWattTicks, st.MaxTemp,
+		st.DemandMigrations, st.ConsolidationMigrations, st.EventsPublished, st.EventsDropped)
+	return nil
+}
+
+func parseFanout(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad fan-out %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

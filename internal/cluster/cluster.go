@@ -6,21 +6,16 @@ package cluster
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
 	"willow/internal/core"
-	"willow/internal/dist"
-	"willow/internal/metrics"
 	"willow/internal/netsim"
 	"willow/internal/power"
 	"willow/internal/queueing"
 	"willow/internal/sensor"
-	"willow/internal/sim"
 	"willow/internal/telemetry"
 	"willow/internal/thermal"
-	"willow/internal/topo"
 	"willow/internal/workload"
 )
 
@@ -248,302 +243,18 @@ type Result struct {
 }
 
 // Run executes the configured simulation and returns its measurements.
+// It is a Machine stepped to completion (see machine.go), so the live
+// daemon and the offline simulator share one code path — and one event
+// stream, byte for byte.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
-		return nil, fmt.Errorf("cluster: utilization %v outside (0, 1]", cfg.Utilization)
-	}
-	if cfg.Ticks <= cfg.Warmup {
-		return nil, fmt.Errorf("cluster: ticks %d must exceed warmup %d", cfg.Ticks, cfg.Warmup)
-	}
-	tree, err := topo.Build(cfg.Fanout)
+	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	src := dist.NewSource(cfg.Seed)
-
-	placement, err := workload.PlaceRandomMix(
-		tree.NumServers(), cfg.AppsPerServer, cfg.Classes,
-		1 /* unit watts; rescaled below */, cfg.Core.NoiseLambda, src.Fork())
-	if err != nil {
-		return nil, err
+	for !m.Done() {
+		m.Step()
 	}
-	models := make([]power.ServerModel, tree.NumServers())
-	for i := range models {
-		models[i] = cfg.ServerPower
-	}
-	if cfg.PerServerPower != nil {
-		if len(cfg.PerServerPower) != tree.NumServers() {
-			return nil, fmt.Errorf("cluster: %d per-server power models for %d servers",
-				len(cfg.PerServerPower), tree.NumServers())
-		}
-		copy(models, cfg.PerServerPower)
-	}
-
-	// Scale each server's workload to the target utilization of *its own*
-	// dynamic range (they differ in a heterogeneous fleet).
-	for i, set := range placement.Sets {
-		target := cfg.Utilization * models[i].DynamicRange()
-		total := set.MeanTotal()
-		if total <= 0 {
-			continue
-		}
-		for _, a := range set.Apps {
-			a.Mean *= target / total
-		}
-	}
-
-	// QoS classes: round-robin priorities over all applications.
-	location := map[int]int{} // app ID -> hosting server
-	var appIDs []int
-	for si, set := range placement.Sets {
-		for _, a := range set.Apps {
-			if cfg.PriorityClasses > 0 {
-				a.Priority = a.ID % cfg.PriorityClasses
-			}
-			location[a.ID] = si
-			appIDs = append(appIDs, a.ID)
-		}
-	}
-
-	// IPC flows between random application pairs.
-	var flows []netsim.Flow
-	if cfg.IPCFlows > 0 {
-		flowSrc := src.Fork()
-		rate := cfg.IPCRate
-		if rate <= 0 {
-			rate = 5
-		}
-		for f := 0; f < cfg.IPCFlows && len(appIDs) >= 2; f++ {
-			a := appIDs[flowSrc.Intn(len(appIDs))]
-			b := appIDs[flowSrc.Intn(len(appIDs))]
-			for b == a {
-				b = appIDs[flowSrc.Intn(len(appIDs))]
-			}
-			flows = append(flows, netsim.Flow{AppA: a, AppB: b, Rate: rate})
-		}
-	}
-
-	hot := map[int]bool{}
-	for _, i := range cfg.HotServers {
-		if i < 0 || i >= tree.NumServers() {
-			return nil, fmt.Errorf("cluster: hot server index %d out of range", i)
-		}
-		hot[i] = true
-	}
-	specs := make([]core.ServerSpec, tree.NumServers())
-	for i := range specs {
-		tm := cfg.Thermal
-		if hot[i] {
-			tm.Ambient = cfg.HotAmbient
-		}
-		specs[i] = core.ServerSpec{
-			Power:        models[i],
-			Thermal:      tm,
-			CircuitLimit: cfg.CircuitLimit,
-			Apps:         placement.Sets[i].Apps,
-		}
-	}
-
-	ctrl, err := core.New(tree, specs, cfg.Supply, cfg.Core, src.Fork())
-	if err != nil {
-		return nil, err
-	}
-	net, err := netsim.New(tree, cfg.Network)
-	if err != nil {
-		return nil, err
-	}
-	// The network model and IPC flow tracking observe migrations off the
-	// telemetry stream; the caller's sink (if any) rides the same wire.
-	observer := telemetry.SinkFunc(func(ev telemetry.Event) {
-		if ev.Kind != telemetry.KindMigration {
-			return
-		}
-		net.RecordMigration(ev.From, ev.To, ev.Bytes)
-		location[ev.App] = ev.To
-	})
-	ctrl.Sink = telemetry.Multi(observer, cfg.Sink)
-
-	n := tree.NumServers()
-	powerAcc := make([]metrics.Welford, n)
-	tempAcc := make([]metrics.Welford, n)
-	imbAcc := make([]metrics.Welford, tree.Height+1)
-	asleep := make([]int, n)
-	slo := cfg.SLO
-	if slo.Service <= 0 {
-		slo = queueing.SLO{Service: 1, Target: 10}
-	}
-	latency := queueing.NewTracker(slo)
-	res := &Result{Config: cfg}
-	measured := 0
-
-	// Snapshot base demands so the intensity profile can scale them
-	// in place each epoch without compounding.
-	var baseMeans map[*workload.App]float64
-	if cfg.DemandProfile != nil {
-		baseMeans = make(map[*workload.App]float64)
-		for _, set := range placement.Sets {
-			for _, a := range set.Apps {
-				baseMeans[a] = a.Mean
-			}
-		}
-	}
-
-	engine := sim.New()
-	for _, f := range cfg.Failures {
-		f := f
-		if f.Server < 0 || f.Server >= n {
-			return nil, fmt.Errorf("cluster: failure event for server %d out of range", f.Server)
-		}
-		engine.Schedule(sim.Tick(f.Tick), func(sim.Tick) { ctrl.FailServer(f.Server) })
-		if f.RepairTick > f.Tick {
-			engine.Schedule(sim.Tick(f.RepairTick), func(sim.Tick) { ctrl.RepairServer(f.Server) })
-		}
-	}
-	for _, f := range cfg.PMUFailures {
-		f := f
-		if f.Node < 0 || f.Node >= len(tree.Nodes) || tree.Nodes[f.Node].IsLeaf() {
-			return nil, fmt.Errorf("cluster: PMU failure event for node %d is not an internal node", f.Node)
-		}
-		engine.Schedule(sim.Tick(f.Tick), func(sim.Tick) { ctrl.FailPMU(f.Node) })
-		if f.RepairTick > f.Tick {
-			engine.Schedule(sim.Tick(f.RepairTick), func(sim.Tick) { ctrl.RepairPMU(f.Node) })
-		}
-	}
-	if len(cfg.LossWindows) > 0 {
-		baseReport, baseBudget := ctrl.Cfg.ReportLoss, ctrl.Cfg.BudgetLoss
-		for _, w := range cfg.LossWindows {
-			w := w
-			if w.Start < 0 || w.End <= w.Start {
-				return nil, fmt.Errorf("cluster: bad loss window [%d, %d)", w.Start, w.End)
-			}
-			if w.ReportLoss < 0 || w.ReportLoss >= 1 || w.BudgetLoss < 0 || w.BudgetLoss >= 1 {
-				return nil, fmt.Errorf("cluster: loss window probabilities outside [0, 1): %+v", w)
-			}
-			engine.Schedule(sim.Tick(w.Start), func(sim.Tick) {
-				ctrl.SetLinkLoss(w.ReportLoss, w.BudgetLoss)
-			})
-			engine.Schedule(sim.Tick(w.End), func(sim.Tick) {
-				ctrl.SetLinkLoss(baseReport, baseBudget)
-			})
-		}
-	}
-	if len(cfg.SensorFaults) > 0 {
-		// Every server gets an instrument with a private stream forked in
-		// server order from a source derived from — but independent of —
-		// the run seed, so sensor noise perturbs no simulation stream and
-		// the corruption sequence is identical whether or not the
-		// estimator is armed.
-		sensorSrc := dist.NewSource(cfg.Seed ^ sensorSeedSalt)
-		for i := 0; i < n; i++ {
-			ctrl.AttachSensor(i, sensor.New(sensorSrc.Fork()))
-		}
-		for _, f := range cfg.SensorFaults {
-			f := f
-			if f.Server < 0 || f.Server >= n {
-				return nil, fmt.Errorf("cluster: sensor fault for server %d out of range", f.Server)
-			}
-			if f.Start < 0 {
-				return nil, fmt.Errorf("cluster: sensor fault start %d before the run", f.Start)
-			}
-			if math.IsNaN(f.Magnitude) || math.IsInf(f.Magnitude, 0) {
-				return nil, fmt.Errorf("cluster: non-finite sensor fault magnitude %v", f.Magnitude)
-			}
-			engine.Schedule(sim.Tick(f.Start), func(sim.Tick) {
-				ctrl.SetSensorFault(f.Server, sensor.Fault{Mode: f.Mode, Magnitude: f.Magnitude})
-			})
-			if f.End > f.Start {
-				engine.Schedule(sim.Tick(f.End), func(sim.Tick) {
-					ctrl.ClearSensorFault(f.Server)
-				})
-			}
-		}
-	}
-	engine.Every(0, 1, func(now sim.Tick) {
-		if baseMeans != nil {
-			factor := cfg.DemandProfile.At(int(now) / ctrl.Cfg.Eta1)
-			if factor < 0 {
-				factor = 0
-			}
-			for a, base := range baseMeans {
-				a.Mean = base * factor
-			}
-		}
-		ctrl.Step()
-		for i, s := range ctrl.Servers {
-			net.RecordServerTraffic(i, s.Utilization())
-		}
-		if len(flows) > 0 {
-			net.RecordFlows(flows, location)
-		}
-		net.EndTick()
-		for _, s := range ctrl.Servers {
-			if s.Thermal.T > res.MaxTemp {
-				res.MaxTemp = s.Thermal.T
-			}
-			if s.TObs > res.MaxObsTemp {
-				res.MaxObsTemp = s.TObs
-			}
-			if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
-				res.LimitViolationTicks++
-			}
-		}
-		if int(now) < cfg.Warmup {
-			return
-		}
-		measured++
-		for i, s := range ctrl.Servers {
-			powerAcc[i].Add(s.Consumed)
-			tempAcc[i].Add(s.Thermal.T)
-			if s.Asleep {
-				asleep[i]++
-			}
-			res.TotalEnergy += s.Consumed
-		}
-		for level := 0; level <= tree.Height; level++ {
-			_, _, imb := ctrl.LevelImbalance(level)
-			imbAcc[level].Add(imb)
-		}
-		for _, s := range ctrl.Servers {
-			if s.Asleep {
-				continue
-			}
-			servedDyn := s.Consumed - s.Power.Static
-			if servedDyn < 0 {
-				servedDyn = 0
-			}
-			latency.Observe(s.Utilization(), servedDyn, s.Dropped)
-		}
-	})
-	if err := engine.Run(sim.Tick(cfg.Ticks - 1)); err != nil {
-		return nil, err
-	}
-
-	res.MeanPower = make([]float64, n)
-	res.MeanTemp = make([]float64, n)
-	res.PowerSaved = make([]float64, n)
-	res.AsleepFraction = make([]float64, n)
-	for i := 0; i < n; i++ {
-		res.MeanPower[i] = powerAcc[i].Mean()
-		res.MeanTemp[i] = tempAcc[i].Mean()
-		res.AsleepFraction[i] = float64(asleep[i]) / float64(measured)
-		res.PowerSaved[i] = models[i].Static * res.AsleepFraction[i]
-	}
-	res.DemandMigrations = ctrl.Stats.DemandMigrations
-	res.ConsolidationMigrations = ctrl.Stats.ConsolidationMigrations
-	res.MigrationShare = net.MigrationTrafficShare()
-	res.SwitchPower = net.LevelSwitchPower(1)
-	res.SwitchMigrationTraffic = net.LevelMigrationTraffic(1)
-	res.DroppedWattTicks = ctrl.Stats.DroppedWattTicks
-	res.Stats = ctrl.Stats
-	res.MeanFlowHops = net.MeanFlowHops()
-	res.MeanImbalance = make([]float64, len(imbAcc))
-	for level := range imbAcc {
-		res.MeanImbalance[level] = imbAcc[level].Mean()
-	}
-	res.MeanStretch = latency.MeanStretch()
-	res.StretchP95 = latency.StretchQuantile(0.95)
-	res.SLOMissFraction = latency.SLOMissFraction()
-	return res, nil
+	return m.Result(), nil
 }
 
 // UtilizationSweep runs the paper configuration across the given target

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"willow/internal/telemetry"
+)
+
+// TestRunContextCancelStopsAtTickBoundary pins the cancellation
+// contract: a cancelled RunContext returns the context error from a
+// clean tick boundary — no event for a later tick is ever published
+// after the cancellation tick's batch completes.
+func TestRunContextCancelStopsAtTickBoundary(t *testing.T) {
+	cfg := PaperConfig(0.5)
+	cfg.Ticks, cfg.Warmup = 200, 50
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelTick = 60
+	lastTick := -1
+	cfg.Sink = telemetry.SinkFunc(func(e telemetry.Event) {
+		lastTick = e.Tick
+		if e.Tick >= cancelTick {
+			cancel()
+		}
+	})
+	res, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run returned a result")
+	}
+	// The tick that observed the cancel finishes; the next one never
+	// starts.
+	if lastTick > cancelTick {
+		t.Fatalf("event published for tick %d after cancellation at %d", lastTick, cancelTick)
+	}
+}
+
+// TestCancelledRunLeavesParseableEventStream is the regression test
+// for the willow-sim SIGINT truncation bug: interrupting a run
+// mid-stream and then closing the FileSink (the CLI's cancellation
+// path) must leave a complete, parseable JSONL file and a written
+// summary — no half-written trailing line, no events lost to an
+// unflushed buffer.
+func TestCancelledRunLeavesParseableEventStream(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	summaryPath := filepath.Join(dir, "events.summary.txt")
+
+	sink, err := telemetry.OpenFileSink(eventsPath, summaryPath, "cancelled run", telemetry.AllKinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := PaperConfig(0.6)
+	cfg.Ticks, cfg.Warmup = 400, 100
+	ctx, cancel := context.WithCancel(context.Background())
+	published := 0
+	cfg.Sink = telemetry.SinkFunc(func(e telemetry.Event) {
+		sink.Publish(e)
+		published++
+		if e.Tick >= 120 {
+			cancel()
+		}
+	})
+
+	if _, err := RunContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("closing sink after cancellation: %v", err)
+	}
+
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := telemetry.ReadAll(f)
+	if err != nil {
+		t.Fatalf("cancelled run left an unparseable stream: %v", err)
+	}
+	if published == 0 || len(events) != published {
+		t.Fatalf("stream has %d events, %d were published", len(events), published)
+	}
+	if sum, err := os.ReadFile(summaryPath); err != nil || len(sum) == 0 {
+		t.Fatalf("summary not written after cancellation: %v (%d bytes)", err, len(sum))
+	}
+}

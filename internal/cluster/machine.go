@@ -1,0 +1,630 @@
+package cluster
+
+// Machine is the steppable form of a simulation run: everything Run
+// builds, held as state, advanced one demand tick at a time. It exists
+// so a long-lived control plane (internal/server) can drive the exact
+// same simulation under wall-clock pacing, inject live mutations at
+// tick boundaries, and serialize enough to resume after a restart —
+// while the offline Run stays a thin loop over it, byte-identical to
+// what it always produced.
+//
+// Determinism contract: a Machine stepped to completion produces the
+// same event stream and Result as Run(cfg) with the same Config,
+// because Run IS a Machine stepped to completion. Live mutations
+// (ScaleDemand, InjectPlan) applied at tick boundaries keep the run
+// deterministic as a function of (Config, mutation journal): replaying
+// the same mutations at the same ticks reproduces the run bit for bit,
+// which is what the daemon's snapshot/restore builds on.
+//
+// A Machine is NOT safe for concurrent use; callers that share one
+// across goroutines (the daemon) serialize access with their own lock.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"willow/internal/chaos"
+	"willow/internal/core"
+	"willow/internal/dist"
+	"willow/internal/metrics"
+	"willow/internal/netsim"
+	"willow/internal/power"
+	"willow/internal/queueing"
+	"willow/internal/sensor"
+	"willow/internal/sim"
+	"willow/internal/telemetry"
+	"willow/internal/topo"
+	"willow/internal/workload"
+)
+
+// switchableSink is the caller-facing sink indirection: the controller
+// publishes through it for the whole run, and the daemon can retarget
+// it (nil during snapshot replay, a live hub afterwards) without
+// touching the controller.
+type switchableSink struct {
+	s telemetry.Sink
+}
+
+// Publish implements telemetry.Sink.
+func (w *switchableSink) Publish(e telemetry.Event) {
+	if w.s != nil {
+		w.s.Publish(e)
+	}
+}
+
+// Machine is one simulation run held open: construct with NewMachine,
+// advance with Step until Done, read measurements with Result.
+type Machine struct {
+	cfg    Config
+	tree   *topo.Tree
+	ctrl   *core.Controller
+	net    *netsim.Network
+	engine *sim.Engine
+
+	n        int
+	models   []power.ServerModel
+	location map[int]int
+	flows    []netsim.Flow
+
+	powerAcc, tempAcc []metrics.Welford
+	imbAcc            []metrics.Welford
+	asleep            []int
+	latency           *queueing.Tracker
+	res               *Result
+	measured          int
+	baseMeans         map[*workload.App]float64
+
+	caller  *switchableSink
+	stepped int // ticks executed; the next Step runs tick `stepped`
+
+	// baseReport / baseBudget are the Core config's link-loss levels,
+	// restored when a loss window closes.
+	baseReport, baseBudget float64
+	// sensorsAttached records that every server carries an instrument
+	// (set at build when Config.SensorFaults is non-empty, or lazily by
+	// the first live-injected sensor fault).
+	sensorsAttached bool
+}
+
+// NewMachine builds the simulated data center of cfg without running
+// it. The construction order — every Fork, every validation — is
+// exactly Run's, so the machine's random streams match the offline
+// simulator's bit for bit.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("cluster: utilization %v outside (0, 1]", cfg.Utilization)
+	}
+	if cfg.Ticks <= cfg.Warmup {
+		return nil, fmt.Errorf("cluster: ticks %d must exceed warmup %d", cfg.Ticks, cfg.Warmup)
+	}
+	tree, err := topo.Build(cfg.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	src := dist.NewSource(cfg.Seed)
+
+	placement, err := workload.PlaceRandomMix(
+		tree.NumServers(), cfg.AppsPerServer, cfg.Classes,
+		1 /* unit watts; rescaled below */, cfg.Core.NoiseLambda, src.Fork())
+	if err != nil {
+		return nil, err
+	}
+	models := make([]power.ServerModel, tree.NumServers())
+	for i := range models {
+		models[i] = cfg.ServerPower
+	}
+	if cfg.PerServerPower != nil {
+		if len(cfg.PerServerPower) != tree.NumServers() {
+			return nil, fmt.Errorf("cluster: %d per-server power models for %d servers",
+				len(cfg.PerServerPower), tree.NumServers())
+		}
+		copy(models, cfg.PerServerPower)
+	}
+
+	// Scale each server's workload to the target utilization of *its own*
+	// dynamic range (they differ in a heterogeneous fleet).
+	for i, set := range placement.Sets {
+		target := cfg.Utilization * models[i].DynamicRange()
+		total := set.MeanTotal()
+		if total <= 0 {
+			continue
+		}
+		for _, a := range set.Apps {
+			a.Mean *= target / total
+		}
+	}
+
+	// QoS classes: round-robin priorities over all applications.
+	location := map[int]int{} // app ID -> hosting server
+	var appIDs []int
+	for si, set := range placement.Sets {
+		for _, a := range set.Apps {
+			if cfg.PriorityClasses > 0 {
+				a.Priority = a.ID % cfg.PriorityClasses
+			}
+			location[a.ID] = si
+			appIDs = append(appIDs, a.ID)
+		}
+	}
+
+	// IPC flows between random application pairs.
+	var flows []netsim.Flow
+	if cfg.IPCFlows > 0 {
+		flowSrc := src.Fork()
+		rate := cfg.IPCRate
+		if rate <= 0 {
+			rate = 5
+		}
+		for f := 0; f < cfg.IPCFlows && len(appIDs) >= 2; f++ {
+			a := appIDs[flowSrc.Intn(len(appIDs))]
+			b := appIDs[flowSrc.Intn(len(appIDs))]
+			for b == a {
+				b = appIDs[flowSrc.Intn(len(appIDs))]
+			}
+			flows = append(flows, netsim.Flow{AppA: a, AppB: b, Rate: rate})
+		}
+	}
+
+	hot := map[int]bool{}
+	for _, i := range cfg.HotServers {
+		if i < 0 || i >= tree.NumServers() {
+			return nil, fmt.Errorf("cluster: hot server index %d out of range", i)
+		}
+		hot[i] = true
+	}
+	specs := make([]core.ServerSpec, tree.NumServers())
+	for i := range specs {
+		tm := cfg.Thermal
+		if hot[i] {
+			tm.Ambient = cfg.HotAmbient
+		}
+		specs[i] = core.ServerSpec{
+			Power:        models[i],
+			Thermal:      tm,
+			CircuitLimit: cfg.CircuitLimit,
+			Apps:         placement.Sets[i].Apps,
+		}
+	}
+
+	ctrl, err := core.New(tree, specs, cfg.Supply, cfg.Core, src.Fork())
+	if err != nil {
+		return nil, err
+	}
+	net, err := netsim.New(tree, cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		cfg:      cfg,
+		tree:     tree,
+		ctrl:     ctrl,
+		net:      net,
+		engine:   sim.New(),
+		n:        tree.NumServers(),
+		models:   models,
+		location: location,
+		flows:    flows,
+		caller:   &switchableSink{s: cfg.Sink},
+		res:      &Result{Config: cfg},
+	}
+	m.baseReport, m.baseBudget = ctrl.Cfg.ReportLoss, ctrl.Cfg.BudgetLoss
+
+	// The network model and IPC flow tracking observe migrations off the
+	// telemetry stream; the caller's sink (if any) rides the same wire,
+	// behind a switchable indirection so a daemon can retarget it.
+	observer := telemetry.SinkFunc(func(ev telemetry.Event) {
+		if ev.Kind != telemetry.KindMigration {
+			return
+		}
+		net.RecordMigration(ev.From, ev.To, ev.Bytes)
+		location[ev.App] = ev.To
+	})
+	ctrl.Sink = telemetry.Multi(observer, m.caller)
+
+	m.powerAcc = make([]metrics.Welford, m.n)
+	m.tempAcc = make([]metrics.Welford, m.n)
+	m.imbAcc = make([]metrics.Welford, tree.Height+1)
+	m.asleep = make([]int, m.n)
+	slo := cfg.SLO
+	if slo.Service <= 0 {
+		slo = queueing.SLO{Service: 1, Target: 10}
+	}
+	m.latency = queueing.NewTracker(slo)
+
+	// Snapshot base demands so the intensity profile can scale them
+	// in place each epoch without compounding.
+	if cfg.DemandProfile != nil {
+		m.baseMeans = make(map[*workload.App]float64)
+		for _, set := range placement.Sets {
+			for _, a := range set.Apps {
+				m.baseMeans[a] = a.Mean
+			}
+		}
+	}
+
+	if err := m.scheduleConfigFaults(); err != nil {
+		return nil, err
+	}
+	m.engine.Every(0, 1, m.tickBody)
+	return m, nil
+}
+
+// scheduleConfigFaults installs the Config's fault and sensor events
+// into the calendar, in the exact order Run always did.
+func (m *Machine) scheduleConfigFaults() error {
+	cfg, ctrl, tree := m.cfg, m.ctrl, m.tree
+	for _, f := range cfg.Failures {
+		f := f
+		if f.Server < 0 || f.Server >= m.n {
+			return fmt.Errorf("cluster: failure event for server %d out of range", f.Server)
+		}
+		m.engine.Schedule(sim.Tick(f.Tick), func(sim.Tick) { ctrl.FailServer(f.Server) })
+		if f.RepairTick > f.Tick {
+			m.engine.Schedule(sim.Tick(f.RepairTick), func(sim.Tick) { ctrl.RepairServer(f.Server) })
+		}
+	}
+	for _, f := range cfg.PMUFailures {
+		f := f
+		if f.Node < 0 || f.Node >= len(tree.Nodes) || tree.Nodes[f.Node].IsLeaf() {
+			return fmt.Errorf("cluster: PMU failure event for node %d is not an internal node", f.Node)
+		}
+		m.engine.Schedule(sim.Tick(f.Tick), func(sim.Tick) { ctrl.FailPMU(f.Node) })
+		if f.RepairTick > f.Tick {
+			m.engine.Schedule(sim.Tick(f.RepairTick), func(sim.Tick) { ctrl.RepairPMU(f.Node) })
+		}
+	}
+	if len(cfg.LossWindows) > 0 {
+		baseReport, baseBudget := m.baseReport, m.baseBudget
+		for _, w := range cfg.LossWindows {
+			w := w
+			if err := validLossWindow(w.Start, w.End, w.ReportLoss, w.BudgetLoss); err != nil {
+				return err
+			}
+			m.engine.Schedule(sim.Tick(w.Start), func(sim.Tick) {
+				ctrl.SetLinkLoss(w.ReportLoss, w.BudgetLoss)
+			})
+			m.engine.Schedule(sim.Tick(w.End), func(sim.Tick) {
+				ctrl.SetLinkLoss(baseReport, baseBudget)
+			})
+		}
+	}
+	if len(cfg.SensorFaults) > 0 {
+		m.attachSensors()
+		for _, f := range cfg.SensorFaults {
+			f := f
+			if err := m.validSensorFault(f.Server, f.Start, f.Magnitude); err != nil {
+				return err
+			}
+			m.engine.Schedule(sim.Tick(f.Start), func(sim.Tick) {
+				ctrl.SetSensorFault(f.Server, sensor.Fault{Mode: f.Mode, Magnitude: f.Magnitude})
+			})
+			if f.End > f.Start {
+				m.engine.Schedule(sim.Tick(f.End), func(sim.Tick) {
+					ctrl.ClearSensorFault(f.Server)
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// attachSensors gives every server an instrument with a private stream
+// forked in server order from a source derived from — but independent
+// of — the run seed, so sensor noise perturbs no simulation stream and
+// the corruption sequence is identical whether or not the estimator is
+// armed. Healthy instruments are bit-identical passthrough, so a lazy
+// attachment (first live fault injection) changes nothing retroactively.
+func (m *Machine) attachSensors() {
+	if m.sensorsAttached {
+		return
+	}
+	sensorSrc := dist.NewSource(m.cfg.Seed ^ sensorSeedSalt)
+	for i := 0; i < m.n; i++ {
+		m.ctrl.AttachSensor(i, sensor.New(sensorSrc.Fork()))
+	}
+	m.sensorsAttached = true
+}
+
+func validLossWindow(start, end int, reportLoss, budgetLoss float64) error {
+	if start < 0 || end <= start {
+		return fmt.Errorf("cluster: bad loss window [%d, %d)", start, end)
+	}
+	if reportLoss < 0 || reportLoss >= 1 || budgetLoss < 0 || budgetLoss >= 1 {
+		return fmt.Errorf("cluster: loss window probabilities outside [0, 1): report=%v budget=%v",
+			reportLoss, budgetLoss)
+	}
+	return nil
+}
+
+func (m *Machine) validSensorFault(server, start int, magnitude float64) error {
+	if server < 0 || server >= m.n {
+		return fmt.Errorf("cluster: sensor fault for server %d out of range", server)
+	}
+	if start < 0 {
+		return fmt.Errorf("cluster: sensor fault start %d before the run", start)
+	}
+	if math.IsNaN(magnitude) || math.IsInf(magnitude, 0) {
+		return fmt.Errorf("cluster: non-finite sensor fault magnitude %v", magnitude)
+	}
+	return nil
+}
+
+// tickBody is one demand tick Δ_D: the controller step plus every
+// per-tick measurement. It runs inside the engine so injected fault
+// events interleave exactly as they do offline.
+func (m *Machine) tickBody(now sim.Tick) {
+	cfg, ctrl, net, res := m.cfg, m.ctrl, m.net, m.res
+	if m.baseMeans != nil {
+		factor := cfg.DemandProfile.At(int(now) / ctrl.Cfg.Eta1)
+		if factor < 0 {
+			factor = 0
+		}
+		for a, base := range m.baseMeans {
+			a.Mean = base * factor
+		}
+	}
+	ctrl.Step()
+	for i, s := range ctrl.Servers {
+		net.RecordServerTraffic(i, s.Utilization())
+	}
+	if len(m.flows) > 0 {
+		net.RecordFlows(m.flows, m.location)
+	}
+	net.EndTick()
+	for _, s := range ctrl.Servers {
+		if s.Thermal.T > res.MaxTemp {
+			res.MaxTemp = s.Thermal.T
+		}
+		if s.TObs > res.MaxObsTemp {
+			res.MaxObsTemp = s.TObs
+		}
+		if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
+			res.LimitViolationTicks++
+		}
+	}
+	if int(now) < cfg.Warmup {
+		return
+	}
+	m.measured++
+	for i, s := range ctrl.Servers {
+		m.powerAcc[i].Add(s.Consumed)
+		m.tempAcc[i].Add(s.Thermal.T)
+		if s.Asleep {
+			m.asleep[i]++
+		}
+		res.TotalEnergy += s.Consumed
+	}
+	for level := 0; level <= m.tree.Height; level++ {
+		_, _, imb := ctrl.LevelImbalance(level)
+		m.imbAcc[level].Add(imb)
+	}
+	for _, s := range ctrl.Servers {
+		if s.Asleep {
+			continue
+		}
+		servedDyn := s.Consumed - s.Power.Static
+		if servedDyn < 0 {
+			servedDyn = 0
+		}
+		m.latency.Observe(s.Utilization(), servedDyn, s.Dropped)
+	}
+}
+
+// Step advances the simulation by one demand tick, executing every
+// calendar event scheduled for it (fault injections, then the tick
+// body) in the same order the offline Run executes them. It is a no-op
+// once the run is Done.
+func (m *Machine) Step() {
+	if m.Done() {
+		return
+	}
+	// Run's horizon semantics execute everything scheduled at this tick;
+	// errors are impossible because nothing calls Stop on this engine.
+	_ = m.engine.Run(sim.Tick(m.stepped))
+	m.stepped++
+}
+
+// Done reports whether every configured tick has executed.
+func (m *Machine) Done() bool { return m.stepped >= m.cfg.Ticks }
+
+// NextTick is the tick the next Step will execute — the boundary at
+// which live mutations land.
+func (m *Machine) NextTick() int { return m.stepped }
+
+// Config returns the run's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Controller exposes the live controller for read-only inspection
+// (state endpoints). Callers must not mutate it between ticks.
+func (m *Machine) Controller() *core.Controller { return m.ctrl }
+
+// SetSink retargets the caller-facing telemetry sink. The internal
+// migration observer keeps running regardless; nil silences external
+// publication (used while a snapshot replays).
+func (m *Machine) SetSink(s telemetry.Sink) { m.caller.s = s }
+
+// ScaleDemand multiplies the mean demand of every application currently
+// hosted on the given server by factor (server -1 scales the whole
+// fleet). With a DemandProfile configured, the profile's per-epoch
+// baselines scale too, so the injection survives the next epoch rescale.
+// Call only at a tick boundary (between Steps).
+func (m *Machine) ScaleDemand(server int, factor float64) error {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
+		return fmt.Errorf("cluster: demand factor %v must be finite and non-negative", factor)
+	}
+	if server < -1 || server >= m.n {
+		return fmt.Errorf("cluster: demand injection for server %d outside [-1, %d)", server, m.n)
+	}
+	scale := func(si int) {
+		for _, a := range m.ctrl.Servers[si].Apps.Apps {
+			a.Mean *= factor
+			if m.baseMeans != nil {
+				m.baseMeans[a] *= factor
+			}
+		}
+	}
+	if server >= 0 {
+		scale(server)
+		return nil
+	}
+	for si := 0; si < m.n; si++ {
+		scale(si)
+	}
+	return nil
+}
+
+// InjectPlan schedules an expanded chaos plan live, every event offset
+// by the given tick (normally NextTick). Events whose absolute tick
+// falls beyond the run horizon are dropped — a repair clamped to the
+// horizon never fires, same as at build time. Sensor faults attach
+// instruments on first use. The offset must not precede NextTick, or
+// the injection would rewrite already-executed ticks.
+func (m *Machine) InjectPlan(plan chaos.Plan, offset int) error {
+	if offset < m.stepped {
+		return fmt.Errorf("cluster: chaos offset %d before next tick %d", offset, m.stepped)
+	}
+	ctrl, tree := m.ctrl, m.tree
+	// Validate everything before scheduling anything: a half-applied
+	// plan would be unreplayable.
+	for _, f := range plan.ServerFailures {
+		if f.Server < 0 || f.Server >= m.n {
+			return fmt.Errorf("cluster: failure event for server %d out of range", f.Server)
+		}
+	}
+	for _, f := range plan.PMUFailures {
+		if f.Node < 0 || f.Node >= len(tree.Nodes) || tree.Nodes[f.Node].IsLeaf() {
+			return fmt.Errorf("cluster: PMU failure event for node %d is not an internal node", f.Node)
+		}
+	}
+	for _, w := range plan.LossWindows {
+		if err := validLossWindow(w.Start, w.End, w.ReportLoss, w.BudgetLoss); err != nil {
+			return err
+		}
+	}
+	for _, f := range plan.SensorFaults {
+		if err := m.validSensorFault(f.Server, f.Start, f.Magnitude); err != nil {
+			return err
+		}
+	}
+
+	horizon := m.cfg.Ticks
+	at := func(t int) (sim.Tick, bool) {
+		abs := offset + t
+		return sim.Tick(abs), abs < horizon
+	}
+	for _, f := range plan.ServerFailures {
+		f := f
+		if t, ok := at(f.Tick); ok {
+			m.engine.Schedule(t, func(sim.Tick) { ctrl.FailServer(f.Server) })
+		}
+		if f.RepairTick > f.Tick {
+			if t, ok := at(f.RepairTick); ok {
+				m.engine.Schedule(t, func(sim.Tick) { ctrl.RepairServer(f.Server) })
+			}
+		}
+	}
+	for _, f := range plan.PMUFailures {
+		f := f
+		if t, ok := at(f.Tick); ok {
+			m.engine.Schedule(t, func(sim.Tick) { ctrl.FailPMU(f.Node) })
+		}
+		if f.RepairTick > f.Tick {
+			if t, ok := at(f.RepairTick); ok {
+				m.engine.Schedule(t, func(sim.Tick) { ctrl.RepairPMU(f.Node) })
+			}
+		}
+	}
+	if len(plan.LossWindows) > 0 {
+		baseReport, baseBudget := m.baseReport, m.baseBudget
+		for _, w := range plan.LossWindows {
+			w := w
+			if t, ok := at(w.Start); ok {
+				m.engine.Schedule(t, func(sim.Tick) {
+					ctrl.SetLinkLoss(w.ReportLoss, w.BudgetLoss)
+				})
+			}
+			if t, ok := at(w.End); ok {
+				m.engine.Schedule(t, func(sim.Tick) {
+					ctrl.SetLinkLoss(baseReport, baseBudget)
+				})
+			}
+		}
+	}
+	if len(plan.SensorFaults) > 0 {
+		m.attachSensors()
+		for _, f := range plan.SensorFaults {
+			f := f
+			if t, ok := at(f.Start); ok {
+				m.engine.Schedule(t, func(sim.Tick) {
+					ctrl.SetSensorFault(f.Server, sensor.Fault{Mode: f.Mode, Magnitude: f.Magnitude})
+				})
+			}
+			if f.End > f.Start {
+				if t, ok := at(f.End); ok {
+					m.engine.Schedule(t, func(sim.Tick) {
+						ctrl.ClearSensorFault(f.Server)
+					})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Result computes the run's measurements from everything accumulated so
+// far. It is safe to call mid-run (per-server means cover the measured
+// window to date; zero measured ticks yield zeroed averages) and does
+// not mutate the machine, so a live daemon can serve it repeatedly.
+func (m *Machine) Result() *Result {
+	res := *m.res
+	res.MeanPower = make([]float64, m.n)
+	res.MeanTemp = make([]float64, m.n)
+	res.PowerSaved = make([]float64, m.n)
+	res.AsleepFraction = make([]float64, m.n)
+	for i := 0; i < m.n; i++ {
+		res.MeanPower[i] = m.powerAcc[i].Mean()
+		res.MeanTemp[i] = m.tempAcc[i].Mean()
+		if m.measured > 0 {
+			res.AsleepFraction[i] = float64(m.asleep[i]) / float64(m.measured)
+		}
+		res.PowerSaved[i] = m.models[i].Static * res.AsleepFraction[i]
+	}
+	res.DemandMigrations = m.ctrl.Stats.DemandMigrations
+	res.ConsolidationMigrations = m.ctrl.Stats.ConsolidationMigrations
+	res.MigrationShare = m.net.MigrationTrafficShare()
+	res.SwitchPower = m.net.LevelSwitchPower(1)
+	res.SwitchMigrationTraffic = m.net.LevelMigrationTraffic(1)
+	res.DroppedWattTicks = m.ctrl.Stats.DroppedWattTicks
+	res.Stats = m.ctrl.Stats
+	res.MeanFlowHops = m.net.MeanFlowHops()
+	res.MeanImbalance = make([]float64, len(m.imbAcc))
+	for level := range m.imbAcc {
+		res.MeanImbalance[level] = m.imbAcc[level].Mean()
+	}
+	res.MeanStretch = m.latency.MeanStretch()
+	res.StretchP95 = m.latency.StretchQuantile(0.95)
+	res.SLOMissFraction = m.latency.SLOMissFraction()
+	return &res
+}
+
+// RunContext executes the configured simulation to completion, checking
+// ctx between ticks: a cancelled context stops the run at the next tick
+// boundary and returns ctx's error, leaving any caller-owned sink in a
+// flushable state (nothing is written mid-event). This is the
+// cancellation path the CLIs use so an interrupted run still closes its
+// event stream cleanly instead of truncating it.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for !m.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m.Step()
+	}
+	return m.Result(), nil
+}

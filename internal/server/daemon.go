@@ -1,0 +1,536 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"willow/internal/chaos"
+	"willow/internal/cluster"
+	"willow/internal/core"
+	"willow/internal/sensor"
+	"willow/internal/telemetry"
+)
+
+// SnapshotVersion is the wire version of the snapshot format; Restore
+// rejects anything else.
+const SnapshotVersion = 1
+
+// Mutation is one live change accepted over the API, journaled so a
+// snapshot can replay it. Tick is the boundary it landed on (the
+// machine's NextTick at acceptance); replay applies it at exactly that
+// boundary, which reproduces the run bit for bit.
+type Mutation struct {
+	Tick int    `json:"tick"`
+	Kind string `json:"kind"` // "demand" or "chaos"
+
+	// demand: scale the apps on Server (-1 = fleet) by Factor.
+	Server int     `json:"server,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+
+	// chaos: expand Spec with Seed over the remaining horizon; Sensor
+	// selects the sensor-fault spec syntax instead of the full one.
+	Spec   string `json:"spec,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Sensor bool   `json:"sensor,omitempty"`
+}
+
+// Snapshot is the daemon's complete serializable state: the build
+// spec, the tick reached, and every mutation accepted along the way.
+// Restoring replays the journal against a freshly built machine —
+// event-sourced, so no controller internals ever hit the wire and the
+// restored state is identical by construction.
+type Snapshot struct {
+	Version int        `json:"version"`
+	Spec    Spec       `json:"spec"`
+	Tick    int        `json:"tick"`
+	Journal []Mutation `json:"journal,omitempty"`
+}
+
+// WriteFile atomically writes the snapshot as JSON.
+func (s Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSnapshot loads a snapshot written by WriteFile (or by hand).
+func ReadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("server: bad snapshot %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// Daemon is a live Willow run: one cluster.Machine advanced by a
+// single driver (Run or Step), mutated and inspected by any number of
+// concurrent API handlers. One mutex serializes everything that
+// touches the machine, so every mutation lands at a tick boundary and
+// every read sees a consistent between-ticks state. Telemetry leaves
+// the lock through the Hub (bounded, non-blocking) and optionally
+// through a lossless caller sink (SetSink).
+type Daemon struct {
+	mu      sync.Mutex
+	spec    Spec
+	m       *cluster.Machine
+	journal []Mutation
+	sink    telemetry.Sink // lossless, publishes under mu; may be nil
+	hub     *Hub
+	started time.Time
+}
+
+// New builds a daemon from a spec, at tick 0 with an empty journal.
+func New(spec Spec) (*Daemon, error) {
+	cfg, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := cluster.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{spec: spec, m: m, hub: NewHub(), started: time.Now()}
+	m.SetSink(telemetry.SinkFunc(d.publish))
+	return d, nil
+}
+
+// Restore rebuilds a daemon from a snapshot: a fresh machine from the
+// spec, fast-forwarded to the snapshot tick with every journaled
+// mutation replayed at its original boundary. Telemetry is silenced
+// during replay (those events were already published by the previous
+// incarnation); the hub and sink see only post-restore ticks.
+func Restore(snap Snapshot) (*Daemon, error) {
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("server: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	cfg, err := snap.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if snap.Tick < 0 || snap.Tick > cfg.Ticks {
+		return nil, fmt.Errorf("server: snapshot tick %d outside [0, %d]", snap.Tick, cfg.Ticks)
+	}
+	prev := -1
+	for i, mut := range snap.Journal {
+		if mut.Tick < prev || mut.Tick > snap.Tick {
+			return nil, fmt.Errorf("server: journal entry %d at tick %d breaks ordering (prev %d, snapshot %d)",
+				i, mut.Tick, prev, snap.Tick)
+		}
+		prev = mut.Tick
+	}
+	m, err := cluster.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ji := 0
+	replay := func() error {
+		for ji < len(snap.Journal) && snap.Journal[ji].Tick == m.NextTick() {
+			if err := applyMutation(m, snap.Journal[ji]); err != nil {
+				return fmt.Errorf("server: replaying journal entry %d: %w", ji, err)
+			}
+			ji++
+		}
+		return nil
+	}
+	for m.NextTick() < snap.Tick {
+		if err := replay(); err != nil {
+			return nil, err
+		}
+		m.Step()
+	}
+	// Mutations accepted at the snapshot boundary itself land before
+	// the next tick runs, exactly as they did live.
+	if err := replay(); err != nil {
+		return nil, err
+	}
+	if ji != len(snap.Journal) {
+		return nil, fmt.Errorf("server: %d journal entries beyond snapshot tick %d", len(snap.Journal)-ji, snap.Tick)
+	}
+	d := &Daemon{
+		spec:    snap.Spec,
+		m:       m,
+		journal: append([]Mutation(nil), snap.Journal...),
+		hub:     NewHub(),
+		started: time.Now(),
+	}
+	m.SetSink(telemetry.SinkFunc(d.publish))
+	return d, nil
+}
+
+// publish is the machine's telemetry sink: lossless caller sink first
+// (same order FileSink sees offline), then the lossy hub. Always
+// called with d.mu held, because the machine only publishes inside
+// Step.
+func (d *Daemon) publish(e telemetry.Event) {
+	if d.sink != nil {
+		d.sink.Publish(e)
+	}
+	d.hub.Publish(e)
+}
+
+// SetSink attaches a lossless telemetry sink (e.g. a FileSink). It
+// receives every event from the next tick on, published under the
+// tick lock in exact decision order. Pass nil to detach.
+func (d *Daemon) SetSink(s telemetry.Sink) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sink = s
+}
+
+// Hub returns the daemon's fan-out hub for event subscriptions.
+func (d *Daemon) Hub() *Hub { return d.hub }
+
+// Spec returns the build spec.
+func (d *Daemon) Spec() Spec { return d.spec }
+
+// NextTick is the tick boundary the daemon currently rests at.
+func (d *Daemon) NextTick() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.NextTick()
+}
+
+// Done reports whether every configured tick has run.
+func (d *Daemon) Done() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.Done()
+}
+
+// Step advances one tick and reports whether the run is now done.
+func (d *Daemon) Step() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m.Step()
+	return d.m.Done()
+}
+
+// StepN advances up to n ticks (stopping early at run completion).
+func (d *Daemon) StepN(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n && !d.m.Done(); i++ {
+		d.m.Step()
+	}
+}
+
+// Run drives the machine to completion: one tick per tickEvery of wall
+// clock, or flat out when tickEvery <= 0 (fast-forward — byte-identical
+// to the offline simulator). It returns nil when the configured ticks
+// have all run, or the context error if cancelled first; either way the
+// machine rests at a clean tick boundary, so a final snapshot is always
+// consistent. Only one Run (or Step/StepN caller) may drive a daemon at
+// a time.
+func (d *Daemon) Run(ctx context.Context, tickEvery time.Duration) error {
+	if tickEvery <= 0 {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if d.Step() {
+				return nil
+			}
+		}
+	}
+	tk := time.NewTicker(tickEvery)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tk.C:
+			if d.Step() {
+				return nil
+			}
+		}
+	}
+}
+
+// ScaleDemand multiplies the mean demand of every application on the
+// given server (-1 = whole fleet) by factor, journaling the mutation.
+// It lands at the current tick boundary.
+func (d *Daemon) ScaleDemand(server int, factor float64) (tick int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.m.ScaleDemand(server, factor); err != nil {
+		return 0, err
+	}
+	tick = d.m.NextTick()
+	d.journal = append(d.journal, Mutation{Tick: tick, Kind: "demand", Server: server, Factor: factor})
+	return tick, nil
+}
+
+// InjectChaos expands a chaos spec (sensorOnly selects sensor.ParseSpec
+// syntax) over the remaining horizon with the given seed and schedules
+// it from the current tick boundary, journaling the mutation. Seed 0
+// derives from the run seed, resolved before journaling so replay needs
+// no convention.
+func (d *Daemon) InjectChaos(spec string, seed uint64, sensorOnly bool) (chaos.Plan, int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if seed == 0 {
+		seed = d.spec.Seed
+	}
+	plan, err := injectChaos(d.m, spec, seed, sensorOnly)
+	if err != nil {
+		return chaos.Plan{}, 0, err
+	}
+	tick := d.m.NextTick()
+	d.journal = append(d.journal, Mutation{Tick: tick, Kind: "chaos", Spec: spec, Seed: seed, Sensor: sensorOnly})
+	return plan, tick, nil
+}
+
+// injectChaos expands spec against the machine's remaining horizon and
+// schedules the plan at the machine's current boundary. Pure function
+// of (machine tick, spec, seed), which is what makes the journal
+// replayable.
+func injectChaos(m *cluster.Machine, spec string, seed uint64, sensorOnly bool) (chaos.Plan, error) {
+	cfg := m.Config()
+	tick := m.NextTick()
+	horizon := cfg.Ticks - tick
+	if horizon <= 0 {
+		return chaos.Plan{}, fmt.Errorf("server: run complete, no horizon left for chaos")
+	}
+	var sched chaos.Schedule
+	if sensorOnly {
+		sp, err := sensor.ParseSpec(spec)
+		if err != nil {
+			return chaos.Plan{}, err
+		}
+		sched = chaos.Schedule{
+			SensorMTBF: sp.MTBF, SensorMTTR: sp.MTTR,
+			SensorNoise: sp.Noise, SensorBias: sp.Bias, SensorDrift: sp.Drift,
+			SensorStuck: sp.Stuck, SensorDropout: sp.Dropout,
+		}
+	} else {
+		var err error
+		sched, err = chaos.ParseSpec(spec)
+		if err != nil {
+			return chaos.Plan{}, err
+		}
+	}
+	sched.Ticks = horizon
+	var err error
+	sched.Servers, sched.PMUs, sched.Racks, err = cluster.ChaosTopology(cfg.Fanout)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	plan, err := sched.Expand(seed)
+	if err != nil {
+		return chaos.Plan{}, err
+	}
+	if err := m.InjectPlan(plan, tick); err != nil {
+		return chaos.Plan{}, err
+	}
+	return plan, nil
+}
+
+func applyMutation(m *cluster.Machine, mut Mutation) error {
+	switch mut.Kind {
+	case "demand":
+		return m.ScaleDemand(mut.Server, mut.Factor)
+	case "chaos":
+		_, err := injectChaos(m, mut.Spec, mut.Seed, mut.Sensor)
+		return err
+	default:
+		return fmt.Errorf("server: unknown mutation kind %q", mut.Kind)
+	}
+}
+
+// Snapshot captures the daemon's state at the current tick boundary.
+// Safe to call at any time; it waits for an in-flight tick to finish.
+func (d *Daemon) Snapshot() Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Snapshot{
+		Version: SnapshotVersion,
+		Spec:    d.spec,
+		Tick:    d.m.NextTick(),
+		Journal: append([]Mutation(nil), d.journal...),
+	}
+}
+
+// Result computes the run's measurements so far (see cluster.Result).
+func (d *Daemon) Result() *cluster.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m.Result()
+}
+
+// Close shuts the hub down, terminating every event subscription. The
+// machine itself needs no teardown.
+func (d *Daemon) Close() { d.hub.Close() }
+
+// ServerState is one server's between-ticks control state.
+type ServerState struct {
+	Server int `json:"server"`
+	// CP is smoothed reported demand, TP the granted budget, Consumed
+	// the power actually drawn, Dropped the demand shed this tick.
+	CP       float64 `json:"cp"`
+	TP       float64 `json:"tp"`
+	Consumed float64 `json:"consumed"`
+	Dropped  float64 `json:"dropped,omitempty"`
+	// Demand is the raw (pre-smoothing) offered demand.
+	Demand float64 `json:"demand"`
+	// Temp is the true physical temperature; TObs what the sensing path
+	// reported to the controller (they diverge under sensor faults).
+	Temp float64 `json:"temp"`
+	TObs float64 `json:"tobs"`
+	Apps int     `json:"apps"`
+	// Asleep, Degraded (expired budget lease), Failed (crashed).
+	Asleep   bool `json:"asleep,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	Failed   bool `json:"failed,omitempty"`
+}
+
+// State is the /v1/state payload: the whole control hierarchy at the
+// current tick boundary.
+type State struct {
+	Tick    int     `json:"tick"`
+	Ticks   int     `json:"ticks"`
+	Done    bool    `json:"done"`
+	Servers int     `json:"num_servers"`
+	Supply  float64 `json:"supply"`
+
+	ServerStates []ServerState   `json:"servers"`
+	PMUs         []core.NodeView `json:"pmus"`
+
+	Degraded   int `json:"degraded"`
+	FailedPMUs int `json:"failed_pmus"`
+}
+
+// State reads the full hierarchy state at the current tick boundary.
+func (d *Daemon) State() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctrl := d.m.Controller()
+	tick := d.m.NextTick()
+	st := State{
+		Tick:       tick,
+		Ticks:      d.m.Config().Ticks,
+		Done:       d.m.Done(),
+		Servers:    len(ctrl.Servers),
+		Supply:     ctrl.Supply.At(tick / ctrl.Cfg.Eta1),
+		PMUs:       ctrl.PMUViews(),
+		Degraded:   ctrl.DegradedCount(),
+		FailedPMUs: ctrl.FailedPMUCount(),
+	}
+	st.ServerStates = make([]ServerState, len(ctrl.Servers))
+	for i, s := range ctrl.Servers {
+		st.ServerStates[i] = ServerState{
+			Server:   i,
+			CP:       s.CP,
+			TP:       s.TP,
+			Consumed: s.Consumed,
+			Dropped:  s.Dropped,
+			Demand:   s.RawDemand,
+			Temp:     s.Thermal.T,
+			TObs:     s.TObs,
+			Apps:     len(s.Apps.Apps),
+			Asleep:   s.Asleep,
+			Degraded: s.Degraded,
+			Failed:   s.Failed(),
+		}
+	}
+	return st
+}
+
+// StatsView is the /v1/stats payload: run counters without the
+// unbounded per-migration log (a long-lived daemon would make that
+// payload grow without limit).
+type StatsView struct {
+	Tick   int     `json:"tick"`
+	Ticks  int     `json:"ticks"`
+	Done   bool    `json:"done"`
+	Uptime float64 `json:"uptime_seconds"`
+
+	TotalEnergy      float64 `json:"total_energy"`
+	DroppedWattTicks float64 `json:"dropped_watt_ticks"`
+	MaxTemp          float64 `json:"max_temp"`
+	MaxObsTemp       float64 `json:"max_obs_temp,omitempty"`
+	LimitViolations  int     `json:"limit_violation_ticks"`
+
+	DemandMigrations        int     `json:"demand_migrations"`
+	ConsolidationMigrations int     `json:"consolidation_migrations"`
+	LocalMigrations         int     `json:"local_migrations"`
+	MigrationShare          float64 `json:"migration_share"`
+	PingPongs               int     `json:"ping_pongs"`
+	Wakes                   int     `json:"wakes"`
+
+	Failures       int   `json:"failures,omitempty"`
+	Repairs        int   `json:"repairs,omitempty"`
+	Restarts       int   `json:"restarts,omitempty"`
+	PMUFailures    int   `json:"pmu_failures,omitempty"`
+	PMURepairs     int   `json:"pmu_repairs,omitempty"`
+	LeaseExpiries  int   `json:"lease_expiries,omitempty"`
+	DegradedTicks  int64 `json:"degraded_ticks,omitempty"`
+	SensorFaults   int   `json:"sensor_faults,omitempty"`
+	SensorRejected int   `json:"sensor_rejected,omitempty"`
+
+	MeanStretch     float64 `json:"mean_stretch"`
+	SLOMissFraction float64 `json:"slo_miss_fraction"`
+
+	EventsPublished int64 `json:"events_published"`
+	EventsDropped   int64 `json:"events_dropped"`
+	Subscribers     int   `json:"subscribers"`
+	JournalLen      int   `json:"journal_len"`
+}
+
+// Stats summarizes the run so far for /v1/stats.
+func (d *Daemon) Stats() StatsView {
+	d.mu.Lock()
+	res := d.m.Result()
+	tick := d.m.NextTick()
+	ticks := d.m.Config().Ticks
+	done := d.m.Done()
+	journal := len(d.journal)
+	started := d.started
+	d.mu.Unlock()
+
+	published, dropped, subs := d.hub.Stats()
+	return StatsView{
+		Tick: tick, Ticks: ticks, Done: done,
+		Uptime:           time.Since(started).Seconds(),
+		TotalEnergy:      res.TotalEnergy,
+		DroppedWattTicks: res.DroppedWattTicks,
+		MaxTemp:          res.MaxTemp,
+		MaxObsTemp:       res.MaxObsTemp,
+		LimitViolations:  res.LimitViolationTicks,
+
+		DemandMigrations:        res.DemandMigrations,
+		ConsolidationMigrations: res.ConsolidationMigrations,
+		LocalMigrations:         res.Stats.LocalMigrations,
+		MigrationShare:          res.MigrationShare,
+		PingPongs:               res.Stats.PingPongs,
+		Wakes:                   res.Stats.Wakes,
+
+		Failures: res.Stats.Failures, Repairs: res.Stats.Repairs, Restarts: res.Stats.Restarts,
+		PMUFailures: res.Stats.PMUFailures, PMURepairs: res.Stats.PMURepairs,
+		LeaseExpiries:  res.Stats.LeaseExpiries,
+		DegradedTicks:  res.Stats.DegradedTicks,
+		SensorFaults:   res.Stats.SensorFaults,
+		SensorRejected: res.Stats.SensorRejected,
+
+		MeanStretch:     res.MeanStretch,
+		SLOMissFraction: res.SLOMissFraction,
+
+		EventsPublished: published,
+		EventsDropped:   dropped,
+		Subscribers:     subs,
+		JournalLen:      journal,
+	}
+}

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"willow/internal/cluster"
+	"willow/internal/telemetry"
+)
+
+// testSpec is small enough to step thousands of ticks in tests but
+// big enough to exercise the full hierarchy (3 levels, 6 servers).
+func testSpec() Spec {
+	return Spec{
+		Util:   0.6,
+		Fanout: []int{2, 3},
+		Ticks:  200,
+		Warmup: 50,
+		Seed:   42,
+		Supply: "sine",
+	}
+}
+
+func encodeStream(t *testing.T, events []telemetry.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, e := range events {
+		line, err := telemetry.Encode(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// sameResult compares run measurements with Config zeroed (it carries
+// the non-comparable Sink).
+func sameResult(t *testing.T, a, b *cluster.Result, label string) {
+	t.Helper()
+	ca, cb := *a, *b
+	ca.Config, cb.Config = cluster.Config{}, cluster.Config{}
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("%s: results differ", label)
+	}
+}
+
+// TestFastForwardMatchesOfflineRun is the determinism pin: a daemon in
+// fast-forward produces the byte-identical event stream and the same
+// Result as the offline cluster.Run on the same parameters — the live
+// control plane and the batch simulator are one code path.
+func TestFastForwardMatchesOfflineRun(t *testing.T) {
+	for _, chaosSpec := range []string{"", "light"} {
+		spec := testSpec()
+		spec.Chaos = chaosSpec
+		spec.LeaseTicks = 0
+
+		cfg, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var offline telemetry.Buffer
+		cfg.Sink = &offline
+		resOffline, err := cluster.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var live telemetry.Buffer
+		d.SetSink(&live)
+		if err := d.Run(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		resLive := d.Result()
+
+		offBytes := encodeStream(t, offline.Events)
+		liveBytes := encodeStream(t, live.Events)
+		if !bytes.Equal(offBytes, liveBytes) {
+			t.Fatalf("chaos=%q: daemon event stream diverges from offline run (%d vs %d bytes)",
+				chaosSpec, len(liveBytes), len(offBytes))
+		}
+		if len(offline.Events) == 0 {
+			t.Fatalf("chaos=%q: offline run published no events", chaosSpec)
+		}
+		sameResult(t, resOffline, resLive, "fast-forward vs offline")
+	}
+}
+
+// TestSnapshotRestoreRoundTrip mutates a live run (demand scaling,
+// live chaos), snapshots it mid-flight, and asserts the restored
+// daemon is indistinguishable: identical state at the boundary,
+// identical next-tick state, and a byte-identical event stream to
+// completion.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	spec := testSpec()
+	spec.LeaseTicks = 8 // live PMU chaos needs leases armed at boot
+
+	d, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StepN(50)
+	if _, err := d.ScaleDemand(3, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	d.StepN(10)
+	if _, _, err := d.InjectChaos("light", 99, false); err != nil {
+		t.Fatal(err)
+	}
+	d.StepN(20)
+	// A mutation at the snapshot boundary itself must replay too.
+	if _, err := d.ScaleDemand(-1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if snap.Tick != 80 || len(snap.Journal) != 3 {
+		t.Fatalf("snapshot at tick %d with %d journal entries, want 80 with 3", snap.Tick, len(snap.Journal))
+	}
+
+	// Round-trip through JSON: what the API serves is what restores.
+	wire, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compareState := func(label string) {
+		t.Helper()
+		sd, _ := json.Marshal(d.State())
+		sr, _ := json.Marshal(r.State())
+		if !bytes.Equal(sd, sr) {
+			t.Fatalf("%s: state diverges\nlive:     %s\nrestored: %s", label, sd, sr)
+		}
+	}
+	compareState("at snapshot boundary")
+
+	d.StepN(1)
+	r.StepN(1)
+	compareState("one tick after restore")
+
+	var liveTail, restoredTail telemetry.Buffer
+	d.SetSink(&liveTail)
+	r.SetSink(&restoredTail)
+	if err := d.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeStream(t, liveTail.Events), encodeStream(t, restoredTail.Events)) {
+		t.Fatalf("post-restore event streams diverge")
+	}
+	sameResult(t, d.Result(), r.Result(), "restored run completion")
+}
+
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	base := func() Snapshot {
+		return Snapshot{Version: SnapshotVersion, Spec: testSpec(), Tick: 10}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Snapshot)
+	}{
+		{"wrong version", func(s *Snapshot) { s.Version = 99 }},
+		{"tick beyond horizon", func(s *Snapshot) { s.Tick = 10_000 }},
+		{"negative tick", func(s *Snapshot) { s.Tick = -1 }},
+		{"journal out of order", func(s *Snapshot) {
+			s.Journal = []Mutation{
+				{Tick: 5, Kind: "demand", Server: -1, Factor: 1.1},
+				{Tick: 3, Kind: "demand", Server: -1, Factor: 1.1},
+			}
+		}},
+		{"journal beyond tick", func(s *Snapshot) {
+			s.Journal = []Mutation{{Tick: 11, Kind: "demand", Server: -1, Factor: 1.1}}
+		}},
+		{"unknown mutation kind", func(s *Snapshot) {
+			s.Journal = []Mutation{{Tick: 2, Kind: "meteor"}}
+		}},
+		{"bad spec", func(s *Snapshot) { s.Spec.Util = 0 }},
+	}
+	for _, tc := range cases {
+		snap := base()
+		tc.mut(&snap)
+		if _, err := Restore(snap); err == nil {
+			t.Errorf("%s: Restore accepted a bad snapshot", tc.name)
+		}
+	}
+}
+
+func TestScaleDemandValidation(t *testing.T) {
+	d, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		server int
+		factor float64
+	}{
+		{99, 1.0}, {-2, 1.0}, {0, -1.0},
+	} {
+		if _, err := d.ScaleDemand(tc.server, tc.factor); err == nil {
+			t.Errorf("ScaleDemand(%d, %v) accepted", tc.server, tc.factor)
+		}
+	}
+	if len(d.Snapshot().Journal) != 0 {
+		t.Fatalf("rejected mutations were journaled")
+	}
+	if _, err := d.ScaleDemand(-1, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Snapshot().Journal); got != 1 {
+		t.Fatalf("journal has %d entries, want 1", got)
+	}
+}
+
+func TestInjectChaosTakesEffect(t *testing.T) {
+	spec := testSpec()
+	spec.LeaseTicks = 8
+	d, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StepN(20)
+	plan, tick, err := d.InjectChaos("heavy", 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick != 20 {
+		t.Fatalf("injected at tick %d, want 20", tick)
+	}
+	if plan.Events() == 0 {
+		t.Fatalf("heavy chaos expanded to an empty plan")
+	}
+	if err := d.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.Failures == 0 && st.PMUFailures == 0 {
+		t.Fatalf("live chaos injected but no failures happened (plan had %d events)", plan.Events())
+	}
+
+	// Horizon exhausted: no more chaos.
+	if _, _, err := d.InjectChaos("light", 1, false); err == nil {
+		t.Fatalf("InjectChaos accepted after run completion")
+	}
+}
+
+func TestInjectSensorChaosLive(t *testing.T) {
+	spec := testSpec()
+	spec.Sensing = true
+	d, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StepN(10)
+	plan, _, err := d.InjectChaos("heavy", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.SensorFaults) == 0 {
+		t.Fatalf("heavy sensor spec expanded to no fault windows")
+	}
+	if len(plan.ServerFailures)+len(plan.PMUFailures)+len(plan.LossWindows) != 0 {
+		t.Fatalf("sensor-only injection produced non-sensor faults")
+	}
+	if err := d.Run(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.SensorFaults == 0 {
+		t.Fatalf("sensor chaos injected but no faults recorded")
+	}
+}
+
+func TestHubBoundedFanout(t *testing.T) {
+	h := NewHub()
+	fast := h.Subscribe(16)
+	slow := h.Subscribe(2)
+	for i := 0; i < 5; i++ {
+		h.Publish(telemetry.Event{Tick: i, Kind: telemetry.KindBudgetChange})
+	}
+	published, dropped, subs := h.Stats()
+	if published != 5 || subs != 2 {
+		t.Fatalf("published=%d subs=%d, want 5 and 2", published, subs)
+	}
+	if dropped != 3 || h.Dropped(slow) != 3 {
+		t.Fatalf("dropped=%d (slow %d), want 3 for the buffer-2 subscriber", dropped, h.Dropped(slow))
+	}
+	if len(fast.C) != 5 || len(slow.C) != 2 {
+		t.Fatalf("buffers hold %d and %d, want 5 and 2", len(fast.C), len(slow.C))
+	}
+	if (<-slow.C).Tick != 0 {
+		t.Fatalf("slow subscriber lost the oldest event instead of the newest")
+	}
+
+	h.Unsubscribe(slow)
+	h.Unsubscribe(slow) // idempotent
+	for range slow.C {  // buffered events drain, then the channel closes
+	}
+
+	h.Close()
+	h.Close() // idempotent
+	for range fast.C {
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatalf("Done not closed after Close")
+	}
+	late := h.Subscribe(4)
+	if _, ok := <-late.C; ok {
+		t.Fatalf("subscription on a closed hub delivered an event")
+	}
+	h.Publish(telemetry.Event{}) // no-op, must not panic
+}
+
+// TestSlowSubscriberNeverStallsTicks pins the hub's core guarantee:
+// a subscriber that never reads cannot block the tick loop.
+func TestSlowSubscriberNeverStallsTicks(t *testing.T) {
+	d, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := d.Hub().Subscribe(1)
+	defer d.Hub().Unsubscribe(stuck)
+	if err := d.Run(context.Background(), 0); err != nil { // would deadlock if Publish blocked
+		t.Fatal(err)
+	}
+	if !d.Done() {
+		t.Fatalf("run did not complete")
+	}
+	if d.Hub().Dropped(stuck) == 0 {
+		t.Fatalf("stuck subscriber dropped nothing — publish must have blocked somewhere")
+	}
+}
+
+func TestSpecBuildValidation(t *testing.T) {
+	bad := []Spec{
+		{Util: 0.5, Fanout: []int{2, 0}, Ticks: 100, Supply: "constant"},
+		{Util: 0.5, Fanout: []int{2, 3}, Ticks: 100, Supply: "fusion-reactor"},
+		{Util: 0.5, Fanout: []int{2, 3}, Ticks: 100, Chaos: "no-such-preset"},
+	}
+	for i, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("spec %d built despite invalid field", i)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	d, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.StepN(30)
+	if _, err := d.ScaleDemand(0, 1.3); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	path := t.TempDir() + "/snap.json"
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, loaded) {
+		t.Fatalf("snapshot file round-trip changed the snapshot")
+	}
+	if _, err := Restore(loaded); err != nil {
+		t.Fatal(err)
+	}
+}

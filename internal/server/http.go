@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"willow/internal/telemetry"
+)
+
+// NewHandler exposes a daemon over HTTP/JSON:
+//
+//	GET  /healthz      liveness + current tick
+//	GET  /v1/state     full hierarchy state at the tick boundary
+//	GET  /v1/stats     run counters, hub stats, journal length
+//	POST /v1/demand    {"server": -1, "factor": 1.5} scale demand
+//	POST /v1/chaos     {"spec": "medium", "seed": 7, "sensor": false}
+//	POST /v1/snapshot  returns the full snapshot JSON
+//	GET  /v1/events    telemetry stream, JSONL (or SSE with
+//	                   Accept: text/event-stream); ?kinds=budget,...
+//	                   filters; ?buffer=N sizes the subscription
+//
+// Handlers are safe for unbounded concurrency: reads and mutations
+// serialize on the daemon's tick lock (so they always see and land on
+// tick boundaries), and the events stream runs entirely off the hub,
+// never touching the lock.
+func NewHandler(d *Daemon) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "tick": d.NextTick()})
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.State())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Stats())
+	})
+	mux.HandleFunc("POST /v1/demand", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Server *int    `json:"server"`
+			Factor float64 `json:"factor"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		server := -1
+		if req.Server != nil {
+			server = *req.Server
+		}
+		tick, err := d.ScaleDemand(server, req.Factor)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"tick": tick, "server": server, "factor": req.Factor})
+	})
+	mux.HandleFunc("POST /v1/chaos", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Spec   string `json:"spec"`
+			Seed   uint64 `json:"seed"`
+			Sensor bool   `json:"sensor"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		plan, tick, err := d.InjectChaos(req.Spec, req.Seed, req.Sensor)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tick":            tick,
+			"server_failures": len(plan.ServerFailures),
+			"pmu_failures":    len(plan.PMUFailures),
+			"loss_windows":    len(plan.LossWindows),
+			"sensor_faults":   len(plan.SensorFaults),
+		})
+	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Snapshot())
+	})
+	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(d, w, r)
+	})
+	return mux
+}
+
+// serveEvents streams telemetry to one subscriber until the client
+// disconnects or the hub shuts down. The subscription buffer bounds
+// what a slow client costs: overflow drops events for this stream only
+// and the tick loop never blocks.
+func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	keep := telemetry.AllKinds
+	if q := r.URL.Query().Get("kinds"); q != "" {
+		var err error
+		if keep, err = telemetry.ParseKindSet(q); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	buffer := 1024
+	if q := r.URL.Query().Get("buffer"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 || v > 1<<20 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad buffer %q", q))
+			return
+		}
+		buffer = v
+	}
+	sse := r.Header.Get("Accept") == "text/event-stream"
+
+	sub := d.Hub().Subscribe(buffer)
+	defer d.Hub().Unsubscribe(sub)
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers so clients see the stream open
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-d.Hub().Done():
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if !keep.Has(ev.Kind) {
+				continue
+			}
+			line, err := telemetry.Encode(ev)
+			if err != nil {
+				continue
+			}
+			if sse {
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+					return
+				}
+			} else {
+				if _, err := w.Write(append(line, '\n')); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"sync"
+
+	"willow/internal/telemetry"
+)
+
+// Hub fans the daemon's telemetry stream out to any number of
+// subscribers with strictly bounded buffering: Publish never blocks,
+// so a slow or stuck subscriber (an SSE client on a bad link) can
+// never stall the tick loop. Overflow drops the event for that
+// subscriber only and counts it — lossy by design; consumers that need
+// the complete stream attach a lossless sink to the daemon instead
+// (Daemon.SetSink), which publishes under the tick lock.
+type Hub struct {
+	mu        sync.Mutex
+	subs      map[*Subscription]struct{}
+	published int64
+	dropped   int64
+	closed    bool
+	done      chan struct{}
+}
+
+// Subscription is one subscriber's bounded event feed. Receive from C
+// until it closes (hub shut down or Unsubscribe called).
+type Subscription struct {
+	// C delivers events in publication order. It is closed when the
+	// subscription ends; a nil read is never sent.
+	C chan telemetry.Event
+	// dropped counts events this subscriber missed (guarded by hub.mu).
+	dropped int64
+}
+
+// NewHub returns an empty hub ready for subscribers.
+func NewHub() *Hub {
+	return &Hub{subs: map[*Subscription]struct{}{}, done: make(chan struct{})}
+}
+
+// Publish implements telemetry.Sink: deliver to every subscriber whose
+// buffer has room, count a drop for the rest, never block. Safe for
+// concurrent use with Subscribe/Unsubscribe/Close; a publish after
+// Close is a silent no-op.
+func (h *Hub) Publish(e telemetry.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.published++
+	for s := range h.subs {
+		select {
+		case s.C <- e:
+		default:
+			s.dropped++
+			h.dropped++
+		}
+	}
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (minimum 1). On a closed hub it returns an already-closed
+// subscription, so stream handlers racing shutdown terminate cleanly.
+func (h *Hub) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscription{C: make(chan telemetry.Event, buffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(s.C)
+		return s
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe removes the subscriber and closes its channel. Calling
+// it twice, or after Close, is harmless.
+func (h *Hub) Unsubscribe(s *Subscription) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; !ok {
+		return
+	}
+	delete(h.subs, s)
+	close(s.C)
+}
+
+// Dropped returns how many events this subscriber's buffer overflowed.
+func (h *Hub) Dropped(s *Subscription) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return s.dropped
+}
+
+// Close terminates every subscription and rejects future publishes.
+// Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	close(h.done)
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.C)
+	}
+}
+
+// Done returns a channel closed when the hub shuts down, for stream
+// handlers to select on alongside their request context.
+func (h *Hub) Done() <-chan struct{} { return h.done }
+
+// Stats returns the hub's lifetime counters and current subscriber
+// count.
+func (h *Hub) Stats() (published, dropped int64, subscribers int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published, h.dropped, len(h.subs)
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"willow/internal/dist"
+	"willow/internal/metrics"
+)
+
+// LoadOptions configures a load-generation run against a live daemon.
+type LoadOptions struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of concurrent generator goroutines
+	// (default 8); Requests the total request count split across them
+	// (default 1000).
+	Clients  int
+	Requests int
+	// Seed drives each client's request pattern (paths, demand
+	// factors) via forked deterministic streams — wall-clock latencies
+	// vary, the request mix does not.
+	Seed uint64
+	// DemandFraction is the probability a request is a POST /v1/demand
+	// with a factor jittered in [0.95, 1.05] (default 0.05). The
+	// jitter is mean-neutral, so hammering the API nudges but never
+	// runs away with the simulated demand.
+	DemandFraction float64
+	// Stream, when set, adds one /v1/events subscriber for the
+	// duration of the run and counts the events it receives.
+	Stream bool
+	// Client overrides the HTTP client (default: 10 s timeout).
+	Client *http.Client
+}
+
+// LoadReport is what a load run measured.
+type LoadReport struct {
+	Requests int
+	Errors   int
+	ByPath   map[string]int
+	// Events is the number of telemetry events the Stream subscriber
+	// received (0 when Stream was off).
+	Events int
+	// Latency holds per-request wall-clock seconds in logarithmic
+	// buckets from 10 µs up.
+	Latency *metrics.Histogram
+	Elapsed time.Duration
+}
+
+// Table renders the report for CLI output.
+func (r *LoadReport) Table(title string) *metrics.Table {
+	tb := metrics.NewTable(title, "metric", "value")
+	tb.AddRow("requests", fmt.Sprintf("%d", r.Requests))
+	tb.AddRow("errors", fmt.Sprintf("%d", r.Errors))
+	paths := make([]string, 0, len(r.ByPath))
+	for p := range r.ByPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		tb.AddRow("  "+p, fmt.Sprintf("%d", r.ByPath[p]))
+	}
+	tb.AddRow("elapsed", fmt.Sprintf("%.2fs", r.Elapsed.Seconds()))
+	if r.Requests > 0 && r.Elapsed > 0 {
+		tb.AddRow("throughput", fmt.Sprintf("%.0f req/s", float64(r.Requests)/r.Elapsed.Seconds()))
+	}
+	tb.AddRow("latency p50", fmt.Sprintf("%.2f ms", r.Latency.Quantile(0.50)*1e3))
+	tb.AddRow("latency p95", fmt.Sprintf("%.2f ms", r.Latency.Quantile(0.95)*1e3))
+	tb.AddRow("latency p99", fmt.Sprintf("%.2f ms", r.Latency.Quantile(0.99)*1e3))
+	tb.AddRow("latency max", fmt.Sprintf("%.2f ms", r.Latency.Max()*1e3))
+	tb.AddRow("events streamed", fmt.Sprintf("%d", r.Events))
+	return tb
+}
+
+type clientResult struct {
+	errors    int
+	byPath    map[string]int
+	latencies []float64
+}
+
+// RunLoad drives the daemon API with opts.Clients concurrent clients
+// until opts.Requests requests have completed (or ctx cancels, which
+// counts nothing as an error — the report covers what ran). A non-2xx
+// response or transport failure counts as an error; the function
+// itself only fails on setup problems.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("server: load needs a base URL")
+	}
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	total := opts.Requests
+	if total <= 0 {
+		total = 1000
+	}
+	if clients > total {
+		clients = total
+	}
+	demandFrac := opts.DemandFraction
+	if demandFrac == 0 {
+		demandFrac = 0.05
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	// How many servers the fleet has, for addressing demand POSTs.
+	numServers, err := probeServers(ctx, hc, opts.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fork one stream per client up front, in index order, so the
+	// request mix is independent of scheduling.
+	root := dist.NewSource(opts.Seed)
+	srcs := make([]*dist.Source, clients)
+	for i := range srcs {
+		srcs[i] = root.Fork()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	events := 0
+	var streamWG sync.WaitGroup
+	if opts.Stream {
+		ready := make(chan struct{})
+		streamWG.Add(1)
+		go func() {
+			defer streamWG.Done()
+			events = streamEvents(runCtx, hc, opts.BaseURL, ready)
+		}()
+		select {
+		case <-ready: // stream open before the hammering starts
+		case <-runCtx.Done():
+		}
+	}
+
+	results := make([]clientResult, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		n := total / clients
+		if c < total%clients {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			results[c] = runClient(runCtx, hc, opts.BaseURL, srcs[c], n, numServers, demandFrac)
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel() // stop the event stream
+	streamWG.Wait()
+
+	hist, err := metrics.NewHistogram(1e-5, 1.5, 48)
+	if err != nil {
+		return nil, err
+	}
+	report := &LoadReport{ByPath: map[string]int{}, Latency: hist, Elapsed: elapsed, Events: events}
+	for _, r := range results {
+		report.Errors += r.errors
+		for p, n := range r.byPath {
+			report.ByPath[p] += n
+			report.Requests += n
+		}
+		for _, l := range r.latencies {
+			hist.Add(l, 1)
+		}
+	}
+	return report, nil
+}
+
+func probeServers(ctx context.Context, hc *http.Client, base string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/state", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("server: probing %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("server: probing %s: status %s", base, resp.Status)
+	}
+	var st struct {
+		Servers int `json:"num_servers"`
+	}
+	if err := decodeBody(resp.Body, &st); err != nil {
+		return 0, err
+	}
+	if st.Servers <= 0 {
+		return 0, fmt.Errorf("server: daemon reports %d servers", st.Servers)
+	}
+	return st.Servers, nil
+}
+
+func runClient(ctx context.Context, hc *http.Client, base string, src *dist.Source, n, numServers int, demandFrac float64) clientResult {
+	res := clientResult{byPath: map[string]int{}}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return res
+		}
+		var (
+			path string
+			body []byte
+		)
+		switch r := src.Float64(); {
+		case r < demandFrac:
+			path = "/v1/demand"
+			server := src.Intn(numServers+1) - 1 // -1 = fleet-wide
+			factor := src.Uniform(0.95, 1.05)
+			body = []byte(fmt.Sprintf(`{"server": %d, "factor": %.4f}`, server, factor))
+		case r < demandFrac+0.10:
+			path = "/healthz"
+		case r < demandFrac+0.35:
+			path = "/v1/stats"
+		default:
+			path = "/v1/state"
+		}
+		res.byPath[path]++
+		start := time.Now()
+		if err := doRequest(ctx, hc, base, path, body); err != nil {
+			res.errors++
+			continue
+		}
+		res.latencies = append(res.latencies, time.Since(start).Seconds())
+	}
+	return res
+}
+
+func doRequest(ctx context.Context, hc *http.Client, base, path string, body []byte) error {
+	method := http.MethodGet
+	var rd io.Reader
+	if body != nil {
+		method = http.MethodPost
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s: status %s", path, resp.Status)
+	}
+	return nil
+}
+
+// streamEvents subscribes to /v1/events and counts lines until ctx
+// cancels or the daemon closes the stream. It closes ready once the
+// response headers arrive (the subscription exists from then on).
+func streamEvents(ctx context.Context, hc *http.Client, base string, ready chan<- struct{}) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events", nil)
+	if err != nil {
+		close(ready)
+		return 0
+	}
+	// Streaming must outlive the per-request timeout of the pooled
+	// client; rely on ctx for cancellation instead.
+	streamClient := &http.Client{Transport: hc.Transport}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		close(ready)
+		return 0
+	}
+	defer resp.Body.Close()
+	close(ready)
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	count := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			count++
+		}
+	}
+	return count
+}
+
+func decodeBody(r io.Reader, dst any) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, dst)
+}

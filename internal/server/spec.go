@@ -1,0 +1,152 @@
+// Package server is Willow's live control plane: a long-running daemon
+// that drives the cluster tick loop under wall-clock pacing (or at full
+// speed in fast-forward), exposes state and mutation endpoints over
+// HTTP/JSON, streams telemetry to any number of subscribers through a
+// bounded fan-out hub, and can serialize itself for restart continuity.
+//
+// The determinism contract of the offline simulator carries over
+// whole: a daemon is a cluster.Machine plus a mutation journal, every
+// mutation lands at a tick boundary, and a snapshot is (Spec, tick,
+// journal) — restoring replays the journal against a fresh machine, so
+// the restored run is bit-identical to one that never stopped.
+package server
+
+import (
+	"fmt"
+
+	"willow/internal/cluster"
+	"willow/internal/power"
+)
+
+// Spec is the serializable description of a daemon run — the subset of
+// cluster.Config a snapshot can carry. Build is a pure function of the
+// Spec, which is what makes snapshot/restore exact: the same Spec
+// always reconstructs the same machine, random streams and all.
+type Spec struct {
+	// Util is the target mean utilization in (0, 1].
+	Util float64 `json:"util"`
+	// Fanout is the PMU hierarchy shape, root downward.
+	Fanout []int `json:"fanout"`
+	// Ticks and Warmup bound the run as in cluster.Config.
+	Ticks  int `json:"ticks"`
+	Warmup int `json:"warmup"`
+	// Seed makes the run reproducible.
+	Seed uint64 `json:"seed"`
+	// Supply selects the root supply profile: "constant", "sine", or
+	// "deficit-steps" (the willow-sim presets).
+	Supply string `json:"supply"`
+	// Hotzone places the last four servers in a 40 °C ambient when the
+	// topology has exactly 18 servers (the paper's two-zone setup).
+	Hotzone bool `json:"hotzone,omitempty"`
+	// Chaos/ChaosSeed fold a seeded fault schedule into the run at
+	// build time (chaos.ParseSpec syntax). SensorChaos does the same
+	// for sensor faults; SensorNaive disarms the robust estimator.
+	Chaos       string `json:"chaos,omitempty"`
+	ChaosSeed   uint64 `json:"chaos_seed,omitempty"`
+	SensorChaos string `json:"sensor_chaos,omitempty"`
+	SensorNaive bool   `json:"sensor_naive,omitempty"`
+	// LeaseTicks arms budget leases (core.Config.BudgetLeaseTicks) so
+	// live-injected PMU failures degrade instead of riding stale
+	// budgets forever. Zero leaves leases off — byte-identical to the
+	// offline default.
+	LeaseTicks int `json:"lease_ticks,omitempty"`
+	// Sensing arms the robust temperature estimator at boot (the
+	// chaos-smoke defaults) so live-injected sensor faults meet a
+	// prepared controller. Zero-value controllers cannot grow an
+	// estimator mid-run.
+	Sensing bool `json:"sensing,omitempty"`
+}
+
+// DefaultSpec is the paper topology at 50 % utilization — what willowd
+// boots with no flags.
+func DefaultSpec() Spec {
+	return Spec{
+		Util:    0.5,
+		Fanout:  []int{2, 3, 3},
+		Ticks:   400,
+		Warmup:  100,
+		Seed:    2011,
+		Supply:  "constant",
+		Hotzone: true,
+	}
+}
+
+// Servers returns the server count the fan-out implies.
+func (s Spec) Servers() int {
+	n := 1
+	for _, f := range s.Fanout {
+		n *= f
+	}
+	return n
+}
+
+// Build expands the Spec into a full cluster configuration, mirroring
+// willow-sim's flag handling exactly so a fast-forward daemon run is
+// byte-identical to the offline simulator on the same parameters.
+func (s Spec) Build() (cluster.Config, error) {
+	cfg := cluster.PaperConfig(s.Util)
+	if len(s.Fanout) > 0 {
+		cfg.Fanout = s.Fanout
+	}
+	if s.Ticks > 0 {
+		cfg.Ticks = s.Ticks
+	}
+	cfg.Warmup = s.Warmup
+	cfg.Seed = s.Seed
+	n := 1
+	for _, f := range cfg.Fanout {
+		if f <= 0 {
+			return cluster.Config{}, fmt.Errorf("server: fan-out %v has a non-positive level", cfg.Fanout)
+		}
+		n *= f
+	}
+	if !s.Hotzone || n != 18 {
+		cfg.HotServers = nil
+	}
+
+	rated := float64(n) * cfg.ServerPower.Peak
+	switch s.Supply {
+	case "", "constant":
+		cfg.Supply = power.Constant(rated)
+	case "sine":
+		cfg.Supply = power.Sine{Base: rated * 0.8, Amplitude: rated * 0.25, Period: 24}
+	case "deficit-steps":
+		cfg.Supply = power.Trace{rated, rated, rated * 0.6, rated * 0.6, rated * 0.9, rated, rated * 0.55, rated}
+	default:
+		return cluster.Config{}, fmt.Errorf("server: unknown supply profile %q (use constant, sine, or deficit-steps)", s.Supply)
+	}
+
+	if s.LeaseTicks > 0 {
+		cfg.Core.BudgetLeaseTicks = s.LeaseTicks
+	}
+	if s.Sensing {
+		c := &cfg.Core
+		if c.SensorWindow == 0 && c.SensorGate == 0 && c.SensorTrips == 0 && c.SensorGuard == 0 {
+			c.SensorWindow = 5
+			c.SensorGate = 3
+			c.SensorTrips = 3
+			c.SensorGuard = 2
+		}
+	}
+
+	if s.Chaos != "" {
+		seed := s.ChaosSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		if _, err := cluster.ApplyChaos(&cfg, s.Chaos, seed); err != nil {
+			return cluster.Config{}, err
+		}
+	}
+	if s.SensorChaos != "" {
+		seed := s.ChaosSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		cfg.NaiveSensing = s.SensorNaive
+		if _, err := cluster.ApplySensorChaos(&cfg, s.SensorChaos, seed); err != nil {
+			return cluster.Config{}, err
+		}
+	}
+	return cfg, nil
+}
