@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline chaos-smoke sensor-smoke serve-smoke experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -26,8 +26,10 @@ race:
 # sensor-smoke the sensing-robustness one, and serve-smoke boots the
 # live control-plane daemon under -race and hammers it with the load
 # generator, so `make ci` is the bar for any change touching the
-# harness.
-ci: build test race bench-smoke chaos-smoke sensor-smoke serve-smoke
+# harness. scale-smoke pins the fleet-scale hot path: sharded-tick
+# determinism and the incremental-aggregation oracle on a 10k-server
+# fleet, plus an allocation guard on the fleet tick benchmark.
+ci: build test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -52,6 +54,15 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench '^BenchmarkAllSequential(Events)?$$' -benchtime 1x -benchmem . > bench_smoke.txt
 	$(GO) test -run '^$$' -bench '^Benchmark(ServerTick|EventsFanout)$$' -benchtime 1x -benchmem ./internal/server >> bench_smoke.txt
 	$(GO) run ./internal/tools/benchguard -input bench_smoke.txt -baseline docs/bench_baseline.txt -update
+
+# Fleet-scale gate: shard-count invariance (byte-identical streams for
+# shards 1/2/4/8) and the incremental-vs-full aggregation oracle, both
+# on 10k-server fleets, then a fleet tick benchmark pass through the
+# allocation guard.
+scale-smoke:
+	$(GO) test -run 'TestShardInvariance|TestFullAggregationOracle' ./internal/cluster
+	$(GO) test -run '^$$' -bench '^BenchmarkFleetTick$$/^10k$$' -benchtime 10x -benchmem ./internal/cluster > scale_smoke.txt
+	$(GO) run ./internal/tools/benchguard -input scale_smoke.txt -baseline docs/bench_baseline.txt
 
 # Chaos gate: the end-to-end failure-tolerance scenarios — a seeded
 # mid-tree PMU kill/repair run inside its hard constraints, the chaos
@@ -93,6 +104,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/telemetry
 	$(GO) test -fuzz=FuzzChaosSchedule -fuzztime=10s ./internal/chaos
 	$(GO) test -fuzz=FuzzSensorSpec -fuzztime=10s ./internal/sensor
+	$(GO) test -fuzz=FuzzIncrementalAggregation -fuzztime=10s ./internal/core
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -103,4 +115,4 @@ examples:
 	$(GO) run ./examples/failover
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt scale_smoke.txt

@@ -70,10 +70,10 @@ func main() {
 	fmt.Println("\nfinal state:")
 	for i, s := range ctrl.Servers {
 		state := "awake"
-		if s.Asleep {
+		if s.Asleep() {
 			state = "asleep"
 		}
-		fmt.Printf("  server-%d: %d VMs, %6.1f W, %s\n", i+1, s.Apps.Len(), s.Consumed, state)
+		fmt.Printf("  server-%d: %d VMs, %6.1f W, %s\n", i+1, s.Apps.Len(), s.Consumed(), state)
 	}
 	fmt.Printf("\nrestarts: %d, failures: %d, repairs: %d, ping-pongs: %d\n",
 		ctrl.Stats.Restarts, ctrl.Stats.Failures, ctrl.Stats.Repairs, ctrl.Stats.PingPongs)

@@ -79,11 +79,11 @@ func main() {
 	fmt.Println("\nafter 200 control windows:")
 	for i, s := range ctrl.Servers {
 		state := "awake"
-		if s.Asleep {
+		if s.Asleep() {
 			state = "asleep"
 		}
 		fmt.Printf("  server-%d: budget %6.1f W, consuming %6.1f W at %4.1f °C, %d apps, %s\n",
-			i+1, s.TP, s.Consumed, s.Thermal.T, s.Apps.Len(), state)
+			i+1, s.TP(), s.Consumed(), s.Thermal.T, s.Apps.Len(), state)
 	}
 	fmt.Printf("\nmigrations: %d (demand %d, consolidation %d), ping-pongs: %d, dropped: %.0f watt-ticks\n",
 		len(ctrl.Stats.Migrations), ctrl.Stats.DemandMigrations,

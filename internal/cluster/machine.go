@@ -377,8 +377,8 @@ func (m *Machine) tickBody(now sim.Tick) {
 		if s.Thermal.T > res.MaxTemp {
 			res.MaxTemp = s.Thermal.T
 		}
-		if s.TObs > res.MaxObsTemp {
-			res.MaxObsTemp = s.TObs
+		if t := s.TObs(); t > res.MaxObsTemp {
+			res.MaxObsTemp = t
 		}
 		if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
 			res.LimitViolationTicks++
@@ -389,26 +389,26 @@ func (m *Machine) tickBody(now sim.Tick) {
 	}
 	m.measured++
 	for i, s := range ctrl.Servers {
-		m.powerAcc[i].Add(s.Consumed)
+		m.powerAcc[i].Add(s.Consumed())
 		m.tempAcc[i].Add(s.Thermal.T)
-		if s.Asleep {
+		if s.Asleep() {
 			m.asleep[i]++
 		}
-		res.TotalEnergy += s.Consumed
+		res.TotalEnergy += s.Consumed()
 	}
 	for level := 0; level <= m.tree.Height; level++ {
 		_, _, imb := ctrl.LevelImbalance(level)
 		m.imbAcc[level].Add(imb)
 	}
 	for _, s := range ctrl.Servers {
-		if s.Asleep {
+		if s.Asleep() {
 			continue
 		}
-		servedDyn := s.Consumed - s.Power.Static
+		servedDyn := s.Consumed() - s.Power.Static
 		if servedDyn < 0 {
 			servedDyn = 0
 		}
-		m.latency.Observe(s.Utilization(), servedDyn, s.Dropped)
+		m.latency.Observe(s.Utilization(), servedDyn, s.Dropped())
 	}
 }
 

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"willow/internal/power"
+	"willow/internal/telemetry"
+)
+
+// fleetConfig builds a paper-style config over an arbitrary fanout with
+// supply sized to the fleet, for the fleet-scale tests and benchmarks.
+func fleetConfig(fanout []int, supplyFrac float64) Config {
+	n := 1
+	for _, f := range fanout {
+		n *= f
+	}
+	cfg := PaperConfig(0.5)
+	cfg.Fanout = fanout
+	cfg.Supply = power.Constant(supplyFrac * float64(n) * 450)
+	if n < 18 {
+		// The paper config's hot zone indexes servers 14-17.
+		cfg.HotServers = nil
+		cfg.HotAmbient = 0
+	}
+	return cfg
+}
+
+// TestShardInvariance is the sharding determinism contract: the same
+// fleet must produce byte-identical event streams and Results for any
+// shard count, because parallel phases touch only per-server state and
+// every cross-server float accumulation runs sequentially in server
+// order. The quiet variant (noise off) shards both the demand and the
+// consumption phase of the 10,000-server tick; the noisy variant keeps
+// demand observation serial (it consumes a shared random stream) and
+// shards consumption only.
+func TestShardInvariance(t *testing.T) {
+	cases := []struct {
+		name   string
+		fanout []int
+		noise  float64
+	}{
+		{"10k-quiet", []int{10, 10, 10, 10}, -1},
+		{"1k-noisy", []int{10, 10, 10}, 25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := fleetConfig(tc.fanout, 0.85)
+			base.Core.NoiseLambda = tc.noise
+			base.Warmup = 8
+			base.Ticks = 24
+			run := func(shards int) goldenScenario {
+				cfg := base
+				cfg.Core.Shards = shards
+				return captureScenario(t, cfg)
+			}
+			want := run(1)
+			for _, shards := range []int{2, 4, 8} {
+				got := run(shards)
+				if got.Events != want.Events {
+					t.Errorf("shards=%d: event stream diverged from single-threaded run", shards)
+				}
+				if got.Result != want.Result {
+					t.Errorf("shards=%d: Result diverged from single-threaded run", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestFullAggregationOracle pins the incremental dirty-subtree demand
+// aggregation against the paper's naive full recompute on a sharded
+// 10,000-server fleet: identical streams and Results, tick for tick.
+func TestFullAggregationOracle(t *testing.T) {
+	cfg := fleetConfig([]int{10, 10, 10, 10}, 0.85)
+	cfg.Core.NoiseLambda = -1
+	cfg.Core.Shards = 4
+	cfg.Warmup = 8
+	cfg.Ticks = 24
+	inc := captureScenario(t, cfg)
+	cfg.Core.FullAggregation = true
+	full := captureScenario(t, cfg)
+	if inc.Events != full.Events {
+		t.Error("incremental aggregation event stream diverged from full-recompute oracle")
+	}
+	if inc.Result != full.Result {
+		t.Error("incremental aggregation Result diverged from full-recompute oracle")
+	}
+}
+
+// TestScaleDemandEdgeCases covers the live-injection validation
+// contract: invalid factors and servers are rejected without mutating
+// any application, and a zero factor (drain a server's demand to
+// nothing) is legal.
+func TestScaleDemandEdgeCases(t *testing.T) {
+	cfg := fleetConfig([]int{4, 4}, 1)
+	cfg.Warmup = 2
+	cfg.Ticks = 40
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := func(server int) []float64 {
+		var out []float64
+		for _, a := range m.Controller().Servers[server].Apps.Apps {
+			out = append(out, a.Mean)
+		}
+		return out
+	}
+	before := means(0)
+	for _, f := range []float64{-1, -0.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := m.ScaleDemand(0, f); err == nil {
+			t.Errorf("factor %v accepted", f)
+		}
+	}
+	for _, server := range []int{-2, 16, 99} {
+		if err := m.ScaleDemand(server, 1.1); err == nil {
+			t.Errorf("server %d accepted", server)
+		}
+	}
+	after := means(0)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("rejected injection mutated app %d: %v -> %v", i, before[i], after[i])
+		}
+	}
+	// Zero factor is a legal drain, and the machine keeps running.
+	if err := m.ScaleDemand(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, mean := range means(0) {
+		if mean != 0 {
+			t.Fatalf("zero factor left mean %v", mean)
+		}
+	}
+	for !m.Done() {
+		m.Step()
+	}
+	if r := m.Result(); len(r.MeanPower) != 16 {
+		t.Fatalf("run did not complete: %d servers measured", len(r.MeanPower))
+	}
+}
+
+// TestScaleDemandReplay: a mid-run injection is part of the replayable
+// input — two machines fed the same config and the same injection at
+// the same tick produce byte-identical streams and Results, and the
+// injection actually changes the run.
+func TestScaleDemandReplay(t *testing.T) {
+	cfg := fleetConfig([]int{4, 4, 4}, 0.85)
+	cfg.Warmup = 4
+	cfg.Ticks = 48
+	capture := func(scaleAt int, factor float64) goldenScenario {
+		c := cfg
+		var stream bytes.Buffer
+		w := telemetry.NewWriter(&stream)
+		c.Sink = w
+		m, err := NewMachine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !m.Done() {
+			if m.NextTick() == scaleAt {
+				if err := m.ScaleDemand(-1, factor); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.Step()
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return goldenScenario{Result: shaHex(encodeResult(m.Result())), Events: shaHex(stream.Bytes())}
+	}
+	a := capture(20, 1.4)
+	b := capture(20, 1.4)
+	if a != b {
+		t.Error("identical mid-run injections diverged on replay")
+	}
+	plain := capture(20, 1)
+	if a.Events == plain.Events {
+		t.Error("demand injection had no observable effect")
+	}
+}
+
+// TestScaleDemandWithProfile pins the baseMeans interaction: with a
+// DemandProfile active, each epoch rewrites every app's Mean from its
+// profile baseline, so an injection that scaled only Mean would be
+// silently undone one epoch later. ScaleDemand must scale the baseline
+// too.
+func TestScaleDemandWithProfile(t *testing.T) {
+	cfg := fleetConfig([]int{4, 4}, 1)
+	cfg.DemandProfile = power.Constant(1)
+	cfg.Warmup = 2
+	cfg.Ticks = 60
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := cfg.Core.Eta1
+	if epoch == 0 {
+		epoch = 4
+	}
+	for i := 0; i < 2*epoch; i++ {
+		m.Step()
+	}
+	apps := m.Controller().Servers[3].Apps.Apps
+	before := make([]float64, len(apps))
+	for i, a := range apps {
+		before[i] = a.Mean
+	}
+	if err := m.ScaleDemand(3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Cross at least one epoch boundary so the profile rescale runs.
+	for i := 0; i < 2*epoch; i++ {
+		m.Step()
+	}
+	for i, a := range apps {
+		if want := before[i] * 0.5; a.Mean != want {
+			t.Errorf("app %d mean %v after epoch rescale, want %v (baseline not scaled?)", i, a.Mean, want)
+		}
+	}
+}
+
+// benchFleet measures the steady-state cost of one Machine.Step across
+// a fleet, reported as ns per server-tick. Noise is disabled so the
+// demand phase shards and the smoother's fixed-point fast path engages,
+// matching the fleet-scale deployment profile.
+func benchFleet(b *testing.B, fanout []int, shards int, full bool) {
+	n := 1
+	for _, f := range fanout {
+		n *= f
+	}
+	cfg := fleetConfig(fanout, 1)
+	cfg.Core.NoiseLambda = -1
+	cfg.Core.Shards = shards
+	cfg.Core.FullAggregation = full
+	cfg.Warmup = 1
+	cfg.Ticks = 1 << 30
+	m, err := NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		m.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+	b.StopTimer()
+	perServerTick := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(n)
+	b.ReportMetric(perServerTick, "ns/server-tick")
+}
+
+func BenchmarkFleetTick(b *testing.B) {
+	b.Run("1k", func(b *testing.B) { benchFleet(b, []int{10, 10, 10}, 8, false) })
+	b.Run("10k", func(b *testing.B) { benchFleet(b, []int{10, 10, 10, 10}, 8, false) })
+	b.Run("100k", func(b *testing.B) { benchFleet(b, []int{4, 5, 5, 10, 100}, 8, false) })
+}
+
+// BenchmarkFleetTickFullAgg is the naive-aggregation baseline for the
+// incremental path, same fleet as BenchmarkFleetTick/10k.
+func BenchmarkFleetTickFullAgg(b *testing.B) {
+	b.Run("10k", func(b *testing.B) { benchFleet(b, []int{10, 10, 10, 10}, 8, true) })
+}

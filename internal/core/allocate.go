@@ -26,17 +26,17 @@ func (c *Controller) allocateSupply(t int) {
 		c.allocateResilient(t, false)
 		return
 	}
-	root := c.pmus[c.Tree.Root.ID]
+	rootID := c.Tree.Root.ID
 	total := c.Supply.At(t / c.Cfg.Eta1)
-	prev := root.TP
-	root.reduced = c.isReduced(total, prev, root.CP)
-	root.TP = total
+	prev := c.pmuTP[rootID]
+	c.pmuReduced[rootID] = c.isReduced(total, prev, c.pmuCP[rootID])
+	c.pmuTP[rootID] = total
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindBudgetChange,
-			Node: c.Tree.Root.ID, Level: c.Tree.Root.Level,
-			Watts: total, Prev: prev, Demand: root.CP,
-			Reduced: root.reduced,
+			Node: rootID, Level: c.Tree.Root.Level,
+			Watts: total, Prev: prev, Demand: c.pmuCP[rootID],
+			Reduced: c.pmuReduced[rootID],
 		})
 	}
 	c.allocateNode(c.Tree.Root, total)
@@ -150,29 +150,28 @@ func (c *Controller) assignChildBudgets(children []*topo.Node, alloc []float64) 
 		c.countDown(ch) // parent -> child budget directive
 		if ch.IsLeaf() {
 			s := c.Servers[ch.ServerIndex]
-			prev := s.TP
-			s.reduced = c.isReduced(alloc[i], prev, s.CP)
-			s.TP = alloc[i]
+			prev := s.TP()
+			s.reduced = c.isReduced(alloc[i], prev, s.CP())
+			s.setTP(alloc[i])
 			if c.Sink != nil {
-				c.Sink.Publish(telemetry.Event{
+				c.publish(telemetry.Event{
 					Tick: c.tick, Kind: telemetry.KindBudgetChange,
 					Node: ch.ID, Level: ch.Level, Server: ch.ServerIndex,
-					Watts: alloc[i], Prev: prev, Demand: s.CP,
+					Watts: alloc[i], Prev: prev, Demand: s.CP(),
 					Reduced: s.reduced,
 				})
 			}
 			continue
 		}
-		p := c.pmus[ch.ID]
-		prev := p.TP
-		p.reduced = c.isReduced(alloc[i], prev, p.CP)
-		p.TP = alloc[i]
+		prev := c.pmuTP[ch.ID]
+		c.pmuReduced[ch.ID] = c.isReduced(alloc[i], prev, c.pmuCP[ch.ID])
+		c.pmuTP[ch.ID] = alloc[i]
 		if c.Sink != nil {
-			c.Sink.Publish(telemetry.Event{
+			c.publish(telemetry.Event{
 				Tick: c.tick, Kind: telemetry.KindBudgetChange,
 				Node: ch.ID, Level: ch.Level,
-				Watts: alloc[i], Prev: prev, Demand: p.CP,
-				Reduced: p.reduced,
+				Watts: alloc[i], Prev: prev, Demand: c.pmuCP[ch.ID],
+				Reduced: c.pmuReduced[ch.ID],
 			})
 		}
 		c.allocateNode(ch, alloc[i])
@@ -184,7 +183,7 @@ func (c *Controller) assignChildBudgets(children []*topo.Node, alloc []float64) 
 func (c *Controller) subtreeFloor(n *topo.Node) float64 {
 	if n.IsLeaf() {
 		s := c.Servers[n.ServerIndex]
-		if s.Asleep {
+		if s.Asleep() {
 			return 0
 		}
 		return s.Power.Static
@@ -202,7 +201,7 @@ func (c *Controller) subtreeFloor(n *topo.Node) float64 {
 func (c *Controller) subtreeCap(n *topo.Node) float64 {
 	if n.IsLeaf() {
 		s := c.Servers[n.ServerIndex]
-		if s.Asleep {
+		if s.Asleep() {
 			return 0
 		}
 		return s.HardCap(c.Cfg.ThermalWindow)

@@ -66,8 +66,8 @@ func (c *Controller) asyncEnabled() bool {
 // pipeFor returns (creating on demand) the report pipe of the link
 // between n and its parent.
 func (c *Controller) pipeFor(n *topo.Node) *reportPipe {
-	p, ok := c.pipes[n.ID]
-	if !ok {
+	p := c.pipes[n.ID]
+	if p == nil {
 		p = &reportPipe{buf: make([]float64, c.Cfg.ReportLatency)}
 		c.pipes[n.ID] = p
 	}
@@ -80,29 +80,29 @@ func (c *Controller) pipeFor(n *topo.Node) *reportPipe {
 func (c *Controller) propagateReports() {
 	for level := 1; level <= c.Tree.Height; level++ {
 		for _, n := range c.levels[level] {
-			if c.failedPMUs[n.ID] {
+			if c.failedPMU[n.ID] {
 				// A dead PMU aggregates nothing; its CP stays frozen and
 				// the pipes of its child links do not advance (they are
 				// dropped and re-primed on repair).
 				continue
 			}
-			p := c.pmus[n.ID]
-			p.CP = 0
+			sum := 0.0
 			for _, child := range n.Children {
 				var current float64
 				if child.IsLeaf() {
-					current = c.Servers[child.ServerIndex].CP
+					current = c.Servers[child.ServerIndex].CP()
 				} else {
-					current = c.pmus[child.ID].CP
+					current = c.pmuCP[child.ID]
 				}
-				deadChild := !child.IsLeaf() && c.failedPMUs[child.ID]
+				deadChild := !child.IsLeaf() && c.failedPMU[child.ID]
 				lost := deadChild ||
 					(c.Cfg.ReportLoss > 0 && c.src.Float64() < c.Cfg.ReportLoss)
-				p.CP += c.pipeFor(child).push(current, lost)
+				sum += c.pipeFor(child).push(current, lost)
 				if !deadChild {
 					c.countUp(child)
 				}
 			}
+			c.pmuCP[n.ID] = sum
 		}
 	}
 }
@@ -112,11 +112,11 @@ func (c *Controller) propagateReports() {
 // synchronous regime it is simply the current smoothed demand.
 func (c *Controller) viewCP(s *Server) float64 {
 	if !c.asyncEnabled() {
-		return s.CP
+		return s.CP()
 	}
-	p, ok := c.pipes[s.Node.ID]
-	if !ok || !p.live {
-		return s.CP
+	p := c.pipes[s.Node.ID]
+	if p == nil || !p.live {
+		return s.CP()
 	}
 	return p.out
 }
@@ -133,7 +133,7 @@ func (c *Controller) viewDynamic(s *Server) float64 {
 
 // viewDeficit is Eq. 5 evaluated on the parent's (possibly stale) view.
 func (c *Controller) viewDeficit(s *Server, window float64) float64 {
-	if s.Asleep {
+	if s.Asleep() {
 		return 0
 	}
 	d := c.viewCP(s) - s.EffectiveBudget(window)
@@ -145,7 +145,7 @@ func (c *Controller) viewDeficit(s *Server, window float64) float64 {
 
 // viewSurplus is Eq. 6 evaluated on the parent's view.
 func (c *Controller) viewSurplus(s *Server, window float64) float64 {
-	if s.Asleep {
+	if s.Asleep() {
 		return 0
 	}
 	d := s.EffectiveBudget(window) - c.viewCP(s)

@@ -124,14 +124,14 @@ func TestViewCPTracksPipe(t *testing.T) {
 	c.Step()
 	s := c.Servers[0]
 	// Priming: view equals truth initially.
-	if got := c.viewCP(s); math.Abs(got-s.CP) > 1e-9 {
-		t.Fatalf("primed view %v != CP %v", got, s.CP)
+	if got := c.viewCP(s); math.Abs(got-s.CP()) > 1e-9 {
+		t.Fatalf("primed view %v != CP %v", got, s.CP())
 	}
 	// Change true demand: the view must hold the old value for a while.
 	s.Apps.Apps[0].Mean = 100
-	old := s.CP
+	old := s.CP()
 	c.Step()
-	if s.CP == old {
+	if s.CP() == old {
 		t.Fatal("true CP did not move")
 	}
 	if got := c.viewCP(s); math.Abs(got-old) > 1e-9 {
@@ -139,8 +139,8 @@ func TestViewCPTracksPipe(t *testing.T) {
 	}
 	// After the latency elapses the view catches up.
 	c.Run(4)
-	if got := c.viewCP(s); math.Abs(got-s.CP) > 1e-9 {
-		t.Errorf("view %v never caught up to CP %v", got, s.CP)
+	if got := c.viewCP(s); math.Abs(got-s.CP()) > 1e-9 {
+		t.Errorf("view %v never caught up to CP %v", got, s.CP())
 	}
 }
 

@@ -28,10 +28,10 @@ func (c *Controller) consolidate(t int) {
 
 	candidates := make([]*Server, 0, len(c.Servers))
 	for _, s := range c.Servers {
-		if s.Asleep || s.wakeAt >= 0 {
+		if s.Asleep() || s.wakeAt >= 0 {
 			continue
 		}
-		if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+		if c.failedPMUCount > 0 && c.underDeadPMU(s.Node) {
 			continue // a dead span cannot coordinate its own drain
 		}
 		if utilization(s) < c.Cfg.ConsolidateBelow {
@@ -66,7 +66,7 @@ func (c *Controller) consolidate(t int) {
 		// above the threshold, or slept it (it cannot have slept — only
 		// candidates sleep and each is visited once — but demand may have
 		// landed on it).
-		if victim.Asleep || utilization(victim) >= c.Cfg.ConsolidateBelow {
+		if victim.Asleep() || utilization(victim) >= c.Cfg.ConsolidateBelow {
 			continue
 		}
 		if len(c.awakeServers()) <= 1 {

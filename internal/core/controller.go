@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"willow/internal/dist"
 	"willow/internal/power"
@@ -114,7 +115,7 @@ type Controller struct {
 	Supply power.Supply
 
 	Servers []*Server    // by server index
-	pmus    map[int]*pmu // by node ID, internal nodes only
+	hot     *fleetHot    // struct-of-arrays per-server hot state (state.go)
 	src     *dist.Source // demand noise
 	tick    int          // current tick (next Step executes this tick)
 	Stats   Stats
@@ -125,8 +126,20 @@ type Controller struct {
 	// Events are stamped with the simulation tick (never wall clock),
 	// so a run's stream is byte-reproducible. A nil Sink costs nothing
 	// — every publication site is guarded by a nil check before the
-	// event is even constructed.
+	// event is even constructed. Events published during a Step buffer
+	// and flush as one batch at the step boundary, in decision order.
 	Sink telemetry.Sink
+
+	// Per-PMU control state, indexed by tree node ID (leaf slots
+	// unused). pmuCP is the subtree's aggregated smoothed demand as the
+	// PMU knows it; pmuTP the budget granted from above; pmuReduced the
+	// unidirectional-rule flag; pmuDegraded/pmuLeaseTick/pmuLastParentTP
+	// mirror the Server budget-lease state (degraded.go).
+	pmuCP, pmuTP    []float64
+	pmuReduced      []bool
+	pmuDegraded     []bool
+	pmuLeaseTick    []int
+	pmuLastParentTP []float64
 
 	// lastLeft tracks, per app, where and when it last migrated from, to
 	// detect ping-pong control.
@@ -136,32 +149,38 @@ type Controller struct {
 	// pass so they do not receive migrations mid-drain.
 	draining map[int]bool
 
-	// upLinks / downLinks record which tree links (keyed by child node
-	// ID) carried an upward report / downward directive this tick.
-	// Downward directives batch: budget updates and migration decisions
-	// issued in the same window share one message, which is what bounds
-	// Property 3 at two messages per link per Δ_D.
-	upLinks, downLinks map[int]bool
+	// Link-message accounting (state.go): upStamp/downStamp are
+	// tick-stamped by child node ID; tickUp/tickDown count distinct
+	// links that carried a report/directive this step; bothDir records
+	// that some link carried both directions; liveUpLinks caches the
+	// synchronous-mode structural report count.
+	upStamp, downStamp []int
+	stamp              int
+	tickUp, tickDown   int
+	bothDir            bool
+	liveUpLinks        int
 
 	// pipes delay upward reports per link when the asynchronous control
 	// plane is enabled (see async.go); budgetPipes do the same for the
-	// downward budget directives (see degraded.go).
-	pipes       map[int]*reportPipe
-	budgetPipes map[int]*budgetPipe
+	// downward budget directives (see degraded.go). Indexed by child
+	// node ID, created lazily.
+	pipes       []*reportPipe
+	budgetPipes []*budgetPipe
 
-	// failedPMUs marks crashed internal nodes (FailPMU): they neither
+	// failedPMU marks crashed internal nodes (FailPMU): they neither
 	// aggregate reports nor issue budgets, and migrations never cross
-	// their span. Empty in the paper's fail-free regime. delivered is
-	// the resilient allocation pass's per-window scratch, marking which
-	// nodes heard a budget directive (degraded.go).
-	failedPMUs map[int]bool
-	delivered  []bool
+	// their span. All-false in the paper's fail-free regime. delivered
+	// is the resilient allocation pass's per-window scratch, marking
+	// which nodes heard a budget directive (degraded.go).
+	failedPMU      []bool
+	failedPMUCount int
+	delivered      []bool
 
 	// levels caches the internal nodes per level (index = level) so the
 	// per-tick aggregation does not rescan the whole tree; scratch holds
-	// each internal node's preallocated allocation buffers.
+	// each internal node's preallocated allocation buffers (by node ID).
 	levels  [][]*topo.Node
-	scratch map[int]*allocScratch
+	scratch []*allocScratch
 
 	// transfers, inFlight and reserved implement non-instantaneous VM
 	// migration (see transfer.go). pendingSleep marks drained servers
@@ -174,6 +193,33 @@ type Controller struct {
 	// orphans hold applications whose host crashed, awaiting restart
 	// (see failure.go).
 	orphans []orphan
+
+	// wasAsync records that the previous tick aggregated through the
+	// report pipes, so a switch back to synchronous mode (a loss window
+	// closing) re-sums the whole tree once.
+	wasAsync bool
+
+	// noisyDemand is set when any application draws Poisson demand
+	// noise: the per-server demand loop then consumes the shared random
+	// stream in server order and must stay sequential. sensorsArmed is
+	// set when any server carries an instrument or estimator, forcing
+	// the sequential consume path (sensing mutates shared counters).
+	noisyDemand  bool
+	sensorsArmed bool
+
+	// shardPlan is the rack-aligned partition of the fleet the parallel
+	// tick phases run over (state.go); evBuf/effBuf/needSlow are the
+	// per-server scratch the sharded consume phase writes race-free and
+	// the sequential merge phase drains in server order.
+	shardPlan []shardRange
+	evBuf     [][]telemetry.Event
+	effBuf    []float64
+	needSlow  []bool
+
+	// inStep gates telemetry batching; eventBuf is the step's pending
+	// batch (state.go).
+	inStep   bool
+	eventBuf []telemetry.Event
 }
 
 type leftRecord struct {
@@ -204,28 +250,38 @@ func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, s
 		src = dist.NewSource(0)
 	}
 
+	numNodes := len(tree.Nodes)
+	numServers := tree.NumServers()
 	c := &Controller{
-		Cfg:          cfg,
-		Tree:         tree,
-		Supply:       supply,
-		pmus:         map[int]*pmu{},
-		src:          src,
-		lastLeft:     map[int]leftRecord{},
-		draining:     map[int]bool{},
-		upLinks:      map[int]bool{},
-		downLinks:    map[int]bool{},
-		pipes:        map[int]*reportPipe{},
-		budgetPipes:  map[int]*budgetPipe{},
-		failedPMUs:   map[int]bool{},
-		inFlight:     map[int]bool{},
-		reserved:     map[int]float64{},
-		pendingSleep: map[int]bool{},
+		Cfg:             cfg,
+		Tree:            tree,
+		Supply:          supply,
+		hot:             newFleetHot(numServers, numNodes),
+		src:             src,
+		pmuCP:           make([]float64, numNodes),
+		pmuTP:           make([]float64, numNodes),
+		pmuReduced:      make([]bool, numNodes),
+		pmuDegraded:     make([]bool, numNodes),
+		pmuLeaseTick:    make([]int, numNodes),
+		pmuLastParentTP: make([]float64, numNodes),
+		lastLeft:        map[int]leftRecord{},
+		draining:        map[int]bool{},
+		upStamp:         make([]int, numNodes),
+		downStamp:       make([]int, numNodes),
+		pipes:           make([]*reportPipe, numNodes),
+		budgetPipes:     make([]*budgetPipe, numNodes),
+		failedPMU:       make([]bool, numNodes),
+		scratch:         make([]*allocScratch, numNodes),
+		inFlight:        map[int]bool{},
+		reserved:        map[int]float64{},
+		pendingSleep:    map[int]bool{},
+		evBuf:           make([][]telemetry.Event, numServers),
+		effBuf:          make([]float64, numServers),
+		needSlow:        make([]bool, numServers),
 	}
 	c.levels = make([][]*topo.Node, tree.Height+1)
-	c.scratch = make(map[int]*allocScratch)
 	for _, n := range tree.Nodes {
 		if !n.IsLeaf() {
-			c.pmus[n.ID] = &pmu{node: n}
 			c.levels[n.Level] = append(c.levels[n.Level], n)
 			c.scratch[n.ID] = newAllocScratch(len(n.Children))
 		}
@@ -246,24 +302,36 @@ func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, s
 			Power:        spec.Power,
 			Thermal:      thermal.NewState(spec.Thermal),
 			CircuitLimit: spec.CircuitLimit,
+			hot:          c.hot,
+			idx:          i,
 			smoother:     sm,
 			wakeAt:       -1,
 		}
+		srv.capWindow = cfg.ThermalWindow
+		srv.capDecay = math.Exp(-spec.Thermal.C2 * cfg.ThermalWindow)
+		srv.capDen = spec.Thermal.C1 * (1 - srv.capDecay)
 		// The observed temperature starts at the truth (ambient); the
 		// estimator's anchor starts there too, which grounds the safe-side
 		// induction of sensing.go.
-		srv.TObs = srv.Thermal.T
+		srv.setTObs(srv.Thermal.T)
 		if cfg.sensingEnabled() {
 			srv.est = newEstimator(cfg.SensorWindow, srv.Thermal.T)
+			c.sensorsArmed = true
 		}
 		for _, a := range spec.Apps {
 			if a.NoiseLambda == 0 {
 				a.NoiseLambda = cfg.NoiseLambda
 			}
+			if a.NoiseLambda > 0 {
+				c.noisyDemand = true
+			}
 			srv.Apps.Add(a)
 		}
 		c.Servers = append(c.Servers, srv)
 	}
+	c.shardPlan = planShards(tree, cfg.Shards, numServers)
+	c.markAllDirty()
+	c.recountLiveUpLinks()
 	return c, nil
 }
 
@@ -273,8 +341,9 @@ func (c *Controller) Tick() int { return c.tick }
 // Step advances the simulation by one demand window Δ_D.
 func (c *Controller) Step() {
 	t := c.tick
-	clear(c.upLinks)
-	clear(c.downLinks)
+	c.stamp++
+	c.tickUp, c.tickDown, c.bothDir = 0, 0, false
+	c.inStep = true
 
 	c.wakeServers(t)
 	c.completeTransfers(t)
@@ -289,23 +358,25 @@ func (c *Controller) Step() {
 	}
 	c.consumeAndHeat()
 
-	c.Stats.MessagesUp += int64(len(c.upLinks))
-	c.Stats.MessagesDown += int64(len(c.downLinks))
-	for id := range c.upLinks {
-		n := 1
-		if c.downLinks[id] {
-			n = 2
-		}
-		if n > c.Stats.MaxLinkMessagesPerTick {
-			c.Stats.MaxLinkMessagesPerTick = n
-		}
+	up := c.tickUp
+	if !c.asyncEnabled() {
+		// Synchronous reporting is structural: every live parent hears
+		// every live child, every tick (the cached count is maintained
+		// across PMU failures/repairs).
+		up = c.liveUpLinks
 	}
-	for id := range c.downLinks {
-		if !c.upLinks[id] && 1 > c.Stats.MaxLinkMessagesPerTick {
-			c.Stats.MaxLinkMessagesPerTick = 1
+	c.Stats.MessagesUp += int64(up)
+	c.Stats.MessagesDown += int64(c.tickDown)
+	if c.bothDir {
+		if c.Stats.MaxLinkMessagesPerTick < 2 {
+			c.Stats.MaxLinkMessagesPerTick = 2
 		}
+	} else if (up > 0 || c.tickDown > 0) && c.Stats.MaxLinkMessagesPerTick < 1 {
+		c.Stats.MaxLinkMessagesPerTick = 1
 	}
 	c.tick++
+	c.inStep = false
+	c.flushEvents()
 }
 
 // Run executes n ticks.
@@ -317,14 +388,15 @@ func (c *Controller) Run(n int) {
 
 // wakeServers completes pending wake-ups.
 func (c *Controller) wakeServers(t int) {
-	for _, s := range c.Servers {
-		if s.Asleep && s.wakeAt >= 0 && s.wakeAt <= t {
-			s.Asleep = false
+	asleep := c.hot.asleep
+	for i, s := range c.Servers {
+		if asleep[i] && s.wakeAt >= 0 && s.wakeAt <= t {
+			s.setAsleep(false)
 			s.wakeAt = -1
 			s.smoother.Reset()
 			c.Stats.Wakes++
 			if c.Sink != nil {
-				c.Sink.Publish(telemetry.Event{
+				c.publish(telemetry.Event{
 					Tick: t, Kind: telemetry.KindSleepWake,
 					Server: s.Node.ServerIndex, Cause: "wake",
 					Watts: s.Power.Static,
@@ -340,7 +412,7 @@ func (c *Controller) publishSleep(s *Server) {
 	if c.Sink == nil {
 		return
 	}
-	c.Sink.Publish(telemetry.Event{
+	c.publish(telemetry.Event{
 		Tick: c.tick, Kind: telemetry.KindSleepWake,
 		Server: s.Node.ServerIndex, Cause: "sleep",
 		Watts: s.Power.Static,
@@ -352,7 +424,7 @@ func (c *Controller) publishMigration(m Migration) {
 	if c.Sink == nil {
 		return
 	}
-	c.Sink.Publish(telemetry.Event{
+	c.publish(telemetry.Event{
 		Tick: m.Tick, Kind: telemetry.KindMigration,
 		App: m.AppID, From: m.From, To: m.To, Hops: m.Hops,
 		Cause: m.Cause.String(), Watts: m.Watts, Bytes: m.Bytes,
@@ -364,40 +436,66 @@ func (c *Controller) publishMigration(m Migration) {
 // smoothing, and aggregates subtree demands up the tree. Each tree link
 // carries exactly one upward report per tick.
 func (c *Controller) observeDemand(int) {
-	for _, s := range c.Servers {
-		if s.Asleep {
-			s.RawDemand = 0
-			s.CP = 0
-			continue
+	if len(c.shardPlan) > 1 && !c.noisyDemand {
+		// Noise-free demand draws nothing from the shared random stream,
+		// so the per-server phase parallelizes over rack-aligned shards.
+		c.forEachShard(func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.observeServer(i)
+			}
+		})
+	} else {
+		for i := range c.Servers {
+			c.observeServer(i)
 		}
-		dyn := s.Apps.Demand(c.src)
-		s.RawDemand = s.Power.Static + dyn + s.migCost
-		s.migCost = 0
-		s.CP = s.smoother.Update(s.RawDemand)
 	}
 	if c.asyncEnabled() {
+		c.wasAsync = true
 		c.propagateReports()
 		return
 	}
-	// Synchronous aggregation: bottom-up, level by level. A dead PMU
+	if c.wasAsync {
+		// A loss window just closed: the PMU CPs hold pipe-derived
+		// values the dirty bits know nothing about. Re-sum everything.
+		c.markAllDirty()
+		c.wasAsync = false
+	}
+	// Synchronous aggregation: bottom-up, level by level, visiting only
+	// subtrees whose demand actually changed (state.go). A dead PMU
 	// neither aggregates (its CP freezes at the last value it computed)
 	// nor reports upward — its parent keeps acting on that frozen view,
 	// the same "act on the previous value" semantics as a lost report.
-	for level := 1; level <= c.Tree.Height; level++ {
-		for _, n := range c.levels[level] {
-			if c.failedPMUs[n.ID] {
-				continue
-			}
-			p := c.pmus[n.ID]
-			p.CP = 0
-			for _, child := range n.Children {
-				p.CP += c.demandOf(child)
-				if child.IsLeaf() || !c.failedPMUs[child.ID] {
-					c.countUp(child) // child -> parent report
-				}
-			}
-		}
+	c.aggregate()
+}
+
+// observeServer updates one server's demand observation: the per-server
+// body of observeDemand, shared by the sequential and sharded paths. It
+// touches only per-server state (plus the parent rack's dirty bit).
+func (c *Controller) observeServer(i int) {
+	s := c.Servers[i]
+	h := c.hot
+	if h.asleep[i] {
+		h.rawDemand[i] = 0
+		s.setCP(0)
+		return
 	}
+	dyn := s.Apps.Demand(c.src)
+	raw := s.Power.Static + dyn + s.migCost
+	s.migCost = 0
+	if h.settled[i] && raw == h.rawDemand[i] {
+		// The smoother is at an exact fixed point for this input: the
+		// update would return the same CP bit for bit. Skip it.
+		return
+	}
+	h.rawDemand[i] = raw
+	prev := h.cp[i]
+	wasInit := s.smoother.Initialized()
+	cp := s.smoother.Update(raw)
+	s.setCP(cp)
+	// cp == α·raw + (1−α)·prev with prev the smoother's held value: if
+	// the result equals that value, the next update with the same raw is
+	// the same expression over the same bits — a true fixed point.
+	h.settled[i] = wasInit && cp == prev
 }
 
 // demandOf returns the demand of any node as known to its parent — the
@@ -406,69 +504,155 @@ func (c *Controller) demandOf(n *topo.Node) float64 {
 	if n.IsLeaf() {
 		return c.viewCP(c.Servers[n.ServerIndex])
 	}
-	return c.pmus[n.ID].CP
-}
-
-// countUp records an upward report on the link between n and its parent.
-func (c *Controller) countUp(n *topo.Node) {
-	if n.Parent != nil {
-		c.upLinks[n.ID] = true
-	}
-}
-
-// countDown records a downward directive on the link between n and its
-// parent. Directives within a tick batch into a single message.
-func (c *Controller) countDown(n *topo.Node) {
-	if n.Parent != nil {
-		c.downLinks[n.ID] = true
-	}
+	return c.pmuCP[n.ID]
 }
 
 // consumeAndHeat settles each server's consumed power against its
 // effective budget, accounts dropped demand, integrates temperature,
 // and refreshes the observed temperature from the sensor (sensing.go).
 func (c *Controller) consumeAndHeat() {
+	if len(c.shardPlan) > 1 && !c.sensorsArmed {
+		c.consumeAndHeatSharded()
+		return
+	}
 	for _, s := range c.Servers {
-		if s.Asleep {
-			s.Consumed = 0
-			s.Dropped = 0
-			s.Thermal.Advance(0, c.Cfg.ThermalDt)
-			c.sense(s, 0)
-			continue
+		c.consumeServer(s)
+	}
+}
+
+// consumeServer is the sequential per-server consume/heat body — the
+// seed's semantics, kept for instrumented fleets and the single-shard
+// path.
+func (c *Controller) consumeServer(s *Server) {
+	h, i := c.hot, s.idx
+	if h.asleep[i] {
+		h.consumed[i] = 0
+		h.dropped[i] = 0
+		s.Thermal.Advance(0, c.Cfg.ThermalDt)
+		c.sense(s, 0)
+		return
+	}
+	eff := s.EffectiveBudget(c.Cfg.ThermalWindow)
+	if c.Sink != nil && eff < h.tp[i]-tolerance {
+		// The hard constraint clamped the granted budget; report it
+		// as a thermal throttle when Eq. 3 — computed, like every
+		// control decision, from the observed temperature — is the
+		// binding limit (rather than the circuit or rated-peak cap).
+		if h.thermLim[i] <= eff+tolerance {
+			c.publish(telemetry.Event{
+				Tick: c.tick, Kind: telemetry.KindThermalThrottle,
+				Server: s.Node.ServerIndex,
+				Watts:  eff, Prev: h.tp[i], Demand: h.rawDemand[i],
+			})
 		}
-		eff := s.EffectiveBudget(c.Cfg.ThermalWindow)
-		if c.Sink != nil && eff < s.TP-tolerance {
-			// The hard constraint clamped the granted budget; report it
-			// as a thermal throttle when Eq. 3 — computed, like every
-			// control decision, from the observed temperature — is the
-			// binding limit (rather than the circuit or rated-peak cap).
-			if lim := s.Thermal.Model.PowerLimit(s.TObs, c.Cfg.ThermalWindow); lim <= eff+tolerance {
-				c.Sink.Publish(telemetry.Event{
-					Tick: c.tick, Kind: telemetry.KindThermalThrottle,
+	}
+	consumed := c.settleQoS(s, eff)
+	h.consumed[i] = consumed
+	dropped := h.rawDemand[i] - consumed
+	if dropped < 0 {
+		dropped = 0
+	}
+	h.dropped[i] = dropped
+	c.Stats.DroppedWattTicks += dropped
+	if h.degraded[i] {
+		c.Stats.DegradedTicks++
+	}
+	s.Thermal.Advance(consumed, c.Cfg.ThermalDt)
+	c.sense(s, consumed)
+}
+
+// consumeAndHeatSharded is the fleet-scale consume/heat path: a parallel
+// phase computes every per-server outcome (consumption, thermal
+// integration, deferred events) over rack-aligned shards, then a
+// sequential merge phase folds statistics and publishes events in
+// server order — so the bits match the sequential path exactly for any
+// shard count. Servers whose demand exceeds their budget (the QoS slow
+// path, which publishes and accumulates globally) are deferred entirely
+// to the merge phase.
+func (c *Controller) consumeAndHeatSharded() {
+	h := c.hot
+	window, dt := c.Cfg.ThermalWindow, c.Cfg.ThermalDt
+	t, sink := c.tick, c.Sink != nil
+	c.forEachShard(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := c.Servers[i]
+			c.needSlow[i] = false
+			if h.asleep[i] {
+				h.consumed[i] = 0
+				h.dropped[i] = 0
+				s.Thermal.Advance(0, dt)
+				if v := s.Thermal.T; isFinite(v) {
+					s.setTObs(v)
+				}
+				continue
+			}
+			eff := s.EffectiveBudget(window)
+			if sink && eff < h.tp[i]-tolerance && h.thermLim[i] <= eff+tolerance {
+				c.evBuf[i] = append(c.evBuf[i], telemetry.Event{
+					Tick: t, Kind: telemetry.KindThermalThrottle,
 					Server: s.Node.ServerIndex,
-					Watts:  eff, Prev: s.TP, Demand: s.RawDemand,
+					Watts:  eff, Prev: h.tp[i], Demand: h.rawDemand[i],
 				})
 			}
+			if h.rawDemand[i] <= eff {
+				// QoS fast path: every app is served in full.
+				h.consumed[i] = h.rawDemand[i]
+				h.dropped[i] = 0
+				s.Thermal.Advance(h.rawDemand[i], dt)
+				if v := s.Thermal.T; isFinite(v) {
+					s.setTObs(v)
+				}
+			} else {
+				c.needSlow[i] = true
+				c.effBuf[i] = eff
+			}
 		}
-		s.Consumed = c.settleQoS(s, eff)
-		s.Dropped = s.RawDemand - s.Consumed
-		if s.Dropped < 0 {
-			s.Dropped = 0
+	})
+	for i, s := range c.Servers {
+		if len(c.evBuf[i]) > 0 {
+			for _, e := range c.evBuf[i] {
+				c.publish(e)
+			}
+			c.evBuf[i] = c.evBuf[i][:0]
 		}
-		c.Stats.DroppedWattTicks += s.Dropped
-		if s.Degraded {
+		if h.asleep[i] {
+			continue
+		}
+		if c.needSlow[i] {
+			consumed := c.settleQoS(s, c.effBuf[i])
+			h.consumed[i] = consumed
+			dropped := h.rawDemand[i] - consumed
+			if dropped < 0 {
+				dropped = 0
+			}
+			h.dropped[i] = dropped
+			c.Stats.DroppedWattTicks += dropped
+			if h.degraded[i] {
+				c.Stats.DegradedTicks++
+			}
+			s.Thermal.Advance(consumed, dt)
+			if v := s.Thermal.T; isFinite(v) {
+				s.setTObs(v)
+			}
+			continue
+		}
+		// Fast-path bookkeeping (the body of settleQoS's served-in-full
+		// branch). Dropped is exactly zero, so the shed-demand
+		// accumulator is untouched — adding zero is the identity.
+		for _, a := range s.Apps.Apps {
+			c.recordService(a.Priority, a.LastDemand, a.LastDemand)
+		}
+		if h.degraded[i] {
 			c.Stats.DegradedTicks++
 		}
-		s.Thermal.Advance(s.Consumed, c.Cfg.ThermalDt)
-		c.sense(s, s.Consumed)
 	}
 }
 
 // TotalConsumed returns the servers' summed power draw this tick.
 func (c *Controller) TotalConsumed() float64 {
 	var sum float64
-	for _, s := range c.Servers {
-		sum += s.Consumed
+	for _, v := range c.hot.consumed {
+		sum += v
 	}
 	return sum
 }
@@ -488,11 +672,11 @@ func (c *Controller) LevelImbalance(level int) (def, sur, imb float64) {
 		}
 	} else if level <= c.Tree.Height {
 		for _, n := range c.levels[level] {
-			p := c.pmus[n.ID]
-			if d := p.CP - p.TP; d > def {
+			cp, tp := c.pmuCP[n.ID], c.pmuTP[n.ID]
+			if d := cp - tp; d > def {
 				def = d
 			}
-			if v := p.TP - p.CP; v > sur {
+			if v := tp - cp; v > sur {
 				sur = v
 			}
 		}
@@ -507,8 +691,8 @@ func (c *Controller) LevelImbalance(level int) (def, sur, imb float64) {
 // AsleepCount returns how many servers are currently deactivated.
 func (c *Controller) AsleepCount() int {
 	n := 0
-	for _, s := range c.Servers {
-		if s.Asleep {
+	for _, a := range c.hot.asleep {
+		if a {
 			n++
 		}
 	}

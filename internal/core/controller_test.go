@@ -146,8 +146,8 @@ func TestStableAllocationNoMigrations(t *testing.T) {
 	// Every server consumes exactly its demand.
 	wants := []float64{140, 70, 90}
 	for i, s := range c.Servers {
-		if math.Abs(s.Consumed-wants[i]) > 1e-6 {
-			t.Errorf("server %d consumed %v, want %v", i, s.Consumed, wants[i])
+		if math.Abs(s.Consumed()-wants[i]) > 1e-6 {
+			t.Errorf("server %d consumed %v, want %v", i, s.Consumed(), wants[i])
 		}
 	}
 }
@@ -165,19 +165,19 @@ func TestBudgetsRespectSupply(t *testing.T) {
 	c.Step()
 	var total float64
 	for _, s := range c.Servers {
-		if s.TP < -tolerance {
-			t.Errorf("negative budget %v", s.TP)
+		if s.TP() < -tolerance {
+			t.Errorf("negative budget %v", s.TP())
 		}
-		total += s.TP
+		total += s.TP()
 	}
 	if total > 220+tolerance {
 		t.Errorf("allocated %v over supply 220", total)
 	}
-	if c.Servers[0].TP < c.Servers[0].Power.Static || c.Servers[1].TP < c.Servers[1].Power.Static {
-		t.Errorf("floors unmet: budgets %v, %v", c.Servers[0].TP, c.Servers[1].TP)
+	if c.Servers[0].TP() < c.Servers[0].Power.Static || c.Servers[1].TP() < c.Servers[1].Power.Static {
+		t.Errorf("floors unmet: budgets %v, %v", c.Servers[0].TP(), c.Servers[1].TP())
 	}
-	if c.Servers[0].TP <= c.Servers[1].TP {
-		t.Errorf("demand-heavy server got %v <= light server %v", c.Servers[0].TP, c.Servers[1].TP)
+	if c.Servers[0].TP() <= c.Servers[1].TP() {
+		t.Errorf("demand-heavy server got %v <= light server %v", c.Servers[0].TP(), c.Servers[1].TP())
 	}
 }
 
@@ -194,7 +194,7 @@ func TestDeepScarcityDrainsToOneServer(t *testing.T) {
 	if got := c.AsleepCount(); got != 1 {
 		t.Fatalf("asleep = %d, want 1 (light server drained)", got)
 	}
-	if c.Servers[0].Asleep {
+	if c.Servers[0].Asleep() {
 		t.Error("the heavy server slept; the light one should")
 	}
 	if c.Servers[0].Apps.Len() != 2 {
@@ -234,8 +234,8 @@ func TestLocalMigrationOnCircuitDeficit(t *testing.T) {
 	}
 	// Source retains the P_min margin against its cap.
 	src := c.Servers[0]
-	if src.CP > 150-c.Cfg.PMin+tolerance {
-		t.Errorf("source CP %v leaves less than P_min margin under its 150 W cap", src.CP)
+	if src.CP() > 150-c.Cfg.PMin+tolerance {
+		t.Errorf("source CP %v leaves less than P_min margin under its 150 W cap", src.CP())
 	}
 	// Run on: the system must settle with no further migrations
 	// (decision stability, Property 4).
@@ -330,7 +330,7 @@ func TestNoMigrationWithoutMargin(t *testing.T) {
 	if got := len(c.Stats.Migrations); got != 0 {
 		t.Errorf("%d migrations despite missing margin", got)
 	}
-	if c.Servers[0].Dropped <= 0 {
+	if c.Servers[0].Dropped() <= 0 {
 		t.Error("deficit demand was not shed")
 	}
 }
@@ -366,7 +366,7 @@ func TestThermalCapDrivesMigration(t *testing.T) {
 	// The hot server must end up consuming no more than its sustainable
 	// thermal power.
 	sustainable := hot.SteadyStatePowerLimit()
-	if got := c.Servers[0].Consumed; got > sustainable+25 {
+	if got := c.Servers[0].Consumed(); got > sustainable+25 {
 		t.Errorf("hot server consumes %v W, sustainable is %v W", got, sustainable)
 	}
 	if c.Stats.PingPongs != 0 {
@@ -391,7 +391,7 @@ func TestConsolidationSleepsIdleServer(t *testing.T) {
 	if got := c.AsleepCount(); got != 1 {
 		t.Fatalf("asleep servers = %d, want 1", got)
 	}
-	if !c.Servers[1].Asleep {
+	if !c.Servers[1].Asleep() {
 		t.Error("wrong server slept")
 	}
 	if c.Stats.ConsolidationMigrations == 0 {
@@ -440,7 +440,7 @@ func TestDrainToSleepOnSupplyPlunge(t *testing.T) {
 	if got := c.AsleepCount(); got != 1 {
 		t.Fatalf("asleep = %d, want 1 after the plunge", got)
 	}
-	if !c.Servers[2].Asleep {
+	if !c.Servers[2].Asleep() {
 		t.Error("expected the lightest server (2) to sleep")
 	}
 	// All migrations must be demand-caused and clustered at the plunge.
@@ -474,14 +474,14 @@ func TestWakeOnDemandPressure(t *testing.T) {
 		serverSpec(50, 200, 0),
 	})
 	c := buildController(t, []int{2}, specs, power.Constant(500), quietCfg())
-	c.Servers[1].Asleep = true
+	c.Servers[1].setAsleep(true)
 	// Load server 0 beyond its peak so demand cannot fit locally.
 	c.Servers[0].Apps.Add(&workload.App{ID: 999, Class: workload.Class{Weight: 1}, Mean: 120, NoiseLambda: -1})
 	c.Run(1 + c.Cfg.WakeLatency + 2)
 	if c.Stats.Wakes != 1 {
 		t.Fatalf("wakes = %d, want 1", c.Stats.Wakes)
 	}
-	if c.Servers[1].Asleep {
+	if c.Servers[1].Asleep() {
 		t.Fatal("server 1 still asleep")
 	}
 	if c.Stats.DemandMigrations == 0 {
@@ -527,12 +527,12 @@ func TestSmoothingFollowsEq4(t *testing.T) {
 	specs := uniqueIDs([]ServerSpec{serverSpec(50, 200, 0, 30)})
 	c := buildController(t, []int{1}, specs, power.Constant(300), cfg)
 	c.Step()
-	if got := c.Servers[0].CP; math.Abs(got-80) > 1e-9 {
+	if got := c.Servers[0].CP(); math.Abs(got-80) > 1e-9 {
 		t.Fatalf("first CP = %v, want 80 (first observation initializes)", got)
 	}
 	// Demand is constant, so CP stays put.
 	c.Step()
-	if got := c.Servers[0].CP; math.Abs(got-80) > 1e-9 {
+	if got := c.Servers[0].CP(); math.Abs(got-80) > 1e-9 {
 		t.Errorf("steady CP = %v, want 80", got)
 	}
 }
@@ -646,28 +646,28 @@ func TestInvariantsUnderChurn(t *testing.T) {
 		var budget float64
 		apps := 0
 		for _, s := range c.Servers {
-			if s.TP < -tolerance {
+			if s.TP() < -tolerance {
 				t.Fatalf("tick %d: negative budget", tick)
 			}
-			if s.Consumed < 0 {
+			if s.Consumed() < 0 {
 				t.Fatalf("tick %d: negative consumption", tick)
 			}
 			// The thermal cap at consume time is gone after the
 			// temperature advanced, so check the stable bounds: budget
 			// and raw demand.
-			if s.Consumed > s.TP+1e-6 {
-				t.Fatalf("tick %d: consumed %v over budget %v", tick, s.Consumed, s.TP)
+			if s.Consumed() > s.TP()+1e-6 {
+				t.Fatalf("tick %d: consumed %v over budget %v", tick, s.Consumed(), s.TP())
 			}
-			if s.Consumed > s.RawDemand+1e-6 {
-				t.Fatalf("tick %d: consumed %v over raw demand %v", tick, s.Consumed, s.RawDemand)
+			if s.Consumed() > s.RawDemand()+1e-6 {
+				t.Fatalf("tick %d: consumed %v over raw demand %v", tick, s.Consumed(), s.RawDemand())
 			}
 			if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
 				t.Fatalf("tick %d: thermal limit violated: %v", tick, s.Thermal.T)
 			}
-			if s.Asleep && s.Apps.Len() > 0 {
+			if s.Asleep() && s.Apps.Len() > 0 {
 				t.Fatalf("tick %d: sleeping server hosts %d apps", tick, s.Apps.Len())
 			}
-			budget += s.TP
+			budget += s.TP()
 			apps += s.Apps.Len()
 		}
 		if budget > supply.At(c.Tick()/cfg.Eta1)*1.0001+tolerance {
@@ -742,7 +742,7 @@ func TestServerUtilization(t *testing.T) {
 	if got := c.Servers[0].Utilization(); math.Abs(got-0.5) > 1e-9 {
 		t.Errorf("Utilization = %v, want 0.5", got)
 	}
-	c.Servers[0].Asleep = true
+	c.Servers[0].setAsleep(true)
 	if got := c.Servers[0].Utilization(); got != 0 {
 		t.Errorf("asleep utilization = %v, want 0", got)
 	}

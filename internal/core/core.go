@@ -70,8 +70,11 @@ type Config struct {
 	// ThermalDt is how many thermal-model time units elapse per tick when
 	// integrating temperature.
 	ThermalDt float64
-	// NoiseLambda controls per-app demand fluctuation (see workload.App);
-	// 0 disables noise.
+	// NoiseLambda controls per-app demand fluctuation (see workload.App).
+	// Zero takes the paper default (25); a negative value disables
+	// fluctuation entirely — demand is then the exact app means, which
+	// also makes the per-tick demand draw free of random-stream
+	// consumption (the steady-fleet scale benchmarks rely on this).
 	NoiseLambda float64
 	// LocalOnly restricts migrations to siblings (no escalation up the
 	// hierarchy). It exists for the ablation baseline isolating the value
@@ -136,6 +139,18 @@ type Config struct {
 	// model-predicted temperature while a sensor is unhealthy or
 	// dropped out, biasing the Eq. 3 power cap conservative.
 	SensorGuard float64
+	// Shards splits the per-server phases of each tick (demand
+	// observation, consumption/heating) across a bounded worker pool of
+	// contiguous rack-aligned server ranges. Results are byte-identical
+	// for any shard count: parallel phases touch only per-server state
+	// and every cross-server accumulation runs sequentially in server
+	// order. 0 or 1 runs the tick single-threaded.
+	Shards int
+	// FullAggregation disables the incremental dirty-subtree demand
+	// aggregation and re-sums the whole PMU tree every tick — the
+	// paper's naive per-Δ_D full recompute, kept as the testing oracle
+	// (and perf baseline) for the incremental path.
+	FullAggregation bool
 }
 
 // Defaults returns the configuration used by the paper's simulation:
@@ -238,6 +253,8 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("core: negative sensor trips %d", c.SensorTrips)
 	case c.SensorGuard < 0 || !isFinite(c.SensorGuard):
 		return c, fmt.Errorf("core: sensor guard %v must be non-negative and finite", c.SensorGuard)
+	case c.Shards < 0:
+		return c, fmt.Errorf("core: negative shard count %d", c.Shards)
 	}
 	return c, nil
 }
@@ -260,7 +277,11 @@ type ServerSpec struct {
 	Apps         []*workload.App
 }
 
-// Server is the runtime state of one leaf.
+// Server is the runtime view of one leaf. The per-tick hot fields
+// (demand, budgets, consumption, sleep state, observed temperature)
+// live in the controller's struct-of-arrays slab (state.go) and are
+// reached through accessor methods; the struct itself keeps only the
+// cold, per-server-object state.
 type Server struct {
 	Node         *topo.Node
 	Power        power.ServerModel
@@ -268,24 +289,13 @@ type Server struct {
 	CircuitLimit float64
 	Apps         workload.Set
 
+	// hot is the controller-owned slab holding this server's hot fields
+	// at index idx (= Node.ServerIndex).
+	hot *fleetHot
+	idx int
+
 	smoother *workload.Smoother
 
-	// RawDemand is this tick's instantaneous total power demand
-	// (static + dynamic + pending migration cost) while awake, 0 asleep.
-	RawDemand float64
-	// CP is the smoothed power demand (Eq. 4).
-	CP float64
-	// TP is the power budget granted by the last supply allocation.
-	TP float64
-	// Consumed is the power actually drawn this tick:
-	// min(RawDemand, effective budget).
-	Consumed float64
-	// Dropped is demand shed this tick because no budget or surplus could
-	// host it.
-	Dropped float64
-
-	// Asleep marks a consolidated (deactivated) server.
-	Asleep bool
 	// wakeAt is the tick at which a waking server becomes available
 	// (-1 when not waking).
 	wakeAt int
@@ -302,28 +312,24 @@ type Server struct {
 	// control decision); only RepairServer clears it.
 	failed bool
 
-	// TObs is the controller's working temperature: what every Eq. 3
-	// power-limit computation reads instead of the physical Thermal.T.
-	// It is the sensor reading filtered through the robust estimator
-	// when sensing is armed (sensing.go), the raw — possibly lying —
-	// reading when a sensor is attached without the estimator, and the
-	// physical truth bit-for-bit in the default fault-free setup.
-	TObs float64
 	// sensor is the temperature instrument TObs is read through; nil
 	// reads the truth directly. est is the per-server robust estimator
 	// state; nil when Config's sensing knobs are all zero.
 	sensor *sensor.Sensor
 	est    *estimator
 
-	// Degraded marks a server whose budget lease expired: it holds its
-	// last-known budget, decayed per supply window toward its safe floor
-	// (see degraded.go). Cleared by the next delivered budget directive.
-	Degraded bool
 	// leaseTick is the tick of the last budget directive heard from the
 	// parent; lastParentTP the parent's budget reported with it (the
 	// fair-share input of the degraded safe floor).
 	leaseTick    int
 	lastParentTP float64
+
+	// capDecay / capDen / capWindow cache the constants of the Eq. 3
+	// power limit over the configured adjustment window:
+	// capDecay = e^(−c2·Δs), capDen = c1·(1−capDecay). They make the
+	// cached hard cap (state.go) a few multiplications instead of a
+	// transcendental per server per tick.
+	capDecay, capDen, capWindow float64
 }
 
 // EffectiveBudget returns min(TP, hard cap): the power the server may
@@ -331,8 +337,8 @@ type Server struct {
 // Eq. 3 with the circuit limit (Section IV-D's hard constraints).
 func (s *Server) EffectiveBudget(windowDt float64) float64 {
 	cap := s.HardCap(windowDt)
-	if s.TP < cap {
-		return s.TP
+	if tp := s.hot.tp[s.idx]; tp < cap {
+		return tp
 	}
 	return cap
 }
@@ -340,9 +346,14 @@ func (s *Server) EffectiveBudget(windowDt float64) float64 {
 // HardCap returns the hard constraint: min(thermal power limit over the
 // next adjustment window, circuit limit, rated peak). The Eq. 3 limit
 // is computed from the observed temperature TObs — the controller can
-// only act on what its instruments report (see sensing.go).
+// only act on what its instruments report (see sensing.go). For the
+// configured adjustment window the cached value is returned (refreshed
+// on every TObs write); other windows compute from scratch.
 func (s *Server) HardCap(windowDt float64) float64 {
-	cap := s.Thermal.Model.PowerLimit(s.TObs, windowDt)
+	if windowDt == s.capWindow {
+		return s.hot.hardCap[s.idx]
+	}
+	cap := s.Thermal.Model.PowerLimit(s.hot.tobs[s.idx], windowDt)
 	if s.CircuitLimit > 0 && s.CircuitLimit < cap {
 		cap = s.CircuitLimit
 	}
@@ -355,16 +366,16 @@ func (s *Server) HardCap(windowDt float64) float64 {
 // Utilization returns the server's current utilization as implied by its
 // consumed power.
 func (s *Server) Utilization() float64 {
-	if s.Asleep {
+	if s.hot.asleep[s.idx] {
 		return 0
 	}
-	return s.Power.Utilization(s.Consumed)
+	return s.Power.Utilization(s.hot.consumed[s.idx])
 }
 
 // Deficit returns [CP − effective budget]+ (Eq. 5).
 func (s *Server) Deficit(windowDt float64) float64 {
-	d := s.CP - s.EffectiveBudget(windowDt)
-	if d < 0 || s.Asleep {
+	d := s.hot.cp[s.idx] - s.EffectiveBudget(windowDt)
+	if d < 0 || s.hot.asleep[s.idx] {
 		return 0
 	}
 	return d
@@ -372,31 +383,12 @@ func (s *Server) Deficit(windowDt float64) float64 {
 
 // Surplus returns [effective budget − CP]+ (Eq. 6).
 func (s *Server) Surplus(windowDt float64) float64 {
-	if s.Asleep {
+	if s.hot.asleep[s.idx] {
 		return 0
 	}
-	d := s.EffectiveBudget(windowDt) - s.CP
+	d := s.EffectiveBudget(windowDt) - s.hot.cp[s.idx]
 	if d < 0 {
 		return 0
 	}
 	return d
-}
-
-// pmu is the runtime state of one internal node.
-type pmu struct {
-	node *topo.Node
-	// CP is the aggregated smoothed demand of the subtree.
-	CP float64
-	// TP is the budget granted from above.
-	TP float64
-	// reduced marks that the last supply event lowered this node's
-	// budget; migrations may not target any server under a reduced node
-	// (the unidirectional rule of Section IV-E).
-	reduced bool
-	// degraded, leaseTick and lastParentTP mirror the Server lease state
-	// (degraded.go): a PMU whose lease expired keeps allocating its
-	// decayed budget to its children autonomously.
-	degraded     bool
-	leaseTick    int
-	lastParentTP float64
 }

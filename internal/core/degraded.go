@@ -77,8 +77,8 @@ func (p *budgetPipe) push(m budgetMsg) budgetMsg {
 // budgetPipeFor returns (creating on demand) the budget pipe of the link
 // between n and its parent.
 func (c *Controller) budgetPipeFor(n *topo.Node) *budgetPipe {
-	p, ok := c.budgetPipes[n.ID]
-	if !ok {
+	p := c.budgetPipes[n.ID]
+	if p == nil {
 		p = &budgetPipe{buf: make([]budgetMsg, c.Cfg.BudgetLatency)}
 		c.budgetPipes[n.ID] = p
 	}
@@ -108,14 +108,17 @@ func clampLoss(v float64) float64 {
 // the pre-lease controller.
 func (c *Controller) resilienceEnabled() bool {
 	return c.Cfg.BudgetLeaseTicks > 0 || c.Cfg.BudgetLatency > 0 ||
-		c.Cfg.BudgetLoss > 0 || len(c.failedPMUs) > 0
+		c.Cfg.BudgetLoss > 0 || c.failedPMUCount > 0
 }
 
 // underDeadPMU reports whether any ancestor PMU of n has crashed — such
 // a node cannot be coordinated with by the rest of the hierarchy.
 func (c *Controller) underDeadPMU(n *topo.Node) bool {
+	if c.failedPMUCount == 0 {
+		return false
+	}
 	for a := n.Parent; a != nil; a = a.Parent {
-		if c.failedPMUs[a.ID] {
+		if c.failedPMU[a.ID] {
 			return true
 		}
 	}
@@ -128,7 +131,7 @@ func (c *Controller) underDeadPMU(n *topo.Node) bool {
 // no migration machinery is available to the node at all.
 func (c *Controller) reachLimit(n *topo.Node) int {
 	limit := 0
-	for a := n.Parent; a != nil && !c.failedPMUs[a.ID]; a = a.Parent {
+	for a := n.Parent; a != nil && !c.failedPMU[a.ID]; a = a.Parent {
 		limit = a.Level
 	}
 	return limit
@@ -171,25 +174,25 @@ func (c *Controller) allocateResilient(t int, window bool) {
 	}
 
 	root := c.Tree.Root
-	if !c.failedPMUs[root.ID] {
-		p := c.pmus[root.ID]
+	if !c.failedPMU[root.ID] {
+		id := root.ID
 		total := c.Supply.At(t / c.Cfg.Eta1)
-		prev := p.TP
-		p.reduced = c.isReduced(total, prev, p.CP)
-		p.TP = total
+		prev := c.pmuTP[id]
+		c.pmuReduced[id] = c.isReduced(total, prev, c.pmuCP[id])
+		c.pmuTP[id] = total
 		if window {
 			// The root draws straight from the supply feed; its lease is
 			// perpetually fresh and it can never be degraded.
-			p.leaseTick = t
-			c.clearPMUDegraded(p, t)
+			c.pmuLeaseTick[id] = t
+			c.clearPMUDegraded(root, t)
 		}
-		c.delivered[root.ID] = true
+		c.delivered[id] = true
 		if c.Sink != nil {
-			c.Sink.Publish(telemetry.Event{
+			c.publish(telemetry.Event{
 				Tick: t, Kind: telemetry.KindBudgetChange,
-				Node: root.ID, Level: root.Level,
-				Watts: total, Prev: prev, Demand: p.CP,
-				Reduced: p.reduced,
+				Node: id, Level: root.Level,
+				Watts: total, Prev: prev, Demand: c.pmuCP[id],
+				Reduced: c.pmuReduced[id],
 			})
 		}
 		c.allocateNodeR(root, total, t, window)
@@ -197,19 +200,18 @@ func (c *Controller) allocateResilient(t int, window bool) {
 
 	for level := c.Tree.Height; level >= 1; level-- {
 		for _, n := range c.levels[level] {
-			if c.delivered[n.ID] || c.failedPMUs[n.ID] {
+			if c.delivered[n.ID] || c.failedPMU[n.ID] {
 				continue
 			}
-			p := c.pmus[n.ID]
 			if window {
-				c.agePMULease(p, t)
+				c.agePMULease(n, t)
 			}
-			c.allocateNodeR(n, p.TP, t, window)
+			c.allocateNodeR(n, c.pmuTP[n.ID], t, window)
 		}
 	}
 
 	for _, s := range c.Servers {
-		if c.delivered[s.Node.ID] || s.Asleep {
+		if c.delivered[s.Node.ID] || s.Asleep() {
 			continue
 		}
 		if window {
@@ -225,7 +227,7 @@ func (c *Controller) allocateNodeR(node *topo.Node, budget float64, t int, windo
 		return
 	}
 	alloc := c.computeChildAllocations(node, budget)
-	parentTP := c.pmus[node.ID].TP
+	parentTP := c.pmuTP[node.ID]
 	for i, ch := range node.Children {
 		c.deliverBudget(ch, alloc[i], parentTP, t, window)
 	}
@@ -237,7 +239,7 @@ func (c *Controller) allocateNodeR(node *topo.Node, budget float64, t int, windo
 // and clears degradation; an undelivered one leaves the child to the
 // autonomous pass. Directives to dead PMUs go nowhere.
 func (c *Controller) deliverBudget(ch *topo.Node, v, parentTP float64, t int, window bool) {
-	if !ch.IsLeaf() && c.failedPMUs[ch.ID] {
+	if !ch.IsLeaf() && c.failedPMU[ch.ID] {
 		return // a dead PMU hears nothing; its span rides its leases
 	}
 	c.countDown(ch)
@@ -255,39 +257,39 @@ func (c *Controller) deliverBudget(ch *topo.Node, v, parentTP float64, t int, wi
 
 	if ch.IsLeaf() {
 		s := c.Servers[ch.ServerIndex]
-		prev := s.TP
-		s.reduced = c.isReduced(msg.tp, prev, s.CP)
-		s.TP = msg.tp
+		prev := s.TP()
+		s.reduced = c.isReduced(msg.tp, prev, s.CP())
+		s.setTP(msg.tp)
 		if window {
 			s.leaseTick = t
 			s.lastParentTP = msg.parentTP
 			c.clearServerDegraded(s, t)
 		}
 		if c.Sink != nil {
-			c.Sink.Publish(telemetry.Event{
+			c.publish(telemetry.Event{
 				Tick: t, Kind: telemetry.KindBudgetChange,
 				Node: ch.ID, Level: ch.Level, Server: ch.ServerIndex,
-				Watts: msg.tp, Prev: prev, Demand: s.CP,
+				Watts: msg.tp, Prev: prev, Demand: s.CP(),
 				Reduced: s.reduced,
 			})
 		}
 		return
 	}
-	p := c.pmus[ch.ID]
-	prev := p.TP
-	p.reduced = c.isReduced(msg.tp, prev, p.CP)
-	p.TP = msg.tp
+	id := ch.ID
+	prev := c.pmuTP[id]
+	c.pmuReduced[id] = c.isReduced(msg.tp, prev, c.pmuCP[id])
+	c.pmuTP[id] = msg.tp
 	if window {
-		p.leaseTick = t
-		p.lastParentTP = msg.parentTP
-		c.clearPMUDegraded(p, t)
+		c.pmuLeaseTick[id] = t
+		c.pmuLastParentTP[id] = msg.parentTP
+		c.clearPMUDegraded(ch, t)
 	}
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindBudgetChange,
-			Node: ch.ID, Level: ch.Level,
-			Watts: msg.tp, Prev: prev, Demand: p.CP,
-			Reduced: p.reduced,
+			Node: id, Level: ch.Level,
+			Watts: msg.tp, Prev: prev, Demand: c.pmuCP[id],
+			Reduced: c.pmuReduced[id],
 		})
 	}
 	c.allocateNodeR(ch, msg.tp, t, window)
@@ -302,78 +304,79 @@ func (c *Controller) ageServerLease(s *Server, t int) {
 	if lease <= 0 || t-s.leaseTick <= lease {
 		return
 	}
-	entered := !s.Degraded
+	entered := !s.Degraded()
 	if entered {
-		s.Degraded = true
+		s.setDegraded(true)
 		c.Stats.LeaseExpiries++
 	}
 	floor := c.serverFloor(s)
-	prev := s.TP
-	if s.TP > floor {
-		s.TP = floor + c.Cfg.DegradedDecay*(s.TP-floor)
+	prev := s.TP()
+	if prev > floor {
+		s.setTP(floor + c.Cfg.DegradedDecay*(prev-floor))
 	}
-	s.reduced = c.isReduced(s.TP, prev, s.CP)
+	s.reduced = c.isReduced(s.TP(), prev, s.CP())
 	if entered && c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindDegraded,
 			Node: s.Node.ID, Server: s.Node.ServerIndex,
-			Cause: "enter", Watts: s.TP, Prev: prev,
+			Cause: "enter", Watts: s.TP(), Prev: prev,
 		})
 	}
 }
 
 // agePMULease is ageServerLease for internal nodes.
-func (c *Controller) agePMULease(p *pmu, t int) {
+func (c *Controller) agePMULease(n *topo.Node, t int) {
 	lease := c.Cfg.BudgetLeaseTicks
-	if lease <= 0 || t-p.leaseTick <= lease {
+	if lease <= 0 || t-c.pmuLeaseTick[n.ID] <= lease {
 		return
 	}
-	entered := !p.degraded
+	id := n.ID
+	entered := !c.pmuDegraded[id]
 	if entered {
-		p.degraded = true
+		c.pmuDegraded[id] = true
 		c.Stats.LeaseExpiries++
 	}
-	floor := c.pmuFloor(p)
-	prev := p.TP
-	if p.TP > floor {
-		p.TP = floor + c.Cfg.DegradedDecay*(p.TP-floor)
+	floor := c.pmuFloor(n)
+	prev := c.pmuTP[id]
+	if prev > floor {
+		c.pmuTP[id] = floor + c.Cfg.DegradedDecay*(prev-floor)
 	}
-	p.reduced = c.isReduced(p.TP, prev, p.CP)
+	c.pmuReduced[id] = c.isReduced(c.pmuTP[id], prev, c.pmuCP[id])
 	if entered && c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindDegraded,
-			Node: p.node.ID, Level: p.node.Level,
-			Cause: "enter", Watts: p.TP, Prev: prev,
+			Node: id, Level: n.Level,
+			Cause: "enter", Watts: c.pmuTP[id], Prev: prev,
 		})
 	}
 }
 
 // clearServerDegraded exits degraded mode on a freshly delivered lease.
 func (c *Controller) clearServerDegraded(s *Server, t int) {
-	if !s.Degraded {
+	if !s.Degraded() {
 		return
 	}
-	s.Degraded = false
+	s.setDegraded(false)
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindDegraded,
 			Node: s.Node.ID, Server: s.Node.ServerIndex,
-			Cause: "exit", Watts: s.TP,
+			Cause: "exit", Watts: s.TP(),
 		})
 	}
 }
 
 // clearPMUDegraded is clearServerDegraded for internal nodes.
-func (c *Controller) clearPMUDegraded(p *pmu, t int) {
-	if !p.degraded {
+func (c *Controller) clearPMUDegraded(n *topo.Node, t int) {
+	if !c.pmuDegraded[n.ID] {
 		return
 	}
-	p.degraded = false
+	c.pmuDegraded[n.ID] = false
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindDegraded,
-			Node: p.node.ID, Level: p.node.Level,
-			Cause: "exit", Watts: p.TP,
+			Node: n.ID, Level: n.Level,
+			Cause: "exit", Watts: c.pmuTP[n.ID],
 		})
 	}
 }
@@ -393,9 +396,9 @@ func (c *Controller) serverFloor(s *Server) float64 {
 // pmuFloor is serverFloor lifted to a subtree: summed static floors plus
 // the node's fair share of the last-known parent budget, capped by the
 // subtree's summed hard caps.
-func (c *Controller) pmuFloor(p *pmu) float64 {
-	floor := c.subtreeFloor(p.node) + c.fairShare(p.node, p.lastParentTP)
-	if cap := c.subtreeCap(p.node); cap < floor {
+func (c *Controller) pmuFloor(n *topo.Node) float64 {
+	floor := c.subtreeFloor(n) + c.fairShare(n, c.pmuLastParentTP[n.ID])
+	if cap := c.subtreeCap(n); cap < floor {
 		floor = cap
 	}
 	return floor

@@ -61,7 +61,7 @@ func TestServerLeaseExpiryAndDecay(t *testing.T) {
 	c := leaseScenario(t, cfg)
 	c.Run(5)
 	s := c.Servers[0]
-	held := s.TP
+	held := s.TP()
 	if held <= 0 {
 		t.Fatalf("no budget before the failure: %v", held)
 	}
@@ -69,16 +69,16 @@ func TestServerLeaseExpiryAndDecay(t *testing.T) {
 	c.FailPMU(c.Tree.Root.ID)
 	// Within the lease the held budget stands unchanged.
 	c.Run(3)
-	if s.Degraded {
+	if s.Degraded() {
 		t.Fatal("degraded before the lease expired")
 	}
-	if s.TP != held {
-		t.Errorf("held budget moved within the lease: %v -> %v", held, s.TP)
+	if s.TP() != held {
+		t.Errorf("held budget moved within the lease: %v -> %v", held, s.TP())
 	}
 
 	// Past the lease: degraded, decaying geometrically toward the floor.
 	c.Step()
-	if !s.Degraded {
+	if !s.Degraded() {
 		t.Fatal("lease expired but server not degraded")
 	}
 	if c.Stats.LeaseExpiries != 2 {
@@ -88,19 +88,19 @@ func TestServerLeaseExpiryAndDecay(t *testing.T) {
 	if held <= floor {
 		t.Fatalf("scenario defeats itself: held budget %v not above floor %v", held, floor)
 	}
-	prev := s.TP
+	prev := s.TP()
 	for i := 0; i < 20; i++ {
 		c.Step()
-		if s.TP > prev+tolerance {
-			t.Fatalf("degraded budget rose: %v -> %v", prev, s.TP)
+		if s.TP() > prev+tolerance {
+			t.Fatalf("degraded budget rose: %v -> %v", prev, s.TP())
 		}
-		if s.TP < floor-tolerance {
-			t.Fatalf("degraded budget fell below the floor: %v < %v", s.TP, floor)
+		if s.TP() < floor-tolerance {
+			t.Fatalf("degraded budget fell below the floor: %v < %v", s.TP(), floor)
 		}
-		prev = s.TP
+		prev = s.TP()
 	}
-	if math.Abs(s.TP-floor) > 1e-3 {
-		t.Errorf("budget did not converge to the floor: %v vs %v", s.TP, floor)
+	if math.Abs(s.TP()-floor) > 1e-3 {
+		t.Errorf("budget did not converge to the floor: %v vs %v", s.TP(), floor)
 	}
 	if c.Stats.DegradedTicks == 0 {
 		t.Error("no degraded server-ticks accumulated")
@@ -120,10 +120,10 @@ func TestRepairClearsDegraded(t *testing.T) {
 		t.Errorf("pmu failures = %d, want 1", c.Stats.PMUFailures)
 	}
 	c.Run(10)
-	if !c.Servers[0].Degraded || !c.Servers[1].Degraded {
+	if !c.Servers[0].Degraded() || !c.Servers[1].Degraded() {
 		t.Fatal("servers not degraded under a dead root")
 	}
-	decayed := c.Servers[0].TP
+	decayed := c.Servers[0].TP()
 
 	c.RepairPMU(c.Tree.Root.ID)
 	c.RepairPMU(c.Tree.Root.ID) // no-op
@@ -133,15 +133,15 @@ func TestRepairClearsDegraded(t *testing.T) {
 	// The refreshed lease holds the decayed budget steady (no further
 	// decay), and the next supply window clears the degradation.
 	c.Step()
-	if c.Servers[0].Degraded || c.Servers[1].Degraded {
+	if c.Servers[0].Degraded() || c.Servers[1].Degraded() {
 		t.Fatal("degradation survived a fresh directive after repair")
 	}
-	if c.Servers[0].TP < decayed-tolerance {
-		t.Errorf("repair lowered the budget further: %v -> %v", decayed, c.Servers[0].TP)
+	if c.Servers[0].TP() < decayed-tolerance {
+		t.Errorf("repair lowered the budget further: %v -> %v", decayed, c.Servers[0].TP())
 	}
 	c.Run(5)
-	if c.Servers[0].TP <= decayed {
-		t.Errorf("budget did not recover after repair: %v (decayed floor %v)", c.Servers[0].TP, decayed)
+	if c.Servers[0].TP() <= decayed {
+		t.Errorf("budget did not recover after repair: %v (decayed floor %v)", c.Servers[0].TP(), decayed)
 	}
 
 	// The stream carries the full enter/exit story.
@@ -217,37 +217,36 @@ func TestMidTreePMUKillSafety(t *testing.T) {
 	prevTP := map[int]float64{}
 	heldTP := map[int]float64{}
 	for _, id := range l1 {
-		prevTP[id] = c.pmus[id].TP
-		heldTP[id] = c.pmus[id].TP
+		prevTP[id] = c.pmuTP[id]
+		heldTP[id] = c.pmuTP[id]
 	}
 	for tick := 0; tick < 30; tick++ {
 		c.Step()
 		for _, s := range c.Servers {
-			if s.Asleep {
+			if s.Asleep() {
 				continue
 			}
-			if cap := s.HardCap(c.Cfg.ThermalWindow); s.Consumed > cap+tolerance {
+			if cap := s.HardCap(c.Cfg.ThermalWindow); s.Consumed() > cap+tolerance {
 				t.Fatalf("tick %d: server %d consumed %v above hard cap %v",
-					tick, s.Node.ServerIndex, s.Consumed, cap)
+					tick, s.Node.ServerIndex, s.Consumed(), cap)
 			}
-			if s.Consumed > s.CircuitLimit+tolerance {
+			if s.Consumed() > s.CircuitLimit+tolerance {
 				t.Fatalf("tick %d: server %d consumed %v above circuit limit %v",
-					tick, s.Node.ServerIndex, s.Consumed, s.CircuitLimit)
+					tick, s.Node.ServerIndex, s.Consumed(), s.CircuitLimit)
 			}
 		}
 		// The orphaned level-1 PMUs only ever shed while degraded.
 		for _, id := range l1 {
-			p := c.pmus[id]
-			if p.degraded && p.TP > prevTP[id]+tolerance {
+			if c.pmuDegraded[id] && c.pmuTP[id] > prevTP[id]+tolerance {
 				t.Fatalf("tick %d: degraded PMU %d budget rose %v -> %v",
-					tick, id, prevTP[id], p.TP)
+					tick, id, prevTP[id], c.pmuTP[id])
 			}
-			prevTP[id] = p.TP
+			prevTP[id] = c.pmuTP[id]
 		}
 	}
 	degraded := 0
 	for _, id := range l1 {
-		if c.pmus[id].degraded {
+		if c.pmuDegraded[id] {
 			degraded++
 		}
 	}
@@ -258,30 +257,29 @@ func TestMidTreePMUKillSafety(t *testing.T) {
 	// already sat below the floor when the lease expired simply holds
 	// (degradation never raises).
 	for _, id := range l1 {
-		p := c.pmus[id]
-		bound := c.pmuFloor(p)
+		bound := c.pmuFloor(c.Tree.Nodes[id])
 		if held := heldTP[id]; held < bound {
 			bound = held
 		}
-		if p.TP < bound-tolerance {
-			t.Errorf("PMU %d decayed below its bound: %v < %v", id, p.TP, bound)
+		if c.pmuTP[id] < bound-tolerance {
+			t.Errorf("PMU %d decayed below its bound: %v < %v", id, c.pmuTP[id], bound)
 		}
 	}
 
 	c.RepairPMU(1)
 	c.Run(2 * cfg.BudgetLeaseTicks)
 	for _, id := range l1 {
-		if c.pmus[id].degraded {
+		if c.pmuDegraded[id] {
 			t.Errorf("PMU %d still degraded after repair", id)
 		}
 	}
-	if c.pmus[1].degraded {
+	if c.pmuDegraded[1] {
 		t.Error("repaired PMU itself still degraded")
 	}
 	// The span draws real budget again.
 	var spanTP float64
 	for i := 0; i < 9; i++ {
-		spanTP += c.Servers[i].TP
+		spanTP += c.Servers[i].TP()
 	}
 	if spanTP <= 0 {
 		t.Error("repaired span has no budget")
@@ -320,20 +318,20 @@ func TestBudgetLatencyDelaysDirectives(t *testing.T) {
 	delayed := mk(1)
 	direct.Run(5)
 	delayed.Run(5)
-	if direct.Servers[0].TP != delayed.Servers[0].TP {
-		t.Fatalf("pre-step budgets differ: %v vs %v", direct.Servers[0].TP, delayed.Servers[0].TP)
+	if direct.Servers[0].TP() != delayed.Servers[0].TP() {
+		t.Fatalf("pre-step budgets differ: %v vs %v", direct.Servers[0].TP(), delayed.Servers[0].TP())
 	}
-	pre := direct.Servers[0].TP
+	pre := direct.Servers[0].TP()
 	direct.Step() // tick 5: the supply plunge lands
 	delayed.Step()
-	if direct.Servers[0].TP >= pre {
-		t.Fatalf("direct path did not see the plunge: %v", direct.Servers[0].TP)
+	if direct.Servers[0].TP() >= pre {
+		t.Fatalf("direct path did not see the plunge: %v", direct.Servers[0].TP())
 	}
-	if delayed.Servers[0].TP != pre {
-		t.Errorf("delayed path saw the plunge immediately: %v, want %v", delayed.Servers[0].TP, pre)
+	if delayed.Servers[0].TP() != pre {
+		t.Errorf("delayed path saw the plunge immediately: %v, want %v", delayed.Servers[0].TP(), pre)
 	}
 	delayed.Step()
-	if delayed.Servers[0].TP >= pre {
-		t.Errorf("plunge never surfaced from the budget pipe: %v", delayed.Servers[0].TP)
+	if delayed.Servers[0].TP() >= pre {
+		t.Errorf("plunge never surfaced from the budget pipe: %v", delayed.Servers[0].TP())
 	}
 }

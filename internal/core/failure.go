@@ -38,14 +38,14 @@ func (c *Controller) FailServer(idx int) {
 	if s.failed {
 		return
 	}
-	if s.Asleep {
+	if s.Asleep() {
 		// Dies in its sleep: drained before deactivating, so there are
 		// no applications to orphan and no transfers to cancel.
 		s.failed = true
 		s.wakeAt = -1
 		c.Stats.Failures++
 		if c.Sink != nil {
-			c.Sink.Publish(telemetry.Event{
+			c.publish(telemetry.Event{
 				Tick: c.tick, Kind: telemetry.KindFailure,
 				Server: idx, Cause: "fail",
 			})
@@ -83,16 +83,16 @@ func (c *Controller) FailServer(idx int) {
 		orphanWatts += a.Mean
 	}
 	s.Apps.Apps = nil
-	s.Asleep = true
+	s.setAsleep(true)
 	s.failed = true
 	s.wakeAt = -1
-	s.RawDemand = 0
-	s.CP = 0
-	s.Consumed = 0
+	s.setRawDemand(0)
+	s.setCP(0)
+	s.setConsumed(0)
 	s.smoother.Reset()
 	c.Stats.Failures++
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: c.tick, Kind: telemetry.KindFailure,
 			Server: idx, Cause: "fail",
 			Count: orphaned, Watts: orphanWatts,
@@ -111,11 +111,11 @@ func (c *Controller) RepairServer(idx int) {
 		return
 	}
 	s.failed = false
-	s.Asleep = false
+	s.setAsleep(false)
 	s.smoother.Reset()
 	c.Stats.Repairs++
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: c.tick, Kind: telemetry.KindFailure,
 			Server: idx, Cause: "repair",
 		})
@@ -142,7 +142,7 @@ func (c *Controller) restartOrphans(t int) {
 	if c.Sink != nil {
 		// One degradation record per waiting tick, so aggregators can
 		// integrate stranded demand (OrphanWattTicks) from the stream.
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: t, Kind: telemetry.KindDegraded,
 			Cause: "orphans", Count: len(c.orphans), Watts: stranded,
 		})
@@ -151,7 +151,7 @@ func (c *Controller) restartOrphans(t int) {
 	var waiting []orphan
 	for _, o := range c.orphans {
 		scope := c.Tree.Root
-		if len(c.failedPMUs) > 0 {
+		if c.failedPMUCount > 0 {
 			// Restart coordination climbs the same hierarchy as
 			// migrations: a dead PMU bounds how far the orphan's home
 			// span can reach for a target.
@@ -169,7 +169,7 @@ func (c *Controller) restartOrphans(t int) {
 		}
 		ws[to.Node.ServerIndex] -= o.app.Mean
 		to.Apps.Add(o.app)
-		to.CP += o.app.Mean
+		to.setCP(to.CP() + o.app.Mean)
 		to.smoother.Bias(o.app.Mean)
 		to.migCost += c.Cfg.MigCostWatts // restart work (boot, image fetch)
 		m := Migration{
@@ -202,13 +202,15 @@ func (c *Controller) restartOrphans(t int) {
 // cross the dead span. Failing an already-failed PMU is a no-op.
 func (c *Controller) FailPMU(nodeID int) {
 	n := c.pmuNode(nodeID, "FailPMU")
-	if c.failedPMUs[nodeID] {
+	if c.failedPMU[nodeID] {
 		return
 	}
-	c.failedPMUs[nodeID] = true
+	c.failedPMU[nodeID] = true
+	c.failedPMUCount++
+	c.recountLiveUpLinks()
 	c.Stats.PMUFailures++
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: c.tick, Kind: telemetry.KindFailure,
 			Node: nodeID, Level: n.Level, Cause: "pmu-fail",
 			Count: c.spanServers(n),
@@ -225,14 +227,20 @@ func (c *Controller) FailPMU(nodeID int) {
 // no-op for PMUs that are not failed.
 func (c *Controller) RepairPMU(nodeID int) {
 	n := c.pmuNode(nodeID, "RepairPMU")
-	if !c.failedPMUs[nodeID] {
+	if !c.failedPMU[nodeID] {
 		return
 	}
-	delete(c.failedPMUs, nodeID)
+	c.failedPMU[nodeID] = false
+	c.failedPMUCount--
+	c.recountLiveUpLinks()
+	// The repaired PMU's aggregate froze at failure time; force it to
+	// re-sum at the next synchronous aggregation (ancestors follow via
+	// normal dirty propagation if the sum actually changed).
+	c.hot.dirty[nodeID] = true
 	c.Stats.PMURepairs++
 	c.resyncSpan(n)
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: c.tick, Kind: telemetry.KindFailure,
 			Node: nodeID, Level: n.Level, Cause: "pmu-repair",
 			Count: c.spanServers(n),
@@ -267,13 +275,13 @@ func (c *Controller) spanServers(n *topo.Node) int {
 // resyncSpan drops the pipes and refreshes the leases of every node in
 // n's subtree, n included.
 func (c *Controller) resyncSpan(n *topo.Node) {
-	delete(c.pipes, n.ID)
-	delete(c.budgetPipes, n.ID)
+	c.pipes[n.ID] = nil
+	c.budgetPipes[n.ID] = nil
 	if n.IsLeaf() {
 		c.Servers[n.ServerIndex].leaseTick = c.tick
 		return
 	}
-	c.pmus[n.ID].leaseTick = c.tick
+	c.pmuLeaseTick[n.ID] = c.tick
 	for _, ch := range n.Children {
 		c.resyncSpan(ch)
 	}

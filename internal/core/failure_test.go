@@ -25,7 +25,7 @@ func TestFailServerOrphansAndRestarts(t *testing.T) {
 	if c.Orphans() != 2 {
 		t.Fatalf("orphans = %d, want 2", c.Orphans())
 	}
-	if !c.Servers[0].Asleep || !c.Servers[0].failed {
+	if !c.Servers[0].Asleep() || !c.Servers[0].failed {
 		t.Fatal("failed server not dark")
 	}
 	c.Step()
@@ -64,7 +64,7 @@ func TestFailServerOrphansAndRestarts(t *testing.T) {
 func TestFailSleepingServer(t *testing.T) {
 	c := failureScenario(t, quietCfg())
 	c.Run(2)
-	c.Servers[3].Asleep = true // empty server parked asleep
+	c.Servers[3].setAsleep(true) // empty server parked asleep
 	c.FailServer(3)
 	if !c.Servers[3].failed {
 		t.Fatal("sleeping server not marked failed")
@@ -79,12 +79,12 @@ func TestFailSleepingServer(t *testing.T) {
 	// dead spare, however long the pressure lasts.
 	c.FailServer(0)
 	c.Run(4 + c.Cfg.WakeLatency)
-	if !c.Servers[3].Asleep || c.Servers[3].Consumed != 0 {
+	if !c.Servers[3].Asleep() || c.Servers[3].Consumed() != 0 {
 		t.Error("dead sleeping server was woken")
 	}
 	// Repair brings it back awake and usable like any other machine.
 	c.RepairServer(3)
-	if c.Servers[3].Asleep || c.Servers[3].failed {
+	if c.Servers[3].Asleep() || c.Servers[3].failed {
 		t.Error("repaired sleeper not back in service")
 	}
 }
@@ -113,7 +113,7 @@ func TestRepairServerRejoins(t *testing.T) {
 	c.FailServer(2)
 	c.Run(3)
 	c.RepairServer(2)
-	if c.Servers[2].Asleep || c.Servers[2].failed {
+	if c.Servers[2].Asleep() || c.Servers[2].failed {
 		t.Fatal("repaired server not awake")
 	}
 	c.RepairServer(2) // no-op
@@ -122,8 +122,8 @@ func TestRepairServerRejoins(t *testing.T) {
 	}
 	c.Run(6)
 	// The repaired server gets a budget again at the next allocation.
-	if c.Servers[2].TP <= 0 {
-		t.Errorf("repaired server budget %v, want positive", c.Servers[2].TP)
+	if c.Servers[2].TP() <= 0 {
+		t.Errorf("repaired server budget %v, want positive", c.Servers[2].TP())
 	}
 }
 
@@ -140,7 +140,7 @@ func TestFailureWakesCapacityWhenNeeded(t *testing.T) {
 	cfg := quietCfg()
 	c := buildController(t, []int{2, 2}, specs, power.Constant(1200), cfg)
 	c.Run(2)
-	c.Servers[3].Asleep = true // spare sleeps
+	c.Servers[3].setAsleep(true) // spare sleeps
 	c.FailServer(0)
 	c.Run(2 + c.Cfg.WakeLatency + 2)
 	if c.Stats.Wakes == 0 {

@@ -121,18 +121,18 @@ func TestRandomScenarioInvariants(t *testing.T) {
 			apps := 0
 			for si, s := range c.Servers {
 				apps += s.Apps.Len()
-				if s.TP < -tolerance {
-					t.Fatalf("seed %d tick %d: server %d negative budget %v", seed, tick, si, s.TP)
+				if s.TP() < -tolerance {
+					t.Fatalf("seed %d tick %d: server %d negative budget %v", seed, tick, si, s.TP())
 				}
-				if s.Consumed < 0 || s.Consumed > s.TP+1e-6 || s.Consumed > s.RawDemand+1e-6 {
+				if s.Consumed() < 0 || s.Consumed() > s.TP()+1e-6 || s.Consumed() > s.RawDemand()+1e-6 {
 					t.Fatalf("seed %d tick %d: server %d consumption %v out of bounds (TP %v, raw %v)",
-						seed, tick, si, s.Consumed, s.TP, s.RawDemand)
+						seed, tick, si, s.Consumed(), s.TP(), s.RawDemand())
 				}
 				if s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
 					t.Fatalf("seed %d tick %d: server %d at %v °C over limit %v",
 						seed, tick, si, s.Thermal.T, s.Thermal.Model.Limit)
 				}
-				if s.Asleep && s.Apps.Len() > 0 {
+				if s.Asleep() && s.Apps.Len() > 0 {
 					t.Fatalf("seed %d tick %d: sleeping server %d hosts %d apps", seed, tick, si, s.Apps.Len())
 				}
 			}
@@ -141,18 +141,21 @@ func TestRandomScenarioInvariants(t *testing.T) {
 			}
 			// Budget conservation at every internal node: children never
 			// receive more than the parent was granted.
-			for _, p := range c.pmus {
+			for _, n := range c.Tree.Nodes {
+				if n.IsLeaf() {
+					continue
+				}
 				var childSum float64
-				for _, ch := range p.node.Children {
+				for _, ch := range n.Children {
 					if ch.IsLeaf() {
-						childSum += c.Servers[ch.ServerIndex].TP
+						childSum += c.Servers[ch.ServerIndex].TP()
 					} else {
-						childSum += c.pmus[ch.ID].TP
+						childSum += c.pmuTP[ch.ID]
 					}
 				}
-				if childSum > p.TP+1e-3 {
+				if childSum > c.pmuTP[n.ID]+1e-3 {
 					t.Fatalf("seed %d tick %d: node %s granted %v to children with budget %v",
-						seed, tick, p.node.Name(), childSum, p.TP)
+						seed, tick, n.Name(), childSum, c.pmuTP[n.ID])
 				}
 			}
 			for idx, r := range c.reserved {
@@ -379,9 +382,9 @@ func TestFaultScheduleInvariants(t *testing.T) {
 			apps := 0
 			for si, s := range c.Servers {
 				apps += s.Apps.Len()
-				if math.IsNaN(s.TObs) || math.IsInf(s.TObs, 0) {
+				if math.IsNaN(s.TObs()) || math.IsInf(s.TObs(), 0) {
 					t.Fatalf("seed %d tick %d: server %d non-finite observed temperature %v",
-						seed, tick, si, s.TObs)
+						seed, tick, si, s.TObs())
 				}
 				if math.IsNaN(s.Thermal.T) || s.Thermal.T > s.Thermal.Model.Limit+1e-6 {
 					t.Fatalf("seed %d tick %d: server %d true temperature %v vs limit %v under sensor chaos",
@@ -390,18 +393,18 @@ func TestFaultScheduleInvariants(t *testing.T) {
 				if downServers[si] && s.Apps.Len() > 0 {
 					t.Fatalf("seed %d tick %d: failed server %d hosts %d apps", seed, tick, si, s.Apps.Len())
 				}
-				if s.Asleep {
+				if s.Asleep() {
 					if s.Apps.Len() > 0 {
 						t.Fatalf("seed %d tick %d: sleeping server %d hosts %d apps", seed, tick, si, s.Apps.Len())
 					}
 					continue
 				}
-				if cap := s.HardCap(c.Cfg.ThermalWindow); s.Consumed > cap+1e-6 {
+				if cap := s.HardCap(c.Cfg.ThermalWindow); s.Consumed() > cap+1e-6 {
 					t.Fatalf("seed %d tick %d: server %d consumed %v above hard cap %v",
-						seed, tick, si, s.Consumed, cap)
+						seed, tick, si, s.Consumed(), cap)
 				}
-				if s.TP < -tolerance {
-					t.Fatalf("seed %d tick %d: server %d negative budget %v", seed, tick, si, s.TP)
+				if s.TP() < -tolerance {
+					t.Fatalf("seed %d tick %d: server %d negative budget %v", seed, tick, si, s.TP())
 				}
 			}
 			if total := apps + c.Orphans(); total != appCount {

@@ -94,10 +94,10 @@ func (c *Controller) workingSurpluses(window float64) map[int]float64 {
 // (the unidirectional rule), and not stranded under a dead PMU (no
 // coordinator can direct workload into such a span).
 func (c *Controller) receiverEligible(s *Server) bool {
-	if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+	if c.failedPMUCount > 0 && c.underDeadPMU(s.Node) {
 		return false
 	}
-	return !s.Asleep && !c.draining[s.Node.ServerIndex] && !s.reduced
+	return !s.Asleep() && !c.draining[s.Node.ServerIndex] && !s.reduced
 }
 
 // planPlacement assigns items to servers level by level: every item first
@@ -147,7 +147,7 @@ func (c *Controller) planPlacement(items []item, ws map[int]float64, ignoreReduc
 	for level := 1; level <= maxLevel && len(pending) > 0; level++ {
 		var next []item
 		for _, it := range pending {
-			if len(c.failedPMUs) > 0 && level > c.reachLimit(it.src.Node) {
+			if c.failedPMUCount > 0 && level > c.reachLimit(it.src.Node) {
 				// Escalation is capped at the highest coordinator the
 				// source can still reach through alive PMUs.
 				next = append(next, it)
@@ -197,11 +197,11 @@ func (c *Controller) pickTarget(it item, scope, exclude *topo.Node, ws map[int]f
 		if n == exclude {
 			return
 		}
-		if !n.IsLeaf() && c.failedPMUs[n.ID] {
+		if !n.IsLeaf() && c.failedPMU[n.ID] {
 			// No coordinator: nothing can be placed into a dead span.
 			return
 		}
-		if !ignoreReduced && !n.IsLeaf() && n != scope && c.pmus[n.ID].reduced {
+		if !ignoreReduced && !n.IsLeaf() && n != scope && c.pmuReduced[n.ID] {
 			// Unidirectional rule: no migrations into a squeezed subtree.
 			return
 		}
@@ -260,11 +260,12 @@ func (c *Controller) applyAssignments(plan []assignment, cause Cause, t int) {
 			src.Apps.Remove(app.ID)
 			dst.Apps.Add(app)
 			// Demand follows the application immediately.
-			src.CP -= app.Mean
-			if src.CP < 0 {
-				src.CP = 0
+			cp := src.CP() - app.Mean
+			if cp < 0 {
+				cp = 0
 			}
-			dst.CP += app.Mean
+			src.setCP(cp)
+			dst.setCP(dst.CP() + app.Mean)
 			src.smoother.Bias(-app.Mean)
 			dst.smoother.Bias(app.Mean)
 		}
@@ -318,7 +319,7 @@ func (c *Controller) applyAssignments(plan []assignment, cause Cause, t int) {
 // immediately afterwards and the unplaced items retried. It returns the
 // items that remain unplaced.
 func (c *Controller) drainToSleep(unplaced []item, t int) []item {
-	rootTP := c.pmus[c.Tree.Root.ID].TP
+	rootTP := c.pmuTP[c.Tree.Root.ID]
 	drained := map[*Server]bool{}
 	for {
 		awake := c.awakeServers()
@@ -337,7 +338,7 @@ func (c *Controller) drainToSleep(unplaced []item, t int) []item {
 			if c.draining[s.Node.ServerIndex] || c.transferTouches(s) {
 				continue
 			}
-			if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+			if c.failedPMUCount > 0 && c.underDeadPMU(s.Node) {
 				continue // cannot coordinate a drain across a dead span
 			}
 			if victim == nil || c.viewDynamic(s) < c.viewDynamic(victim) {
@@ -361,7 +362,7 @@ func (c *Controller) drainToSleep(unplaced []item, t int) []item {
 			if s == victim || c.draining[s.Node.ServerIndex] {
 				continue
 			}
-			if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+			if c.failedPMUCount > 0 && c.underDeadPMU(s.Node) {
 				continue
 			}
 			room := s.HardCap(c.Cfg.ThermalWindow) - c.viewCP(s) - c.Cfg.PMin - c.reservedFor(s)
@@ -408,14 +409,14 @@ func (c *Controller) drainToSleep(unplaced []item, t int) []item {
 // tryWake schedules the most capable sleeping server to wake when demand
 // cannot be placed and the root budget has headroom for its static draw.
 func (c *Controller) tryWake(t int) {
-	rootTP := c.pmus[c.Tree.Root.ID].TP
-	rootCP := c.pmus[c.Tree.Root.ID].CP
+	rootTP := c.pmuTP[c.Tree.Root.ID]
+	rootCP := c.pmuCP[c.Tree.Root.ID]
 	var pick *Server
 	for _, s := range c.Servers {
-		if !s.Asleep || s.failed {
+		if !s.Asleep() || s.failed {
 			continue
 		}
-		if len(c.failedPMUs) > 0 && c.underDeadPMU(s.Node) {
+		if c.failedPMUCount > 0 && c.underDeadPMU(s.Node) {
 			continue // no coordinator to direct demand its way once awake
 		}
 		if s.wakeAt >= 0 {
@@ -437,7 +438,7 @@ func (c *Controller) tryWake(t int) {
 func (c *Controller) awakeServers() []*Server {
 	out := make([]*Server, 0, len(c.Servers))
 	for _, s := range c.Servers {
-		if !s.Asleep {
+		if !s.Asleep() {
 			out = append(out, s)
 		}
 	}

@@ -35,16 +35,17 @@ type appService struct {
 // stats.
 func (c *Controller) settleQoS(s *Server, eff float64) float64 {
 	// Fast path: everything fits.
-	if s.RawDemand <= eff {
+	raw := s.RawDemand()
+	if raw <= eff {
 		for _, a := range s.Apps.Apps {
 			c.recordService(a.Priority, a.LastDemand, a.LastDemand)
 		}
-		return s.RawDemand
+		return raw
 	}
 
 	// The non-sheddable part: static draw plus the migration cost folded
 	// into this tick's demand.
-	fixed := s.RawDemand
+	fixed := raw
 	var dynTotal float64
 	services := make([]appService, 0, s.Apps.Len())
 	for _, a := range s.Apps.Apps {
@@ -112,7 +113,7 @@ func (c *Controller) publishQoS(s *Server, appID int, cause string, served, dema
 	if c.Sink == nil {
 		return
 	}
-	c.Sink.Publish(telemetry.Event{
+	c.publish(telemetry.Event{
 		Tick: c.tick, Kind: telemetry.KindQoSViolation,
 		Server: s.Node.ServerIndex, App: appID, Cause: cause,
 		Watts: served, Demand: demand,

@@ -34,7 +34,7 @@ func qosController(t *testing.T, circuit float64, apps ...[2]float64) *Controlle
 func TestQoSFullServiceWhenBudgetCovers(t *testing.T) {
 	c := qosController(t, 0, [2]float64{60, 0}, [2]float64{40, 2})
 	c.Step()
-	if got := c.Servers[0].Consumed; math.Abs(got-150) > 1e-9 {
+	if got := c.Servers[0].Consumed(); math.Abs(got-150) > 1e-9 {
 		t.Fatalf("consumed %v, want full 150", got)
 	}
 	for _, p := range []int{0, 2} {
@@ -60,7 +60,7 @@ func TestQoSShedsLowPriorityFirst(t *testing.T) {
 	if got := c.Stats.ServiceLevel(2); math.Abs(got-0.25) > 1e-9 {
 		t.Errorf("low class service level %v, want 0.25", got)
 	}
-	if got := c.Servers[0].Consumed; math.Abs(got-120) > 1e-9 {
+	if got := c.Servers[0].Consumed(); math.Abs(got-120) > 1e-9 {
 		t.Errorf("consumed %v, want budget 120", got)
 	}
 	if c.Stats.DegradedAppTicks != 1 {
@@ -91,7 +91,7 @@ func TestQoSShutsDownWhenNothingLeft(t *testing.T) {
 func TestQoSBudgetBelowStatic(t *testing.T) {
 	c := qosController(t, 30, [2]float64{60, 0})
 	c.Step()
-	if got := c.Servers[0].Consumed; math.Abs(got-30) > 1e-9 {
+	if got := c.Servers[0].Consumed(); math.Abs(got-30) > 1e-9 {
 		t.Errorf("consumed %v, want budget 30", got)
 	}
 	if got := c.Stats.ServiceLevel(0); got != 0 {

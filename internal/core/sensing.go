@@ -95,6 +95,7 @@ func (e *estimator) median() float64 {
 // the harness gives each a private random stream (cluster.Run).
 func (c *Controller) AttachSensor(idx int, sn *sensor.Sensor) {
 	c.Servers[idx].sensor = sn
+	c.sensorsArmed = true
 }
 
 // SetSensorFault arms a fault on server idx's sensor (attaching a
@@ -104,10 +105,11 @@ func (c *Controller) SetSensorFault(idx int, f sensor.Fault) {
 	if s.sensor == nil {
 		s.sensor = sensor.New(nil)
 	}
+	c.sensorsArmed = true
 	s.sensor.Set(f, c.tick)
 	c.Stats.SensorFaults++
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: c.tick, Kind: telemetry.KindSensor,
 			Server: s.Node.ServerIndex,
 			Cause:  "inject:" + f.Mode.String(), Watts: f.Magnitude,
@@ -123,7 +125,7 @@ func (c *Controller) ClearSensorFault(idx int) {
 	}
 	s.sensor.Clear()
 	if c.Sink != nil {
-		c.Sink.Publish(telemetry.Event{
+		c.publish(telemetry.Event{
 			Tick: c.tick, Kind: telemetry.KindSensor,
 			Server: s.Node.ServerIndex, Cause: "clear",
 		})
@@ -145,11 +147,11 @@ func (c *Controller) sense(s *Server, consumed float64) {
 		// holds the previous observation — a frozen gauge, not a NaN that
 		// would poison Eq. 3 and the telemetry stream.
 		if isFinite(raw) {
-			s.TObs = raw
+			s.setTObs(raw)
 		}
 		return
 	}
-	s.TObs = c.estimate(s, raw, consumed)
+	s.setTObs(c.estimate(s, raw, consumed))
 }
 
 // estimate runs one tick of the robust estimator: residual-gate the
@@ -167,7 +169,7 @@ func (c *Controller) estimate(s *Server, raw, consumed float64) float64 {
 		if e.unhealthy && e.goodStreak >= c.Cfg.SensorTrips {
 			e.unhealthy = false
 			if c.Sink != nil {
-				c.Sink.Publish(telemetry.Event{
+				c.publish(telemetry.Event{
 					Tick: c.tick, Kind: telemetry.KindSensor,
 					Server: s.Node.ServerIndex, Cause: "healthy",
 					Watts: raw, Prev: pred,
@@ -188,13 +190,13 @@ func (c *Controller) estimate(s *Server, raw, consumed float64) float64 {
 			} else {
 				ev.Cause = "dropout" // NaN must never reach the JSONL wire
 			}
-			c.Sink.Publish(ev)
+			c.publish(ev)
 		}
 		if !e.unhealthy && e.badStreak >= c.Cfg.SensorTrips {
 			e.unhealthy = true
 			c.Stats.SensorUnhealthy++
 			if c.Sink != nil {
-				c.Sink.Publish(telemetry.Event{
+				c.publish(telemetry.Event{
 					Tick: c.tick, Kind: telemetry.KindSensor,
 					Server: s.Node.ServerIndex, Cause: "unhealthy", Prev: pred,
 				})
@@ -230,7 +232,7 @@ func (c *Controller) estimate(s *Server, raw, consumed float64) float64 {
 			}
 		}
 		if c.Sink != nil {
-			c.Sink.Publish(telemetry.Event{
+			c.publish(telemetry.Event{
 				Tick: c.tick, Kind: telemetry.KindSensor,
 				Server: s.Node.ServerIndex, Cause: "guard",
 				Watts: obs, Prev: pred,

@@ -56,8 +56,8 @@ func TestSensingIdentityWhenDisabled(t *testing.T) {
 	}
 	for _, c := range []*Controller{cOff, cOn} {
 		for i, s := range c.Servers {
-			if s.TObs != s.Thermal.T {
-				t.Fatalf("server %d: TObs %v != true temperature %v", i, s.TObs, s.Thermal.T)
+			if s.TObs() != s.Thermal.T {
+				t.Fatalf("server %d: TObs %v != true temperature %v", i, s.TObs(), s.Thermal.T)
 			}
 		}
 	}
@@ -96,9 +96,9 @@ func TestSensorChaosTrueTemperatureCap(t *testing.T) {
 				if tr := c.Servers[0].Thermal.T; tr > limit+1e-6 {
 					t.Fatalf("tick %d: robust estimator let true temperature reach %.3f °C (limit %.1f)", i, tr, limit)
 				}
-				if c.Servers[0].TObs < c.Servers[0].Thermal.T-1e-6 {
+				if c.Servers[0].TObs() < c.Servers[0].Thermal.T-1e-6 {
 					t.Fatalf("tick %d: TObs %.3f fell below truth %.3f — safe-side anchor broken",
-						i, c.Servers[0].TObs, c.Servers[0].Thermal.T)
+						i, c.Servers[0].TObs(), c.Servers[0].Thermal.T)
 				}
 			}
 		}
@@ -137,15 +137,15 @@ func TestSensorDropoutFallsBackToModel(t *testing.T) {
 	c.SetSensorFault(0, sensor.Fault{Mode: sensor.ModeDropout})
 	c.Run(150)
 	s := c.Servers[0]
-	if math.IsNaN(s.TObs) || math.IsInf(s.TObs, 0) {
-		t.Fatalf("dropout leaked a non-finite TObs: %v", s.TObs)
+	if math.IsNaN(s.TObs()) || math.IsInf(s.TObs(), 0) {
+		t.Fatalf("dropout leaked a non-finite TObs: %v", s.TObs())
 	}
 	limit := s.Thermal.Model.Limit
 	if s.Thermal.T > limit+1e-6 {
 		t.Fatalf("true temperature %.2f exceeds limit %.1f under dropout", s.Thermal.T, limit)
 	}
-	if s.TObs < s.Thermal.T-1e-6 {
-		t.Fatalf("TObs %.2f below truth %.2f under dropout", s.TObs, s.Thermal.T)
+	if s.TObs() < s.Thermal.T-1e-6 {
+		t.Fatalf("TObs %.2f below truth %.2f under dropout", s.TObs(), s.Thermal.T)
 	}
 	// All but the first SensorTrips-1 dropout ticks run guarded (the
 	// stale median carries the estimate until the health trip fires).
@@ -155,8 +155,8 @@ func TestSensorDropoutFallsBackToModel(t *testing.T) {
 	// The decay-toward-limit fallback should have pushed the control
 	// temperature near the limit, capping power near the sustainable
 	// floor rather than zero.
-	if s.TObs < limit-5 {
-		t.Errorf("long-outage control temperature %.2f never decayed toward the %.1f limit", s.TObs, limit)
+	if s.TObs() < limit-5 {
+		t.Errorf("long-outage control temperature %.2f never decayed toward the %.1f limit", s.TObs(), limit)
 	}
 }
 
@@ -180,8 +180,8 @@ func TestSensorHealsAfterClear(t *testing.T) {
 		t.Errorf("rejections kept accruing after heal: %d -> %d", rejectedAtHeal, c.Stats.SensorRejected)
 	}
 	s := c.Servers[0]
-	if s.TObs < s.Thermal.T-1e-6 {
-		t.Errorf("healed TObs %.2f below truth %.2f", s.TObs, s.Thermal.T)
+	if s.TObs() < s.Thermal.T-1e-6 {
+		t.Errorf("healed TObs %.2f below truth %.2f", s.TObs(), s.Thermal.T)
 	}
 }
 
@@ -192,10 +192,10 @@ func TestNaiveDropoutHoldsLastReading(t *testing.T) {
 	c := sensingScenario(t, quietCfg())
 	c.AttachSensor(0, sensor.New(nil))
 	c.Run(10)
-	held := c.Servers[0].TObs
+	held := c.Servers[0].TObs()
 	c.SetSensorFault(0, sensor.Fault{Mode: sensor.ModeDropout})
 	c.Run(20)
-	if got := c.Servers[0].TObs; got != held {
+	if got := c.Servers[0].TObs(); got != held {
 		t.Errorf("naive dropout: TObs changed from held reading %v to %v", held, got)
 	}
 }

@@ -1,0 +1,404 @@
+package core
+
+// Fleet-scale data layout (DESIGN.md §12). The per-tick hot path reads a
+// handful of per-server scalars — demand, smoothed demand, budget,
+// consumption, sleep state, observed temperature — for every server on
+// every tick. At the paper's 18 servers the layout is irrelevant; at the
+// ROADMAP's 100k-server north star, chasing a pointer per server per
+// field is most of the tick. This file flattens those fields into
+// struct-of-arrays slices owned by the controller (one contiguous
+// float64 slice per field, indexed by topo server index), leaving the
+// Server struct as a thin view: cold state plus an index into the slab.
+//
+// Three invariants make the layout change invisible to the control
+// math:
+//
+//   - Every write to a hot field goes through a setter on Server, so
+//     the slab is the single source of truth and derived caches (the
+//     hard-cap cache, the aggregation dirty bits) can never go stale.
+//   - All result-affecting floating-point accumulation stays in server
+//     order regardless of shard count: parallel phases only ever write
+//     per-server slots, and cross-server folds run sequentially.
+//   - The incremental aggregator re-sums a dirty PMU's direct children
+//     in child order from zero — never applies partial-sum deltas — so
+//     its bits match the full recompute exactly (float addition is not
+//     associative; resummation sidesteps the question).
+
+import (
+	"context"
+	"math"
+
+	"willow/internal/parallel"
+	"willow/internal/telemetry"
+	"willow/internal/topo"
+)
+
+// fleetHot is the struct-of-arrays slab holding every per-server field
+// the tick loop reads or writes unconditionally. Indexed by
+// topo.Node.ServerIndex.
+type fleetHot struct {
+	rawDemand []float64 // this tick's instantaneous demand (0 asleep)
+	cp        []float64 // smoothed demand, Eq. 4
+	tp        []float64 // granted budget
+	consumed  []float64 // power actually drawn this tick
+	dropped   []float64 // demand shed this tick
+	tobs      []float64 // observed (control) temperature
+	hardCap   []float64 // cached min(Eq. 3 limit at tobs, circuit, peak)
+	thermLim  []float64 // cached raw Eq. 3 limit at tobs (pre-min)
+	asleep    []bool
+	degraded  []bool
+
+	// settled marks servers whose smoother reached an exact fixed point:
+	// feeding it the same raw demand again is guaranteed (bitwise) to
+	// return the same CP, so the update can be skipped. Cleared by any
+	// out-of-band smoother or CP mutation (migrations, resets).
+	settled []bool
+
+	// dirty is indexed by tree node ID: a PMU marked dirty must re-sum
+	// its direct children at the next synchronous aggregation. Leaf
+	// slots are unused.
+	dirty []bool
+}
+
+func newFleetHot(servers, nodes int) *fleetHot {
+	f := make([]float64, 8*servers)
+	b := make([]bool, 3*servers)
+	h := &fleetHot{
+		rawDemand: f[0*servers : 1*servers],
+		cp:        f[1*servers : 2*servers],
+		tp:        f[2*servers : 3*servers],
+		consumed:  f[3*servers : 4*servers],
+		dropped:   f[4*servers : 5*servers],
+		tobs:      f[5*servers : 6*servers],
+		hardCap:   f[6*servers : 7*servers],
+		thermLim:  f[7*servers : 8*servers],
+		asleep:    b[0*servers : 1*servers],
+		degraded:  b[1*servers : 2*servers],
+		settled:   b[2*servers : 3*servers],
+		dirty:     make([]bool, nodes),
+	}
+	return h
+}
+
+// --- Server accessors over the slab -----------------------------------
+
+// RawDemand is this tick's instantaneous total power demand
+// (static + dynamic + pending migration cost) while awake, 0 asleep.
+func (s *Server) RawDemand() float64 { return s.hot.rawDemand[s.idx] }
+
+// CP is the smoothed power demand (Eq. 4).
+func (s *Server) CP() float64 { return s.hot.cp[s.idx] }
+
+// TP is the power budget granted by the last supply allocation.
+func (s *Server) TP() float64 { return s.hot.tp[s.idx] }
+
+// Consumed is the power actually drawn this tick:
+// min(RawDemand, effective budget).
+func (s *Server) Consumed() float64 { return s.hot.consumed[s.idx] }
+
+// Dropped is demand shed this tick because no budget or surplus could
+// host it.
+func (s *Server) Dropped() float64 { return s.hot.dropped[s.idx] }
+
+// Asleep reports a consolidated (deactivated) server.
+func (s *Server) Asleep() bool { return s.hot.asleep[s.idx] }
+
+// TObs is the controller's working temperature: what every Eq. 3
+// power-limit computation reads instead of the physical Thermal.T. It is
+// the sensor reading filtered through the robust estimator when sensing
+// is armed (sensing.go), the raw — possibly lying — reading when a
+// sensor is attached without the estimator, and the physical truth
+// bit-for-bit in the default fault-free setup.
+func (s *Server) TObs() float64 { return s.hot.tobs[s.idx] }
+
+// Degraded reports a server whose budget lease expired: it holds its
+// last-known budget, decayed per supply window toward its safe floor
+// (see degraded.go). Cleared by the next delivered budget directive.
+func (s *Server) Degraded() bool { return s.hot.degraded[s.idx] }
+
+func (s *Server) setRawDemand(v float64) { s.hot.rawDemand[s.idx] = v }
+func (s *Server) setTP(v float64)        { s.hot.tp[s.idx] = v }
+func (s *Server) setConsumed(v float64)  { s.hot.consumed[s.idx] = v }
+func (s *Server) setDropped(v float64)   { s.hot.dropped[s.idx] = v }
+func (s *Server) setAsleep(v bool)       { s.hot.asleep[s.idx] = v }
+func (s *Server) setDegraded(v bool)     { s.hot.degraded[s.idx] = v }
+
+// setCP writes the server's smoothed demand, marking the parent rack
+// dirty when the value actually changed (the incremental aggregation
+// trigger) and invalidating the smoother fixed point — every out-of-band
+// CP mutation is paired with a smoother Bias/Reset, so a forced CP write
+// always means the fixed-point argument no longer holds.
+func (s *Server) setCP(v float64) {
+	h := s.hot
+	h.settled[s.idx] = false
+	if h.cp[s.idx] != v {
+		h.cp[s.idx] = v
+		if p := s.Node.Parent; p != nil {
+			h.dirty[p.ID] = true
+		}
+	}
+}
+
+// setTObs writes the observed temperature and refreshes the cached hard
+// cap, which is a pure function of TObs and construction-time constants.
+func (s *Server) setTObs(v float64) {
+	s.hot.tobs[s.idx] = v
+	s.refreshHardCap()
+}
+
+// refreshHardCap recomputes the cached hard cap from the current TObs.
+// The arithmetic replicates thermal.Model.PowerLimit with the decay
+// factor e^(−c2·Δs) precomputed at construction — math.Exp is a pure
+// function, so the cached factor is bit-identical to the inline call.
+func (s *Server) refreshHardCap() {
+	m := s.Thermal.Model
+	var lim float64
+	if s.capDen <= 0 {
+		lim = math.Inf(1)
+	} else {
+		lim = m.C2 * (m.Limit - m.Ambient - (s.hot.tobs[s.idx]-m.Ambient)*s.capDecay) / s.capDen
+		if lim < 0 {
+			lim = 0
+		}
+	}
+	s.hot.thermLim[s.idx] = lim
+	if s.CircuitLimit > 0 && s.CircuitLimit < lim {
+		lim = s.CircuitLimit
+	}
+	if s.Power.Peak < lim {
+		lim = s.Power.Peak
+	}
+	s.hot.hardCap[s.idx] = lim
+}
+
+// --- Incremental supply/demand aggregation ----------------------------
+
+// markAllDirty forces the next synchronous aggregation to re-sum every
+// PMU — used at construction and when the control plane switches from
+// asynchronous back to synchronous reporting (the PMU CPs then hold
+// pipe-derived values the dirty bits know nothing about).
+func (c *Controller) markAllDirty() {
+	for _, n := range c.Tree.Nodes {
+		if !n.IsLeaf() {
+			c.hot.dirty[n.ID] = true
+		}
+	}
+}
+
+// aggregate recomputes PMU subtree demands bottom-up, visiting only
+// PMUs whose direct children changed since the last pass (dirty-subtree
+// propagation). A dirty PMU re-sums all its children in child order from
+// zero, so the bits match aggregateFull exactly; the full recompute is
+// kept as the testing oracle behind Config.FullAggregation. A dead PMU
+// is skipped and stays dirty, freezing its CP until repair — the same
+// "act on the previous value" semantics as the full pass.
+func (c *Controller) aggregate() {
+	if c.Cfg.FullAggregation {
+		c.aggregateFull()
+		return
+	}
+	dirty := c.hot.dirty
+	for level := 1; level <= c.Tree.Height; level++ {
+		for _, n := range c.levels[level] {
+			if !dirty[n.ID] || c.failedPMU[n.ID] {
+				continue
+			}
+			dirty[n.ID] = false
+			sum := 0.0
+			for _, child := range n.Children {
+				sum += c.demandOf(child)
+			}
+			if sum != c.pmuCP[n.ID] {
+				c.pmuCP[n.ID] = sum
+				if n.Parent != nil {
+					dirty[n.Parent.ID] = true
+				}
+			}
+		}
+	}
+}
+
+// aggregateFull is the naive oracle: every live PMU re-sums its children
+// every tick, exactly the paper's per-Δ_D full-tree aggregation.
+func (c *Controller) aggregateFull() {
+	dirty := c.hot.dirty
+	for level := 1; level <= c.Tree.Height; level++ {
+		for _, n := range c.levels[level] {
+			if c.failedPMU[n.ID] {
+				continue
+			}
+			dirty[n.ID] = false
+			sum := 0.0
+			for _, child := range n.Children {
+				sum += c.demandOf(child)
+			}
+			c.pmuCP[n.ID] = sum
+		}
+	}
+}
+
+// --- Link-message accounting ------------------------------------------
+
+// The paper's Property 3 bounds control traffic at two messages per link
+// per Δ_D. The seed tracked it with two per-tick maps keyed by child
+// node ID; at fleet scale the maps were most of the aggregation cost, so
+// they become tick-stamped arrays plus counters. In synchronous mode the
+// upward report count is purely structural — every live parent hears
+// every live child, every tick — so it is a cached integer recounted
+// only when a PMU fails or repairs.
+
+// countUp records an upward report on the link between n and its parent
+// (asynchronous reporting path; the synchronous path counts reports
+// analytically via liveUpLinks).
+func (c *Controller) countUp(n *topo.Node) {
+	if n.Parent == nil {
+		return
+	}
+	if c.upStamp[n.ID] != c.stamp {
+		c.upStamp[n.ID] = c.stamp
+		c.tickUp++
+		if c.downStamp[n.ID] == c.stamp {
+			c.bothDir = true
+		}
+	}
+}
+
+// countDown records a downward directive on the link between n and its
+// parent. Directives within a tick batch into a single message.
+func (c *Controller) countDown(n *topo.Node) {
+	if n.Parent == nil {
+		return
+	}
+	if c.downStamp[n.ID] != c.stamp {
+		c.downStamp[n.ID] = c.stamp
+		c.tickDown++
+		if c.upStamp[n.ID] == c.stamp || (!c.asyncEnabled() && c.upLinkLive(n)) {
+			c.bothDir = true
+		}
+	}
+}
+
+// upLinkLive reports whether the link from n to its parent carries an
+// upward report in synchronous mode this tick: the parent must be alive
+// and the child must be a server or a live PMU.
+func (c *Controller) upLinkLive(n *topo.Node) bool {
+	return !c.failedPMU[n.Parent.ID] && (n.IsLeaf() || !c.failedPMU[n.ID])
+}
+
+// recountLiveUpLinks recaches the synchronous-mode upward report count.
+// Called at construction and on every PMU failure/repair.
+func (c *Controller) recountLiveUpLinks() {
+	count := 0
+	for level := 1; level <= c.Tree.Height; level++ {
+		for _, n := range c.levels[level] {
+			if c.failedPMU[n.ID] {
+				continue
+			}
+			for _, child := range n.Children {
+				if child.IsLeaf() || !c.failedPMU[child.ID] {
+					count++
+				}
+			}
+		}
+	}
+	c.liveUpLinks = count
+}
+
+// --- Telemetry batching -----------------------------------------------
+
+// publish delivers one telemetry event. During a Step events buffer and
+// flush at the step boundary in publication order (so emission amortizes
+// across servers); outside a Step — public mutators like FailServer
+// called between ticks — they pass straight through, preserving the
+// seed's ordering relative to the tick body.
+func (c *Controller) publish(e telemetry.Event) {
+	if c.Sink == nil {
+		return
+	}
+	if c.inStep {
+		c.eventBuf = append(c.eventBuf, e)
+		return
+	}
+	c.Sink.Publish(e)
+}
+
+// flushEvents hands the step's buffered events to the sink as one batch.
+func (c *Controller) flushEvents() {
+	if len(c.eventBuf) == 0 {
+		return
+	}
+	telemetry.PublishAll(c.Sink, c.eventBuf)
+	c.eventBuf = c.eventBuf[:0]
+}
+
+// --- Sharded tick execution -------------------------------------------
+
+// shardRange is a contiguous, rack-aligned span of server indices.
+type shardRange struct{ lo, hi int } // [lo, hi)
+
+// planShards splits the fleet into up to shards contiguous server
+// ranges aligned to rack (level-1 subtree) boundaries. Rack alignment
+// keeps every writer of a rack's dirty bit inside one shard, so the
+// parallel phase needs no synchronization; contiguity means replaying
+// shards in shard order during the sequential merge phase is exactly
+// server order, which is what makes results byte-identical for any
+// shard count.
+func planShards(tree *topo.Tree, shards, servers int) []shardRange {
+	if shards <= 1 || servers == 0 {
+		return []shardRange{{0, servers}}
+	}
+	// Rack extents: children of level-1 nodes are contiguous server
+	// spans under the BFS numbering.
+	var rackEnds []int
+	for _, n := range tree.Nodes {
+		if n.Level != 1 {
+			continue
+		}
+		end := 0
+		for _, ch := range n.Children {
+			if ch.ServerIndex+1 > end {
+				end = ch.ServerIndex + 1
+			}
+		}
+		rackEnds = append(rackEnds, end)
+	}
+	if len(rackEnds) == 0 {
+		return []shardRange{{0, servers}}
+	}
+	if shards > len(rackEnds) {
+		shards = len(rackEnds)
+	}
+	var out []shardRange
+	lo := 0
+	racksLeft, shardsLeft := len(rackEnds), shards
+	i := 0
+	for shardsLeft > 0 {
+		take := racksLeft / shardsLeft
+		if racksLeft%shardsLeft != 0 {
+			take++
+		}
+		i += take
+		hi := rackEnds[i-1]
+		out = append(out, shardRange{lo, hi})
+		lo = hi
+		racksLeft -= take
+		shardsLeft--
+	}
+	return out
+}
+
+// forEachShard runs fn over every shard range, in parallel on a bounded
+// worker pool when more than one shard is planned, inline otherwise. fn
+// must only touch per-server state within its range (plus per-server
+// slots of shared slabs) — the race detector enforces this in the
+// shard-invariance tests.
+func (c *Controller) forEachShard(fn func(lo, hi int)) {
+	if len(c.shardPlan) == 1 {
+		fn(c.shardPlan[0].lo, c.shardPlan[0].hi)
+		return
+	}
+	_ = parallel.ForEach(context.Background(), len(c.shardPlan), len(c.shardPlan), func(_ context.Context, i int) error {
+		fn(c.shardPlan[i].lo, c.shardPlan[i].hi)
+		return nil
+	})
+}

@@ -1,5 +1,7 @@
 package core
 
+import "sort"
+
 // Non-instantaneous VM migration. The paper's testbed performs real
 // VMware migrations, whose transfer time is far from zero; the
 // simulation captures that cost only as a temporary power charge. With
@@ -59,18 +61,19 @@ func (c *Controller) completeTransfers(t int) {
 			continue
 		}
 		c.releaseReservation(tr)
-		if tr.dst.Asleep {
+		if tr.dst.Asleep() {
 			// Destination vanished mid-transfer: cancel, the app stays.
 			c.Stats.AbortedTransfers++
 			continue
 		}
 		tr.src.Apps.Remove(app.ID)
 		tr.dst.Apps.Add(app)
-		tr.src.CP -= app.Mean
-		if tr.src.CP < 0 {
-			tr.src.CP = 0
+		cp := tr.src.CP() - app.Mean
+		if cp < 0 {
+			cp = 0
 		}
-		tr.dst.CP += app.Mean
+		tr.src.setCP(cp)
+		tr.dst.setCP(tr.dst.CP() + app.Mean)
 		tr.src.smoother.Bias(-app.Mean)
 		tr.dst.smoother.Bias(app.Mean)
 	}
@@ -79,8 +82,17 @@ func (c *Controller) completeTransfers(t int) {
 	// Deferred sleeps: a drained server deactivates once everything has
 	// actually left. An aborted transfer returned an app, so the server
 	// stays up and resumes normal life.
-	slept := false
+	// Settle in ascending server order: pendingSleep is a map, and map
+	// iteration order would otherwise leak into the event stream when two
+	// drained servers settle on the same tick — breaking the package's
+	// byte-identical determinism contract.
+	due := make([]int, 0, len(c.pendingSleep))
 	for idx := range c.pendingSleep {
+		due = append(due, idx)
+	}
+	sort.Ints(due)
+	slept := false
+	for _, idx := range due {
 		s := c.Servers[idx]
 		if c.outboundFor(s) > 0 {
 			continue // still draining
@@ -90,9 +102,9 @@ func (c *Controller) completeTransfers(t int) {
 		if s.Apps.Len() > 0 {
 			continue // an abort brought something back: stay awake
 		}
-		s.Asleep = true
-		s.RawDemand = 0
-		s.CP = 0
+		s.setAsleep(true)
+		s.setRawDemand(0)
+		s.setCP(0)
 		s.smoother.Reset()
 		c.publishSleep(s)
 		slept = true
@@ -113,9 +125,9 @@ func (c *Controller) sleepOrDefer(victim *Server) bool {
 		c.draining[idx] = true // keep refusing inbound work
 		return false
 	}
-	victim.Asleep = true
-	victim.RawDemand = 0
-	victim.CP = 0
+	victim.setAsleep(true)
+	victim.setRawDemand(0)
+	victim.setCP(0)
 	victim.smoother.Reset()
 	c.publishSleep(victim)
 	return true

@@ -54,8 +54,8 @@ func TestTransferLandsAfterLatency(t *testing.T) {
 		t.Errorf("targets host %d apps, want 3", total)
 	}
 	// Demand moved with it.
-	if c.Servers[0].CP > 120 {
-		t.Errorf("source CP %v still includes the departed app", c.Servers[0].CP)
+	if c.Servers[0].CP() > 120 {
+		t.Errorf("source CP %v still includes the departed app", c.Servers[0].CP())
 	}
 }
 
@@ -105,8 +105,8 @@ func TestReservationPreventsOverbooking(t *testing.T) {
 	// Target demand must never exceed its effective budget plus margin
 	// after all arrivals: check it is not overbooked beyond peak.
 	target := c.Servers[2]
-	if target.CP > target.Power.Peak+tolerance {
-		t.Errorf("target overbooked: CP %v over peak %v", target.CP, target.Power.Peak)
+	if target.CP() > target.Power.Peak+tolerance {
+		t.Errorf("target overbooked: CP %v over peak %v", target.CP(), target.Power.Peak)
 	}
 	if got := c.reservedFor(target); got > tolerance {
 		t.Errorf("leaked reservation: %v", got)
@@ -131,7 +131,7 @@ func TestTransferEndpointCannotSleep(t *testing.T) {
 	dst := c.transfers[0].dst
 	for tick := 1; tick < 6; tick++ {
 		c.Step()
-		if dst.Asleep && c.Stats.AbortedTransfers == 0 {
+		if dst.Asleep() && c.Stats.AbortedTransfers == 0 {
 			t.Fatalf("tick %d: transfer destination slept mid-flight without abort", tick)
 		}
 	}
@@ -146,7 +146,7 @@ func TestAbortedTransferKeepsAppAtSource(t *testing.T) {
 	// Force the destination down (simulating a failure the controller
 	// did not orchestrate).
 	dst := c.transfers[0].dst
-	dst.Asleep = true
+	dst.setAsleep(true)
 	c.Run(5)
 	if c.Stats.AbortedTransfers != 1 {
 		t.Fatalf("aborted transfers = %d, want 1", c.Stats.AbortedTransfers)

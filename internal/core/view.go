@@ -31,17 +31,16 @@ type NodeView struct {
 // PMUViews returns the state of every internal node, in tree-node-ID
 // order (root first — topo.Build numbers breadth-first).
 func (c *Controller) PMUViews() []NodeView {
-	views := make([]NodeView, 0, len(c.pmus))
+	views := make([]NodeView, 0, len(c.Tree.Nodes)-len(c.Servers))
 	for _, n := range c.Tree.Nodes {
 		if n.IsLeaf() {
 			continue
 		}
-		p := c.pmus[n.ID]
 		views = append(views, NodeView{
 			Node: n.ID, Level: n.Level,
-			CP: p.CP, TP: p.TP,
-			Degraded: p.degraded,
-			Failed:   c.failedPMUs[n.ID],
+			CP: c.pmuCP[n.ID], TP: c.pmuTP[n.ID],
+			Degraded: c.pmuDegraded[n.ID],
+			Failed:   c.failedPMU[n.ID],
 		})
 	}
 	return views
@@ -52,12 +51,12 @@ func (c *Controller) PMUViews() []NodeView {
 func (c *Controller) DegradedCount() int {
 	n := 0
 	for _, s := range c.Servers {
-		if s.Degraded {
+		if s.Degraded() {
 			n++
 		}
 	}
-	for _, p := range c.pmus {
-		if p.degraded {
+	for _, node := range c.Tree.Nodes {
+		if !node.IsLeaf() && c.pmuDegraded[node.ID] {
 			n++
 		}
 	}
@@ -65,4 +64,4 @@ func (c *Controller) DegradedCount() int {
 }
 
 // FailedPMUCount returns how many internal nodes are currently crashed.
-func (c *Controller) FailedPMUCount() int { return len(c.failedPMUs) }
+func (c *Controller) FailedPMUCount() int { return c.failedPMUCount }

@@ -433,16 +433,16 @@ func (d *Daemon) State() State {
 	for i, s := range ctrl.Servers {
 		st.ServerStates[i] = ServerState{
 			Server:   i,
-			CP:       s.CP,
-			TP:       s.TP,
-			Consumed: s.Consumed,
-			Dropped:  s.Dropped,
-			Demand:   s.RawDemand,
+			CP:       s.CP(),
+			TP:       s.TP(),
+			Consumed: s.Consumed(),
+			Dropped:  s.Dropped(),
+			Demand:   s.RawDemand(),
 			Temp:     s.Thermal.T,
-			TObs:     s.TObs,
+			TObs:     s.TObs(),
 			Apps:     len(s.Apps.Apps),
-			Asleep:   s.Asleep,
-			Degraded: s.Degraded,
+			Asleep:   s.Asleep(),
+			Degraded: s.Degraded(),
 			Failed:   s.Failed(),
 		}
 	}

@@ -173,7 +173,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	for i, s := range ctrl.Servers {
 		res.UtilFinal[i] = finalUtil[i] / float64(finalTicks)
-		res.AsleepAtEnd[i] = s.Asleep
+		res.AsleepAtEnd[i] = s.Asleep()
 	}
 	res.PowerFinal /= float64(finalTicks)
 	res.DroppedWattTicks = ctrl.Stats.DroppedWattTicks

@@ -120,6 +120,14 @@ func (m Model) TimeToLimit(t0, p float64) float64 {
 type State struct {
 	Model Model
 	T     float64 // current temperature, °C
+
+	// memoDt / memoDecay cache e^(−c2·dt) for the last dt Advance saw.
+	// Simulations advance every device by the same fixed dt every tick,
+	// so the transcendental is paid once per device instead of once per
+	// device-tick; the cached factor is the exact value Step would
+	// recompute, keeping Advance bit-identical to the uncached form.
+	memoDt, memoDecay float64
+	hasMemo           bool
 }
 
 // NewState returns a State starting at the ambient temperature, the
@@ -131,7 +139,14 @@ func NewState(m Model) *State {
 // Advance applies power p for dt time units and returns the new
 // temperature.
 func (s *State) Advance(p, dt float64) float64 {
-	s.T = s.Model.Step(s.T, p, dt)
+	if !s.hasMemo || dt != s.memoDt {
+		s.memoDt = dt
+		s.memoDecay = math.Exp(-s.Model.C2 * dt)
+		s.hasMemo = true
+	}
+	decay := s.memoDecay
+	m := s.Model
+	s.T = m.Ambient + (s.T-m.Ambient)*decay + (m.C1*p/m.C2)*(1-decay)
 	return s.T
 }
 

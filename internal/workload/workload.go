@@ -263,6 +263,12 @@ func (s *Smoother) Update(x float64) float64 {
 // Value returns the current smoothed value (zero before any update).
 func (s *Smoother) Value() float64 { return s.value }
 
+// Initialized reports whether the smoother has absorbed at least one
+// observation since construction or the last Reset. The controller's
+// fixed-point fast path needs it: only an initialized smoother fed the
+// same observation twice is guaranteed to return the same value again.
+func (s *Smoother) Initialized() bool { return s.init }
+
 // Bias shifts the smoothed state by delta without registering an
 // observation. Willow applies it when demand migrates between nodes: the
 // moved application's mean leaves one smoother and enters another
