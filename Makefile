@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -29,7 +29,10 @@ race:
 # harness. scale-smoke pins the fleet-scale hot path: sharded-tick
 # determinism and the incremental-aggregation oracle on a 10k-server
 # fleet, plus an allocation guard on the fleet tick benchmark.
-ci: build test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke
+# obs-smoke boots willowd with energy telemetry on and validates the
+# /metrics exposition and /v1/efficiency scoreboard with the strict
+# conformance checker.
+ci: build test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -85,6 +88,16 @@ sensor-smoke:
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestFastForwardMatchesOfflineRun|TestSnapshotRestoreRoundTrip|TestConcurrentAPIHammer|TestGracefulShutdownSnapshotRoundTrip|TestSlowSubscriberNeverStallsTicks' ./internal/server
 	./scripts/serve_smoke.sh
+
+# Observability gate: the energy-accounting determinism pins
+# (shard-count invariance of the full energy report, snapshot/restore
+# byte-identity), the exposition conformance round-trip, and a live
+# willowd scraped end to end — /metrics parsed under the strict
+# internal/obs parser and /v1/efficiency cross-checked for internal
+# consistency, with race-instrumented binaries.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestEnergyShardInvariance|TestExpositionRoundTrip|TestMetricsEndpoint|TestEfficiencyEndpoint|TestEnergySnapshotRestoreIdentity' ./internal/cluster ./internal/obs ./internal/server
+	./scripts/obs_smoke.sh
 
 # Regenerate the full evaluation section at full fidelity.
 experiments:

@@ -45,6 +45,7 @@ func main() {
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "seed for chaos schedule expansion (0: derive from -seed)")
 		sensorSpec   = flag.String("sensor-chaos", "", "inject seeded sensor faults: preset and/or k=v overrides, e.g. \"heavy\" or \"light,dropout=1\" (see internal/sensor)")
 		sensorNaive  = flag.Bool("sensor-naive", false, "disable the robust estimator under -sensor-chaos (trust every reading; unsafe baseline)")
+		energyOut    = flag.Bool("energy", false, "print the energy scoreboard and emit per-supply-window energy telemetry events")
 	)
 	flag.Parse()
 
@@ -107,6 +108,10 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown supply profile %q (use constant, sine, deficit-steps, or file:PATH)", *supply))
 		}
+	}
+
+	if *energyOut {
+		cfg.Core.EnergyEvents = true
 	}
 
 	var planLine string
@@ -211,6 +216,19 @@ func main() {
 		fmt.Printf("sensors: %d faults injected, %d readings rejected, %d unhealthy trips, %d guard-band ticks\n",
 			res.Stats.SensorFaults, res.Stats.SensorRejected,
 			res.Stats.SensorUnhealthy, res.Stats.SensorGuardTicks)
+	}
+	if *energyOut {
+		e := res.Energy
+		fmt.Printf("energy: %.0f J consumed over %d ticks (%.3g s/tick) — %.0f J useful work (%.4f work/joule), %.0f J shed, %.0f J dissipated\n",
+			e.Fleet.Joules, cfg.Ticks, e.TickSeconds,
+			e.Fleet.WorkJoules, e.Fleet.WorkPerJoule(), e.Fleet.ShedJoules, e.Fleet.HeatJoules)
+		for _, r := range e.Racks {
+			fmt.Printf("energy: rack %d (servers %d-%d): %.0f J, %.4f work/joule\n",
+				r.Node, r.Lo+1, r.Hi, r.Totals.Joules, r.Totals.WorkPerJoule())
+		}
+		for _, c := range e.Classes {
+			fmt.Printf("energy: class %s: %.0f J served\n", c.Class, c.ServedJoules)
+		}
 	}
 	if planLine != "" {
 		fmt.Println(planLine)

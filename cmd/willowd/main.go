@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -58,6 +59,9 @@ func run() error {
 		sensorNaive = flag.Bool("sensor-naive", false, "disable the robust estimator under sensor chaos")
 		lease       = flag.Int("lease", 0, "budget lease ticks (arm before injecting live PMU chaos; 0 = off)")
 		sensing     = flag.Bool("sensing", false, "arm the robust temperature estimator at boot (for live sensor chaos)")
+		energy      = flag.Bool("energy", false, "emit per-supply-window energy telemetry events (accounting is always on)")
+		tickSecs    = flag.Float64("tick-seconds", 0, "simulated seconds one tick models for joule conversion (0 = 1 s)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API listener")
 
 		events       = flag.String("events", "", "stream every event as JSONL to this file (plus a .summary.txt report)")
 		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the -events file (default all)")
@@ -95,6 +99,8 @@ func run() error {
 			SensorNaive: *sensorNaive,
 			LeaseTicks:  *lease,
 			Sensing:     *sensing,
+			Energy:      *energy,
+			TickSeconds: *tickSecs,
 		}
 		if spec.Fanout, err = parseFanout(*fanout); err != nil {
 			return err
@@ -138,7 +144,20 @@ func run() error {
 		spec := d.Spec()
 		fmt.Printf("willowd: %d servers, U=%.0f%%, supply=%s, %d ticks; listening on http://%s\n",
 			spec.Servers(), spec.Util*100, spec.Supply, spec.Ticks, bound)
-		srv = &http.Server{Handler: server.NewHandler(d)}
+		handler := server.NewHandler(d)
+		if *pprofOn {
+			// Profiling is opt-in: the pprof surface costs nothing until
+			// mounted, and a public daemon should not expose it by accident.
+			root := http.NewServeMux()
+			root.HandleFunc("/debug/pprof/", pprof.Index)
+			root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			root.Handle("/", handler)
+			handler = root
+		}
+		srv = &http.Server{Handler: handler}
 		go func() {
 			if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "willowd: http:", serr)
@@ -193,8 +212,8 @@ func run() error {
 		}
 	}
 	if *snapshotPath != "" {
-		snap := d.Snapshot()
-		if werr := snap.WriteFile(*snapshotPath); werr != nil {
+		snap, werr := d.WriteSnapshot(*snapshotPath)
+		if werr != nil {
 			return werr
 		}
 		fmt.Printf("snapshot written to %s (tick %d, %d journal entries)\n",

@@ -240,6 +240,25 @@ type Result struct {
 	MeanStretch     float64
 	StretchP95      float64
 	SLOMissFraction float64
+
+	// Energy is the run's cumulative energy accounting (whole run,
+	// joules): the efficiency scoreboard experiments rank
+	// configurations by. Kept as the struct's last field — the golden
+	// scenario pin strips it positionally (see encodeResult); its
+	// determinism is pinned by the dedicated energy identity tests.
+	Energy EnergyReport
+}
+
+// EnergyReport is a run's energy scoreboard: fleet-wide totals plus the
+// per-rack and per-app-class breakdowns, all in joules (watt-ticks ×
+// Core.TickSeconds).
+type EnergyReport struct {
+	// TickSeconds echoes the conversion factor the joules were computed
+	// with.
+	TickSeconds float64
+	Fleet       core.EnergyTotals
+	Racks       []core.RackEnergy
+	Classes     []core.ClassEnergy
 }
 
 // Run executes the configured simulation and returns its measurements.

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"willow/internal/power"
+)
+
+// energyConfig is a shortened paper run with enough pressure to shed
+// demand (so every energy figure is non-trivial) and a diurnal profile
+// so consumption actually varies.
+func energyConfig(u float64, shards int) Config {
+	cfg := shortConfig(u)
+	cfg.DemandProfile = power.Sine{Base: 1, Amplitude: 0.4, Period: 60}
+	cfg.Core.Shards = shards
+	cfg.Core.EnergyEvents = true
+	return cfg
+}
+
+// TestEnergyShardInvariance pins the acceptance criterion: the full
+// energy report — fleet, per-rack, per-class, every float — is
+// byte-identical for Config.Shards 1 and 4 (and 2, for good measure).
+func TestEnergyShardInvariance(t *testing.T) {
+	var want string
+	for _, shards := range []int{1, 2, 4} {
+		res, err := Run(energyConfig(0.8, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%+v", res.Energy)
+		if shards == 1 {
+			want = got
+			if res.Energy.Fleet.Joules <= 0 || res.Energy.Fleet.WorkJoules <= 0 {
+				t.Fatalf("trivial energy report: %s", got)
+			}
+			if len(res.Energy.Racks) == 0 || len(res.Energy.Classes) == 0 {
+				t.Fatalf("missing rack/class breakdown: %s", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("shards=%d energy report diverged:\n got %s\nwant %s", shards, got, want)
+		}
+	}
+}
+
+// TestEnergyReportConsistency checks the rolled-up report against the
+// run's other measurements: joules equal the whole-run consumed
+// watt-ticks × TickSeconds, and shed joules match DroppedWattTicks.
+func TestEnergyReportConsistency(t *testing.T) {
+	cfg := energyConfig(0.9, 1)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Energy
+	if e.TickSeconds != 1 {
+		t.Errorf("TickSeconds = %v, want default 1", e.TickSeconds)
+	}
+	if got, want := e.Fleet.ShedJoules, res.DroppedWattTicks*e.TickSeconds; math.Abs(got-want) > 1e-9*(want+1) {
+		t.Errorf("shed joules %v, want %v", got, want)
+	}
+	var rackJ float64
+	for _, r := range e.Racks {
+		rackJ += r.Totals.Joules
+	}
+	if math.Abs(rackJ-e.Fleet.Joules) > 1e-9*e.Fleet.Joules {
+		t.Errorf("rack joules sum %v != fleet %v", rackJ, e.Fleet.Joules)
+	}
+	if wpj := e.Fleet.WorkPerJoule(); wpj <= 0 || wpj >= 1 {
+		t.Errorf("work/joule = %v, want in (0, 1) for a fleet with a static floor", wpj)
+	}
+}

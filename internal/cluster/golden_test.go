@@ -44,7 +44,14 @@ func shaHex(b []byte) string {
 func encodeResult(r *Result) []byte {
 	cp := *r
 	cp.Config = Config{}
+	// The Energy report (Result's last field) is likewise stripped so
+	// the committed pre-energy golden bytes stay valid; its determinism
+	// is pinned separately by the energy identity tests (energy_test.go),
+	// which compare the full report byte for byte across shard counts
+	// and snapshot/restore.
+	cp.Energy = EnergyReport{}
 	b := []byte(fmt.Sprintf("%+v", cp))
+	b = bytes.Replace(b, []byte(fmt.Sprintf(" Energy:%+v}", EnergyReport{})), []byte("}"), 1)
 	return bytes.Replace(b, []byte(fmt.Sprintf("%+v", Config{})), []byte("{}"), 1)
 }
 

@@ -606,6 +606,12 @@ func (m *Machine) Result() *Result {
 	res.MeanStretch = m.latency.MeanStretch()
 	res.StretchP95 = m.latency.StretchQuantile(0.95)
 	res.SLOMissFraction = m.latency.SLOMissFraction()
+	res.Energy = EnergyReport{
+		TickSeconds: m.ctrl.Cfg.TickSeconds,
+		Fleet:       m.ctrl.EnergyTotals(),
+		Racks:       m.ctrl.RackEnergy(),
+		Classes:     m.ctrl.ClassEnergy(),
+	}
 	return &res
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"willow/internal/dist"
 	"willow/internal/power"
@@ -220,6 +221,24 @@ type Controller struct {
 	// batch (state.go).
 	inStep   bool
 	eventBuf []telemetry.Event
+
+	// energy is the per-tick energy accounting state (energy.go):
+	// always on, allocation-free, sequential in server order.
+	energy *energyAcc
+
+	// Phases, when non-nil, receives the wall-clock duration of the
+	// observe/allocate/consume tick phases. Wall-clock figures never
+	// enter the telemetry stream or any simulation state — they exist
+	// for live-daemon latency histograms only, so attaching an observer
+	// cannot perturb a run's bytes. A nil Phases costs nothing: the
+	// clock is never read.
+	Phases PhaseObserver
+}
+
+// PhaseObserver consumes wall-clock tick-phase latencies (see
+// Controller.Phases). Implementations must not touch simulation state.
+type PhaseObserver interface {
+	ObservePhase(phase string, seconds float64)
 }
 
 type leftRecord struct {
@@ -330,6 +349,7 @@ func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, s
 		c.Servers = append(c.Servers, srv)
 	}
 	c.shardPlan = planShards(tree, cfg.Shards, numServers)
+	c.energy = newEnergyAcc(c)
 	c.markAllDirty()
 	c.recountLiveUpLinks()
 	return c, nil
@@ -347,16 +367,37 @@ func (c *Controller) Step() {
 
 	c.wakeServers(t)
 	c.completeTransfers(t)
+	// Phase timing is wall-clock and strictly observational: with a nil
+	// Phases observer the clock is never read and the path below is the
+	// seed's, bit for bit.
+	timed := c.Phases != nil
+	var mark time.Time
+	if timed {
+		mark = time.Now()
+	}
 	c.observeDemand(t)
+	if timed {
+		mark = c.observePhase("observe", mark)
+	}
 	if t%c.Cfg.Eta1 == 0 {
 		c.allocateSupplyWindow(t)
+		if timed {
+			c.observePhase("allocate", mark)
+		}
 	}
 	c.restartOrphans(t)
 	c.migrateDemand(t)
 	if t%c.Cfg.Eta2 == 0 {
 		c.consolidate(t)
 	}
+	if timed {
+		mark = time.Now()
+	}
 	c.consumeAndHeat()
+	if timed {
+		c.observePhase("consume", mark)
+	}
+	c.accountEnergy(t)
 
 	up := c.tickUp
 	if !c.asyncEnabled() {
@@ -377,6 +418,14 @@ func (c *Controller) Step() {
 	c.tick++
 	c.inStep = false
 	c.flushEvents()
+}
+
+// observePhase reports one phase's wall-clock duration since mark and
+// returns the new mark.
+func (c *Controller) observePhase(phase string, mark time.Time) time.Time {
+	now := time.Now()
+	c.Phases.ObservePhase(phase, now.Sub(mark).Seconds())
+	return now
 }
 
 // Run executes n ticks.
@@ -641,6 +690,7 @@ func (c *Controller) consumeAndHeatSharded() {
 		// accumulator is untouched — adding zero is the identity.
 		for _, a := range s.Apps.Apps {
 			c.recordService(a.Priority, a.LastDemand, a.LastDemand)
+			c.recordClassService(a.ID, a.LastDemand)
 		}
 		if h.degraded[i] {
 			c.Stats.DegradedTicks++

@@ -139,6 +139,17 @@ type Config struct {
 	// model-predicted temperature while a sensor is unhealthy or
 	// dropped out, biasing the Eq. 3 power cap conservative.
 	SensorGuard float64
+	// TickSeconds is the wall-clock duration modeled by one demand tick
+	// Δ_D, in seconds — the watt-ticks → joules conversion factor of
+	// the energy accounting pass (energy.go). Zero takes 1.0, making
+	// joules numerically equal to watt-ticks.
+	TickSeconds float64
+	// EnergyEvents opts into KindEnergy telemetry: one per-rack record
+	// plus a fleet rollup at the end of every supply window. Off by
+	// default so pre-energy event streams stay byte-identical; the
+	// accounting itself (EnergyTotals, RackEnergy, ClassEnergy) always
+	// runs.
+	EnergyEvents bool
 	// Shards splits the per-server phases of each tick (demand
 	// observation, consumption/heating) across a bounded worker pool of
 	// contiguous rack-aligned server ranges. Results are byte-identical
@@ -210,6 +221,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DegradedDecay == 0 {
 		c.DegradedDecay = 0.5
 	}
+	if c.TickSeconds == 0 {
+		c.TickSeconds = 1
+	}
 	if c.sensingEnabled() {
 		if c.SensorWindow == 0 {
 			c.SensorWindow = 5
@@ -255,6 +269,8 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("core: sensor guard %v must be non-negative and finite", c.SensorGuard)
 	case c.Shards < 0:
 		return c, fmt.Errorf("core: negative shard count %d", c.Shards)
+	case c.TickSeconds <= 0 || !isFinite(c.TickSeconds):
+		return c, fmt.Errorf("core: tick duration %v must be positive and finite", c.TickSeconds)
 	}
 	return c, nil
 }

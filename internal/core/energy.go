@@ -1,0 +1,313 @@
+package core
+
+// Energy accounting: a per-tick sequential pass converting the tick's
+// consumed and dropped watts into joules via Config.TickSeconds, and
+// splitting consumption into useful work (dynamic power serving demand
+// above the static floor) and heat dissipated to the environment (the
+// RC model's energy balance in closed form: whatever the server drew
+// and did not store as a temperature rise left through the c2 path).
+//
+// Determinism contract: the pass runs sequentially in server order
+// after consumeAndHeat, reads only the per-server hot slabs, and
+// allocates nothing — so accumulated figures are byte-identical across
+// worker counts, Config.Shards values, and snapshot/restore (which
+// replays the journal through the same pass). KindEnergy telemetry is
+// opt-in (Config.EnergyEvents) so pre-energy event streams keep their
+// bytes.
+
+import (
+	"willow/internal/telemetry"
+	"willow/internal/topo"
+)
+
+// EnergyTotals is one accounting scope's cumulative energy figures, in
+// joules.
+type EnergyTotals struct {
+	// Joules is the total energy consumed (static + dynamic + migration
+	// cost, everything the server actually drew).
+	Joules float64
+	// WorkJoules is the useful-work share: dynamic power serving demand
+	// above the static floor, integrated over awake ticks.
+	WorkJoules float64
+	// ShedJoules is demand the controller refused (dropped watt-ticks ×
+	// tick duration) — energy the workload asked for and never got.
+	ShedJoules float64
+	// HeatJoules is the energy dissipated to the environment per the RC
+	// thermal model's balance: consumed minus the change in stored heat.
+	HeatJoules float64
+}
+
+// WorkPerJoule returns WorkJoules/Joules, 0 when nothing was consumed.
+func (t EnergyTotals) WorkPerJoule() float64 {
+	if t.Joules <= 0 {
+		return 0
+	}
+	return t.WorkJoules / t.Joules
+}
+
+func (t *EnergyTotals) add(o EnergyTotals) {
+	t.Joules += o.Joules
+	t.WorkJoules += o.WorkJoules
+	t.ShedJoules += o.ShedJoules
+	t.HeatJoules += o.HeatJoules
+}
+
+// Sub returns the element-wise difference t − o: the energy accrued
+// between two cumulative readings (sliding-window efficiency figures).
+func (t EnergyTotals) Sub(o EnergyTotals) EnergyTotals {
+	return EnergyTotals{
+		Joules:     t.Joules - o.Joules,
+		WorkJoules: t.WorkJoules - o.WorkJoules,
+		ShedJoules: t.ShedJoules - o.ShedJoules,
+		HeatJoules: t.HeatJoules - o.HeatJoules,
+	}
+}
+
+// RackEnergy is one rack-level PMU subtree's cumulative energy figures.
+type RackEnergy struct {
+	// Node is the rack PMU's tree node ID; Servers is its contiguous
+	// [lo, hi) server-index span.
+	Node   int
+	Lo, Hi int
+	Totals EnergyTotals
+}
+
+// ClassEnergy is one application class's cumulative served energy
+// (dynamic watt-ticks served to that class × tick duration).
+type ClassEnergy struct {
+	Class        string
+	ServedJoules float64
+}
+
+// energyAcc holds the controller's energy accounting state. Every slice
+// is preallocated at construction; the per-tick pass allocates nothing.
+type energyAcc struct {
+	// Per-server cumulative joules, indexed by server index.
+	joules, workJ, shedJ, heatJ []float64
+	// prevT is each server's temperature at the previous accounting
+	// pass, for the stored-heat delta.
+	prevT []float64
+	// fleet is the running fleet-wide sum (so reads are O(1)).
+	fleet EnergyTotals
+
+	// Per-app-class served watt-ticks: classOf maps app ID → class
+	// index (−1 unknown), classNames the class labels in first-seen
+	// (server, app) order, classServed the accumulators.
+	classOf     []int
+	classNames  []string
+	classServed []float64
+
+	// Window-emission bookkeeping (EnergyEvents only): cumulative
+	// totals at the last emission, per rack (racks order) and fleet.
+	racks     []*topo.Node
+	rackLo    []int
+	rackHi    []int
+	rackLast  []EnergyTotals
+	fleetLast EnergyTotals
+	lastEmit  int // tick after the last emitted window
+}
+
+// newEnergyAcc sizes the accumulator for the controller's fleet.
+func newEnergyAcc(c *Controller) *energyAcc {
+	n := len(c.Servers)
+	e := &energyAcc{
+		joules: make([]float64, n),
+		workJ:  make([]float64, n),
+		shedJ:  make([]float64, n),
+		heatJ:  make([]float64, n),
+		prevT:  make([]float64, n),
+	}
+	for i, s := range c.Servers {
+		e.prevT[i] = s.Thermal.T
+	}
+
+	// App classes, in first-seen order over (server, app) — a
+	// deterministic function of the construction specs.
+	maxID := -1
+	for _, s := range c.Servers {
+		for _, a := range s.Apps.Apps {
+			if a.ID > maxID {
+				maxID = a.ID
+			}
+		}
+	}
+	e.classOf = make([]int, maxID+1)
+	for i := range e.classOf {
+		e.classOf[i] = -1
+	}
+	index := map[string]int{}
+	for _, s := range c.Servers {
+		for _, a := range s.Apps.Apps {
+			name := a.Class.Name
+			if name == "" {
+				name = "unclassed"
+			}
+			ci, ok := index[name]
+			if !ok {
+				ci = len(e.classNames)
+				index[name] = ci
+				e.classNames = append(e.classNames, name)
+				e.classServed = append(e.classServed, 0)
+			}
+			e.classOf[a.ID] = ci
+		}
+	}
+
+	// Rack spans: each level-1 PMU covers a contiguous server range
+	// (the same invariant planShards relies on).
+	if len(c.levels) > 1 {
+		for _, n := range c.levels[1] {
+			lo, hi := len(c.Servers), 0
+			for _, ch := range n.Children {
+				if ch.IsLeaf() {
+					if ch.ServerIndex < lo {
+						lo = ch.ServerIndex
+					}
+					if ch.ServerIndex+1 > hi {
+						hi = ch.ServerIndex + 1
+					}
+				}
+			}
+			if hi <= lo {
+				continue
+			}
+			e.racks = append(e.racks, n)
+			e.rackLo = append(e.rackLo, lo)
+			e.rackHi = append(e.rackHi, hi)
+			e.rackLast = append(e.rackLast, EnergyTotals{})
+		}
+	}
+	return e
+}
+
+// accountEnergy is the per-tick accounting pass: sequential in server
+// order, allocation-free, run at the end of every Step.
+func (c *Controller) accountEnergy(t int) {
+	e, h := c.energy, c.hot
+	secs := c.Cfg.TickSeconds
+	// One thermal-model time unit spans TickSeconds/ThermalDt wall
+	// seconds, converting the stored-heat delta ΔT/c1 (watt · thermal
+	// units) into joules.
+	tuSecs := secs / c.Cfg.ThermalDt
+	var fleet EnergyTotals
+	for i, s := range c.Servers {
+		p := h.consumed[i]
+		j := p * secs
+		e.joules[i] += j
+		var work float64
+		if !h.asleep[i] && p > s.Power.Static {
+			work = (p - s.Power.Static) * secs
+		}
+		e.workJ[i] += work
+		shed := h.dropped[i] * secs
+		e.shedJ[i] += shed
+		// RC energy balance: heat dissipated = consumed − stored-heat
+		// change. The thermal capacitance is 1/c1 (dT/dt = c1·P − …),
+		// so a ΔT rise stores ΔT/c1 watt·thermal-units. Negative ΔT
+		// (cooling) dissipates more than the tick consumed — correct
+		// for sleeping servers coasting down toward ambient.
+		dT := s.Thermal.T - e.prevT[i]
+		heat := j - dT/s.Thermal.Model.C1*tuSecs
+		e.prevT[i] = s.Thermal.T
+		e.heatJ[i] += heat
+		fleet.Joules += j
+		fleet.WorkJoules += work
+		fleet.ShedJoules += shed
+		fleet.HeatJoules += heat
+	}
+	e.fleet.add(fleet)
+
+	if c.Cfg.EnergyEvents && c.Sink != nil && (t+1)%c.Cfg.Eta1 == 0 {
+		c.publishEnergyWindow(t)
+	}
+}
+
+// publishEnergyWindow emits one KindEnergy record per rack plus a fleet
+// rollup covering the supply window that ended at tick t.
+func (c *Controller) publishEnergyWindow(t int) {
+	e := c.energy
+	ticks := t + 1 - e.lastEmit
+	for r, n := range e.racks {
+		var tot EnergyTotals
+		for i := e.rackLo[r]; i < e.rackHi[r]; i++ {
+			tot.add(c.serverTotals(i))
+		}
+		win := tot.Sub(e.rackLast[r])
+		e.rackLast[r] = tot
+		c.publish(telemetry.Event{
+			Tick: t, Kind: telemetry.KindEnergy,
+			Node: n.ID, Level: n.Level, Cause: "rack", Count: ticks,
+			Watts: win.Joules, Demand: win.WorkJoules,
+			Prev: win.HeatJoules, Bytes: win.ShedJoules,
+		})
+	}
+	win := e.fleet.Sub(e.fleetLast)
+	e.fleetLast = e.fleet
+	root := c.Tree.Root
+	c.publish(telemetry.Event{
+		Tick: t, Kind: telemetry.KindEnergy,
+		Node: root.ID, Level: root.Level, Cause: "fleet", Count: ticks,
+		Watts: win.Joules, Demand: win.WorkJoules,
+		Prev: win.HeatJoules, Bytes: win.ShedJoules,
+	})
+	e.lastEmit = t + 1
+}
+
+// serverTotals assembles one server's cumulative figures.
+func (c *Controller) serverTotals(i int) EnergyTotals {
+	e := c.energy
+	return EnergyTotals{
+		Joules:     e.joules[i],
+		WorkJoules: e.workJ[i],
+		ShedJoules: e.shedJ[i],
+		HeatJoules: e.heatJ[i],
+	}
+}
+
+// EnergyTotals returns the fleet-wide cumulative energy figures. O(1).
+func (c *Controller) EnergyTotals() EnergyTotals { return c.energy.fleet }
+
+// ServerEnergy returns one server's cumulative energy figures.
+func (c *Controller) ServerEnergy(i int) EnergyTotals { return c.serverTotals(i) }
+
+// RackEnergy returns cumulative energy figures per rack-level PMU
+// subtree, in tree order. It allocates; call it off the hot path.
+func (c *Controller) RackEnergy() []RackEnergy {
+	e := c.energy
+	out := make([]RackEnergy, len(e.racks))
+	for r, n := range e.racks {
+		var tot EnergyTotals
+		for i := e.rackLo[r]; i < e.rackHi[r]; i++ {
+			tot.add(c.serverTotals(i))
+		}
+		out[r] = RackEnergy{Node: n.ID, Lo: e.rackLo[r], Hi: e.rackHi[r], Totals: tot}
+	}
+	return out
+}
+
+// ClassEnergy returns the cumulative dynamic energy served to each
+// application class, in first-seen construction order. It allocates;
+// call it off the hot path.
+func (c *Controller) ClassEnergy() []ClassEnergy {
+	e := c.energy
+	out := make([]ClassEnergy, len(e.classNames))
+	for i, name := range e.classNames {
+		out[i] = ClassEnergy{Class: name, ServedJoules: e.classServed[i] * c.Cfg.TickSeconds}
+	}
+	return out
+}
+
+// recordClassService accumulates one app's served dynamic watts into
+// its class bucket — called at every recordService site, allocation-
+// free.
+func (c *Controller) recordClassService(appID int, served float64) {
+	e := c.energy
+	if appID < 0 || appID >= len(e.classOf) {
+		return
+	}
+	ci := e.classOf[appID]
+	if ci < 0 {
+		return
+	}
+	e.classServed[ci] += served
+}

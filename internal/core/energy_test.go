@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"willow/internal/power"
+	"willow/internal/telemetry"
+	"willow/internal/workload"
+)
+
+// runEnergy builds a 2-rack fleet with mixed app classes, runs it, and
+// returns the controller.
+func runEnergy(t *testing.T, cfg Config, ticks int) *Controller {
+	t.Helper()
+	specs := []ServerSpec{
+		serverSpec(50, 300, 0, 60, 40),
+		serverSpec(50, 300, 0, 80),
+		serverSpec(50, 300, 0, 30, 30),
+		serverSpec(50, 300, 0, 90),
+	}
+	specs[0].Apps[0].Class = workload.Class{Name: "web", Weight: 1}
+	specs[0].Apps[1].Class = workload.Class{Name: "batch", Weight: 2}
+	specs[1].Apps[0].Class = workload.Class{Name: "web", Weight: 1}
+	specs[2].Apps[0].Class = workload.Class{Name: "batch", Weight: 2}
+	specs[2].Apps[1].Class = workload.Class{Name: "web", Weight: 1}
+	specs[3].Apps[0].Class = workload.Class{Name: "batch", Weight: 2}
+	c := buildController(t, []int{2, 2}, uniqueIDs(specs), power.Constant(2000), cfg)
+	c.Run(ticks)
+	return c
+}
+
+// TestEnergyConservation checks the accounting identities after a run:
+// fleet totals equal the per-server and per-rack sums, consumed joules
+// equal heat dissipated plus stored heat (the RC balance), shed joules
+// equal the dropped watt-tick stat, and work never exceeds consumption.
+func TestEnergyConservation(t *testing.T) {
+	cfg := quietCfg()
+	cfg.TickSeconds = 2.5
+	c := runEnergy(t, cfg, 40)
+
+	fleet := c.EnergyTotals()
+	if fleet.Joules <= 0 {
+		t.Fatalf("no energy accounted: %+v", fleet)
+	}
+
+	var sum EnergyTotals
+	var stored float64
+	for i, s := range c.Servers {
+		st := c.ServerEnergy(i)
+		sum.add(st)
+		if st.WorkJoules < 0 || st.WorkJoules > st.Joules+1e-9 {
+			t.Errorf("server %d work %v outside [0, consumed %v]", i, st.WorkJoules, st.Joules)
+		}
+		// Stored heat since construction (temperature started at ambient).
+		dT := s.Thermal.T - s.Thermal.Model.Ambient
+		stored += dT / s.Thermal.Model.C1 * (cfg.TickSeconds / cfg.ThermalDt)
+	}
+	if math.Abs(sum.Joules-fleet.Joules) > 1e-9 || math.Abs(sum.HeatJoules-fleet.HeatJoules) > 1e-9 {
+		t.Errorf("fleet totals %+v != per-server sum %+v", fleet, sum)
+	}
+
+	var rackSum EnergyTotals
+	for _, r := range c.RackEnergy() {
+		rackSum.add(r.Totals)
+	}
+	if math.Abs(rackSum.Joules-fleet.Joules) > 1e-9 {
+		t.Errorf("rack sum %v != fleet %v joules", rackSum.Joules, fleet.Joules)
+	}
+
+	// RC energy balance: consumed = dissipated + stored.
+	if got, want := fleet.HeatJoules+stored, fleet.Joules; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("energy balance: heat %v + stored %v = %v, want consumed %v",
+			fleet.HeatJoules, stored, got, want)
+	}
+
+	if got, want := fleet.ShedJoules, c.Stats.DroppedWattTicks*cfg.TickSeconds; math.Abs(got-want) > 1e-9 {
+		t.Errorf("shed joules %v, want dropped watt-ticks × secs = %v", got, want)
+	}
+}
+
+// TestClassEnergyPartition checks the per-class served energy sums to
+// the per-priority served watt-ticks (both partition dynamic service).
+func TestClassEnergyPartition(t *testing.T) {
+	cfg := quietCfg()
+	cfg.TickSeconds = 1.5
+	c := runEnergy(t, cfg, 25)
+
+	classes := c.ClassEnergy()
+	if len(classes) != 2 {
+		t.Fatalf("classes = %+v, want web and batch", classes)
+	}
+	if classes[0].Class != "web" || classes[1].Class != "batch" {
+		t.Errorf("class order %+v, want first-seen order web, batch", classes)
+	}
+	var classSum float64
+	for _, ce := range classes {
+		if ce.ServedJoules <= 0 {
+			t.Errorf("class %q served %v, want > 0", ce.Class, ce.ServedJoules)
+		}
+		classSum += ce.ServedJoules
+	}
+	var servedWT float64
+	for _, v := range c.Stats.ServedByPriority {
+		servedWT += v
+	}
+	if want := servedWT * cfg.TickSeconds; math.Abs(classSum-want) > 1e-9*want {
+		t.Errorf("class served sum %v, want per-priority served × secs = %v", classSum, want)
+	}
+}
+
+// TestEnergyEventsOptIn pins that KindEnergy emission is off by default
+// and, when enabled, emits one record per rack plus a fleet rollup per
+// supply window whose deltas sum to the cumulative totals.
+func TestEnergyEventsOptIn(t *testing.T) {
+	cfg := quietCfg()
+	cfg.Eta1 = 4
+	cfg.Eta2 = 1 << 20
+
+	var buf telemetry.Buffer
+	cfgOff := cfg
+	specs := func() []ServerSpec {
+		return uniqueIDs([]ServerSpec{
+			serverSpec(50, 300, 0, 60),
+			serverSpec(50, 300, 0, 80),
+		})
+	}
+	off := buildController(t, []int{2}, specs(), power.Constant(1000), cfgOff)
+	off.Sink = &buf
+	off.Run(12)
+	for _, e := range buf.Events {
+		if e.Kind == telemetry.KindEnergy {
+			t.Fatalf("energy event emitted with EnergyEvents=false: %+v", e)
+		}
+	}
+
+	cfgOn := cfg
+	cfgOn.EnergyEvents = true
+	var bufOn telemetry.Buffer
+	on := buildController(t, []int{2}, specs(), power.Constant(1000), cfgOn)
+	on.Sink = &bufOn
+	on.Run(12)
+
+	var fleetWindows int
+	var fleetJ, fleetWork float64
+	for _, e := range bufOn.Events {
+		if e.Kind != telemetry.KindEnergy {
+			continue
+		}
+		switch e.Cause {
+		case "fleet":
+			fleetWindows++
+			fleetJ += e.Watts
+			fleetWork += e.Demand
+			if e.Count != cfgOn.Eta1 {
+				t.Errorf("window ticks = %d, want Eta1 = %d", e.Count, cfgOn.Eta1)
+			}
+		case "rack":
+			if e.Level != 1 {
+				t.Errorf("rack record at level %d", e.Level)
+			}
+		default:
+			t.Errorf("unknown energy cause %q", e.Cause)
+		}
+	}
+	if want := 12 / cfgOn.Eta1; fleetWindows != want {
+		t.Errorf("fleet windows = %d, want %d", fleetWindows, want)
+	}
+	tot := on.EnergyTotals()
+	if math.Abs(fleetJ-tot.Joules) > 1e-9 || math.Abs(fleetWork-tot.WorkJoules) > 1e-9 {
+		t.Errorf("window deltas sum to (%v, %v), cumulative (%v, %v)",
+			fleetJ, fleetWork, tot.Joules, tot.WorkJoules)
+	}
+}
+
+// TestTickSecondsValidation pins the Config knob's validation.
+func TestTickSecondsValidation(t *testing.T) {
+	for _, bad := range []float64{-1, math.Inf(1), math.NaN()} {
+		cfg := quietCfg()
+		cfg.TickSeconds = bad
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("TickSeconds %v accepted, want error", bad)
+		}
+	}
+	cfg := quietCfg()
+	got, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TickSeconds != 1 {
+		t.Errorf("zero TickSeconds defaulted to %v, want 1", got.TickSeconds)
+	}
+}

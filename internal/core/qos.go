@@ -39,6 +39,7 @@ func (c *Controller) settleQoS(s *Server, eff float64) float64 {
 	if raw <= eff {
 		for _, a := range s.Apps.Apps {
 			c.recordService(a.Priority, a.LastDemand, a.LastDemand)
+			c.recordClassService(a.ID, a.LastDemand)
 		}
 		return raw
 	}
@@ -103,6 +104,7 @@ func (c *Controller) settleQoS(s *Server, eff float64) float64 {
 		}
 		consumed += sv.served
 		c.recordService(sv.priority, sv.demand, sv.served)
+		c.recordClassService(sv.appID, sv.served)
 	}
 	return consumed
 }

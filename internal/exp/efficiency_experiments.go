@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+
+	"willow/internal/cluster"
+	"willow/internal/metrics"
+	"willow/internal/power"
+)
+
+func init() {
+	register("efficiency", "Energy scoreboard — work per joule across demand shapes", runEfficiency)
+}
+
+// runEfficiency compares the fleet's energy efficiency across demand
+// shapes on identical seeds: the same applications, topology and
+// controller parameters, with only the demand (or supply) envelope
+// changing. The scoreboard is the energy accounting layer's cumulative
+// figures — joules consumed, useful work delivered, demand shed, heat
+// dissipated — and the derived work-per-joule ratio, which is what the
+// adaptive control is ultimately spending or saving.
+func runEfficiency(opts Options) (*Result, error) {
+	type scenario struct {
+		name   string
+		mutate func(*cluster.Config)
+	}
+	scenarios := []scenario{
+		// The baseline: flat demand against the rated constant supply.
+		{"steady", func(c *cluster.Config) {}},
+		// A day/night swing around the same mean.
+		{"diurnal", func(c *cluster.Config) {
+			c.DemandProfile = power.Sine{Base: 1, Amplitude: 0.4, Period: 80}
+		}},
+		// A sudden 2.2× surge for two supply epochs, then back off.
+		{"flash-crowd", func(c *cluster.Config) {
+			c.DemandProfile = power.Trace{1, 1, 1, 2.2, 2.2, 1, 1, 0.9, 1, 1}
+		}},
+		// Steady demand under a renewable-shaped supply: the controller
+		// must shed and consolidate through the troughs.
+		{"green-supply", func(c *cluster.Config) {
+			n := 1
+			for _, f := range c.Fanout {
+				n *= f
+			}
+			rated := float64(n) * c.ServerPower.Peak
+			c.Supply = power.Sine{Base: rated * 0.75, Amplitude: rated * 0.3, Period: 90}
+		}},
+	}
+
+	tb := metrics.NewTable(
+		"Energy efficiency scoreboard across demand shapes (U=60%, identical seeds)",
+		"scenario", "joules", "work (J)", "shed (J)", "heat (J)", "work/joule",
+	)
+	type row struct {
+		name string
+		wpj  float64
+		shed float64
+	}
+	rows := make([]row, 0, len(scenarios))
+	for _, sc := range scenarios {
+		cfg := cluster.PaperConfig(0.6)
+		shortenFor(opts)(&cfg)
+		cfg.Core.EnergyEvents = true
+		sc.mutate(&cfg)
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("efficiency %s: %w", sc.name, err)
+		}
+		e := res.Energy.Fleet
+		tb.AddRow(sc.name,
+			fmt.Sprintf("%.0f", e.Joules),
+			fmt.Sprintf("%.0f", e.WorkJoules),
+			fmt.Sprintf("%.0f", e.ShedJoules),
+			fmt.Sprintf("%.0f", e.HeatJoules),
+			fmt.Sprintf("%.4f", e.WorkPerJoule()))
+		rows = append(rows, row{sc.name, e.WorkPerJoule(), e.ShedJoules})
+	}
+
+	best, worst := rows[0], rows[0]
+	for _, r := range rows[1:] {
+		if r.wpj > best.wpj {
+			best = r
+		}
+		if r.wpj < worst.wpj {
+			worst = r
+		}
+	}
+	return &Result{
+		Table: tb,
+		Notes: []string{
+			fmt.Sprintf("work/joule spans %.4f (%s) to %.4f (%s) — the static floor dominates when demand sags",
+				worst.wpj, worst.name, best.wpj, best.name),
+			fmt.Sprintf("green-supply shed %.0f J vs %.0f J steady — the price of following renewable troughs",
+				rows[3].shed, rows[0].shed),
+		},
+	}, nil
+}

@@ -41,7 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-qos", "ext-cooling", "ext-ipc", "ext-device", "ext-idle",
 		"ext-async", "ext-latency", "ext-transfer",
 		"ext-hetero", "ext-variance", "ext-failure",
-		"resilience", "sensing",
+		"resilience", "sensing", "efficiency",
 	}
 	ids := map[string]bool{}
 	for _, id := range IDs() {

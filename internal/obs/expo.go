@@ -1,0 +1,161 @@
+package obs
+
+// Prometheus text exposition format, version 0.0.4: the subset every
+// scraper understands — # HELP / # TYPE headers, label sets, histogram
+// _bucket/_sum/_count series with cumulative le bounds and +Inf.
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Encoder writes Prometheus text format. It exists both as the
+// registry's exposition backend and as a standalone writer for dynamic
+// sim-time series rendered from a state snapshot at scrape time
+// (per-rack energy, subscriber queues) that have no long-lived metric
+// object behind them.
+type Encoder struct {
+	w   io.Writer
+	err error
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first write or validation error.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Family writes the # HELP / # TYPE header for a metric family. typ
+// must be "counter", "gauge" or "histogram".
+func (e *Encoder) Family(name, typ, help string) {
+	if e.err != nil {
+		return
+	}
+	if !nameRe.MatchString(name) {
+		e.err = fmt.Errorf("obs: invalid metric name %q", name)
+		return
+	}
+	switch typ {
+	case "counter", "gauge", "histogram":
+	default:
+		e.err = fmt.Errorf("obs: invalid metric type %q", typ)
+		return
+	}
+	if help != "" {
+		e.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample writes one series sample line.
+func (e *Encoder) Sample(name string, labels []Label, value float64) {
+	if e.err != nil {
+		return
+	}
+	if !nameRe.MatchString(name) {
+		e.err = fmt.Errorf("obs: invalid metric name %q", name)
+		return
+	}
+	e.printf("%s%s %s\n", name, renderLabels(labels), formatValue(value))
+}
+
+// Histogram writes a histogram family's _bucket/_sum/_count series from
+// cumulative bucket counts (aligned with bounds; the +Inf bucket is
+// derived from count).
+func (e *Encoder) Histogram(name string, labels []Label, bounds []float64, cum []uint64, sum float64, count uint64) {
+	for i, b := range bounds {
+		e.Sample(name+"_bucket", append(labels, Label{"le", formatValue(b)}), float64(cum[i]))
+	}
+	e.Sample(name+"_bucket", append(labels, Label{"le", "+Inf"}), float64(count))
+	e.Sample(name+"_sum", labels, sum)
+	e.Sample(name+"_count", labels, float64(count))
+}
+
+// WriteText writes every registered family in sorted name order, series
+// in sorted label order — a deterministic function of the registry's
+// current values.
+func (r *Registry) WriteText(w io.Writer) error {
+	e := NewEncoder(w)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.order {
+		e.Family(f.name, f.typ, f.help)
+		for _, m := range f.order {
+			switch {
+			case m.c != nil:
+				e.Sample(f.name, m.labels, m.c.Value())
+			case m.g != nil:
+				e.Sample(f.name, m.labels, m.g.Value())
+			case m.h != nil:
+				cum, sum, count := m.h.snapshot()
+				e.Histogram(f.name, m.labels, m.h.bounds, cum, sum, count)
+			}
+		}
+	}
+	return e.Err()
+}
+
+// renderLabels formats a label set, validating names and escaping
+// values.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if !labelRe.MatchString(l.Name) {
+			// An invalid label name would corrupt the whole exposition;
+			// render it defanged instead.
+			l.Name = "invalid_label"
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v > 0 && v*2 == v:
+		return "+Inf"
+	case v < 0 && v*2 == v:
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,227 @@
+package obs
+
+// A minimal Prometheus text-format parser: enough to round-trip what
+// expo.go writes and to validate a live /metrics scrape in tests and
+// smoke scripts. It checks structural conformance — name syntax, label
+// quoting, float values, TYPE declarations — and returns every sample.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Scrape is a parsed exposition: samples in input order plus the
+// declared family types.
+type Scrape struct {
+	Samples []Sample
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+}
+
+// Value returns the first sample matching name and all given labels,
+// with ok=false when absent.
+func (s *Scrape) Value(name string, labels ...Label) (float64, bool) {
+	for _, sm := range s.Samples {
+		if sm.Name != name {
+			continue
+		}
+		ok := true
+		for _, want := range labels {
+			found := false
+			for _, l := range sm.Labels {
+				if l == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseText parses a Prometheus text-format exposition, returning an
+// error on the first malformed line.
+func ParseText(r io.Reader) (*Scrape, error) {
+	out := &Scrape{Types: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := out.parseComment(line); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out.Samples = append(out.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Scrape) parseComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !nameRe.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("invalid metric type %q", typ)
+		}
+		if prev, dup := s.Types[name]; dup && prev != typ {
+			return fmt.Errorf("family %q re-declared as %s (was %s)", name, typ, prev)
+		}
+		s.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !nameRe.MatchString(fields[2]) {
+			return fmt.Errorf("invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !nameRe.MatchString(name) {
+		return s, fmt.Errorf("invalid metric name %q", name)
+	}
+	s.Name = name
+	// The value may be followed by an optional timestamp; take the
+	// first field.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label in %q", body)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !labelRe.MatchString(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			ch := rest[i]
+			if ch == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c", rest[i])
+				}
+				continue
+			}
+			if ch == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(ch)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		out = append(out, Label{Name: name, Value: val.String()})
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

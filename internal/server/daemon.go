@@ -90,6 +90,7 @@ type Daemon struct {
 	journal []Mutation
 	sink    telemetry.Sink // lossless, publishes under mu; may be nil
 	hub     *Hub
+	metrics *daemonMetrics
 	started time.Time
 }
 
@@ -103,8 +104,9 @@ func New(spec Spec) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Daemon{spec: spec, m: m, hub: NewHub(), started: time.Now()}
+	d := &Daemon{spec: spec, m: m, hub: NewHub(), metrics: newDaemonMetrics(), started: time.Now()}
 	m.SetSink(telemetry.SinkFunc(d.publish))
+	m.Controller().Phases = d.metrics
 	return d, nil
 }
 
@@ -165,9 +167,13 @@ func Restore(snap Snapshot) (*Daemon, error) {
 		m:       m,
 		journal: append([]Mutation(nil), snap.Journal...),
 		hub:     NewHub(),
+		metrics: newDaemonMetrics(),
 		started: time.Now(),
 	}
 	m.SetSink(telemetry.SinkFunc(d.publish))
+	// Phase timing starts post-restore: replay is warm-up work the
+	// wall-clock histograms should not pollute.
+	m.Controller().Phases = d.metrics
 	return d, nil
 }
 
@@ -179,7 +185,13 @@ func (d *Daemon) publish(e telemetry.Event) {
 	if d.sink != nil {
 		d.sink.Publish(e)
 	}
+	if d.metrics == nil {
+		d.hub.Publish(e)
+		return
+	}
+	start := time.Now()
 	d.hub.Publish(e)
+	d.metrics.publish.Observe(time.Since(start).Seconds())
 }
 
 // SetSink attaches a lossless telemetry sink (e.g. a FileSink). It
@@ -216,6 +228,7 @@ func (d *Daemon) Step() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.m.Step()
+	d.afterTick()
 	return d.m.Done()
 }
 
@@ -225,6 +238,16 @@ func (d *Daemon) StepN(n int) {
 	defer d.mu.Unlock()
 	for i := 0; i < n && !d.m.Done(); i++ {
 		d.m.Step()
+		d.afterTick()
+	}
+}
+
+// afterTick records the per-tick observability sample (the efficiency
+// ring's cumulative energy reading). Called with d.mu held after every
+// Step.
+func (d *Daemon) afterTick() {
+	if d.metrics != nil {
+		d.metrics.push(d.m.NextTick(), d.m.Controller().EnergyTotals())
 	}
 }
 
@@ -364,6 +387,19 @@ func (d *Daemon) Snapshot() Snapshot {
 	}
 }
 
+// WriteSnapshot captures the current snapshot and writes it to path,
+// timing the serialization + write into the wall-clock snapshot
+// histogram (the /metrics willow_snapshot_write_seconds series).
+func (d *Daemon) WriteSnapshot(path string) (Snapshot, error) {
+	snap := d.Snapshot()
+	start := time.Now()
+	err := snap.WriteFile(path)
+	if d.metrics != nil {
+		d.metrics.snapshot.Observe(time.Since(start).Seconds())
+	}
+	return snap, err
+}
+
 // Result computes the run's measurements so far (see cluster.Result).
 func (d *Daemon) Result() *cluster.Result {
 	d.mu.Lock()
@@ -488,6 +524,11 @@ type StatsView struct {
 	EventsDropped   int64 `json:"events_dropped"`
 	Subscribers     int   `json:"subscribers"`
 	JournalLen      int   `json:"journal_len"`
+
+	// SubscriberStats details each live subscriber's backpressure:
+	// buffer capacity, current occupancy, and events dropped — the
+	// per-stream view behind the aggregate EventsDropped.
+	SubscriberStats []SubscriberStat `json:"subscriber_stats,omitempty"`
 }
 
 // Stats summarizes the run so far for /v1/stats.
@@ -532,5 +573,6 @@ func (d *Daemon) Stats() StatsView {
 		EventsDropped:   dropped,
 		Subscribers:     subs,
 		JournalLen:      journal,
+		SubscriberStats: d.hub.SubscriberStats(),
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,8 +13,12 @@ import (
 // NewHandler exposes a daemon over HTTP/JSON:
 //
 //	GET  /healthz      liveness + current tick
+//	GET  /metrics      Prometheus text exposition (wall-clock latency
+//	                   histograms + sim-time energy/hub series)
 //	GET  /v1/state     full hierarchy state at the tick boundary
 //	GET  /v1/stats     run counters, hub stats, journal length
+//	GET  /v1/efficiency energy scoreboard: cumulative + sliding-window
+//	                   joules, work/joule, per-rack and per-class rows
 //	POST /v1/demand    {"server": -1, "factor": 1.5} scale demand
 //	POST /v1/chaos     {"spec": "medium", "seed": 7, "sensor": false}
 //	POST /v1/snapshot  returns the full snapshot JSON
@@ -29,6 +34,21 @@ func NewHandler(d *Daemon) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "tick": d.NextTick()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Render into a buffer first: the exposition is small (a few KB)
+		// and this keeps slow scrapers off the daemon's locks entirely.
+		var buf bytes.Buffer
+		if err := d.WriteMetrics(&buf); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("GET /v1/efficiency", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Efficiency())
 	})
 	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.State())

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 
 	"willow/internal/telemetry"
@@ -16,6 +17,7 @@ import (
 type Hub struct {
 	mu        sync.Mutex
 	subs      map[*Subscription]struct{}
+	nextID    int64
 	published int64
 	dropped   int64
 	closed    bool
@@ -28,6 +30,8 @@ type Subscription struct {
 	// C delivers events in publication order. It is closed when the
 	// subscription ends; a nil read is never sent.
 	C chan telemetry.Event
+	// id orders subscribers stably in stats output (guarded by hub.mu).
+	id int64
 	// dropped counts events this subscriber missed (guarded by hub.mu).
 	dropped int64
 }
@@ -68,6 +72,8 @@ func (h *Hub) Subscribe(buffer int) *Subscription {
 	s := &Subscription{C: make(chan telemetry.Event, buffer)}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.nextID++
+	s.id = h.nextID
 	if h.closed {
 		close(s.C)
 		return s
@@ -121,4 +127,32 @@ func (h *Hub) Stats() (published, dropped int64, subscribers int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.published, h.dropped, len(h.subs)
+}
+
+// SubscriberStat is one live subscriber's backpressure picture: how big
+// its buffer is, how full it currently sits, and how much it has lost.
+type SubscriberStat struct {
+	ID       int64 `json:"id"`
+	Capacity int   `json:"capacity"`
+	Queued   int   `json:"queued"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// SubscriberStats returns every live subscriber's backpressure stats in
+// stable subscription order (the hub's subscriber set is a map, so the
+// monotonic id is what makes repeated scrapes comparable).
+func (h *Hub) SubscriberStats() []SubscriberStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]SubscriberStat, 0, len(h.subs))
+	for s := range h.subs {
+		out = append(out, SubscriberStat{
+			ID:       s.id,
+			Capacity: cap(s.C),
+			Queued:   len(s.C),
+			Dropped:  s.dropped,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }

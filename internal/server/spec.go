@@ -55,6 +55,14 @@ type Spec struct {
 	// prepared controller. Zero-value controllers cannot grow an
 	// estimator mid-run.
 	Sensing bool `json:"sensing,omitempty"`
+	// Energy turns on KindEnergy telemetry events (core.Config
+	// EnergyEvents). Accounting itself is always on; this only adds the
+	// per-supply-window event stream, so the default stays byte-identical
+	// to pre-energy runs.
+	Energy bool `json:"energy,omitempty"`
+	// TickSeconds is the wall-time one tick models for joule conversion
+	// (core.Config.TickSeconds). Zero keeps the default of 1 s.
+	TickSeconds float64 `json:"tick_seconds,omitempty"`
 }
 
 // DefaultSpec is the paper topology at 50 % utilization — what willowd
@@ -118,6 +126,10 @@ func (s Spec) Build() (cluster.Config, error) {
 
 	if s.LeaseTicks > 0 {
 		cfg.Core.BudgetLeaseTicks = s.LeaseTicks
+	}
+	cfg.Core.EnergyEvents = s.Energy
+	if s.TickSeconds > 0 {
+		cfg.Core.TickSeconds = s.TickSeconds
 	}
 	if s.Sensing {
 		c := &cfg.Core

@@ -7,10 +7,22 @@ package telemetry
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"willow/internal/metrics"
 )
+
+// sortedKeys returns m's keys in ascending order, for deterministic
+// row rendering.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // Aggregator is a Sink that accumulates summary statistics. The zero
 // value is ready to use.
@@ -35,6 +47,11 @@ type Aggregator struct {
 	sensorRejects  int64
 	sensorGuard    int64
 	sensorTrips    int64
+	energyJ        float64
+	workJ          float64
+	heatJ          float64
+	shedJ          float64
+	rackEnergyJ    map[int]float64
 	firstTick      int
 	lastTick       int
 	sawTick        bool
@@ -102,6 +119,19 @@ func (a *Aggregator) Publish(e Event) {
 			a.sensorGuard++
 		case e.Cause == "unhealthy":
 			a.sensorTrips++
+		}
+	case KindEnergy:
+		switch e.Cause {
+		case "fleet":
+			a.energyJ += e.Watts
+			a.workJ += e.Demand
+			a.heatJ += e.Prev
+			a.shedJ += e.Bytes
+		case "rack":
+			if a.rackEnergyJ == nil {
+				a.rackEnergyJ = make(map[int]float64)
+			}
+			a.rackEnergyJ[e.Node] += e.Watts
 		}
 	}
 }
@@ -185,6 +215,31 @@ func (a *Aggregator) SensorGuardTicks() int64 { return a.sensorGuard }
 // unhealthy.
 func (a *Aggregator) SensorUnhealthyTrips() int64 { return a.sensorTrips }
 
+// EnergyJoules returns the fleet-wide joules consumed, summed over the
+// "fleet" energy window records.
+func (a *Aggregator) EnergyJoules() float64 { return a.energyJ }
+
+// WorkJoules returns the fleet-wide useful-work joules (dynamic power
+// serving demand × tick duration).
+func (a *Aggregator) WorkJoules() float64 { return a.workJ }
+
+// HeatJoules returns the fleet-wide heat dissipated to the environment,
+// in joules.
+func (a *Aggregator) HeatJoules() float64 { return a.heatJ }
+
+// ShedJoules returns the demand shed (dropped watt-ticks × tick
+// duration), in joules.
+func (a *Aggregator) ShedJoules() float64 { return a.shedJ }
+
+// WorkPerJoule returns useful work per joule consumed — the efficiency
+// scoreboard's headline figure — and ok=false when nothing was consumed.
+func (a *Aggregator) WorkPerJoule() (float64, bool) {
+	if a.energyJ <= 0 {
+		return 0, false
+	}
+	return a.workJ / a.energyJ, true
+}
+
 // BudgetUtilization returns demand-over-budget (ΣCP / ΣTP, watt-
 // weighted across that level's budget events) for the given tree level,
 // with ok=false when the level granted no budget.
@@ -200,6 +255,11 @@ func (a *Aggregator) BudgetUtilization(level int) (float64, bool) {
 func (a *Aggregator) Table(title string) *metrics.Table {
 	tb := metrics.NewTable(title, "metric", "value")
 	for _, k := range Kinds() {
+		if k == KindEnergy && a.counts[k] == 0 {
+			// Energy events are opt-in; skipping the zero row keeps
+			// pre-energy summaries byte-identical.
+			continue
+		}
 		tb.AddRow("events."+k.String(), fmt.Sprintf("%d", a.counts[k]))
 	}
 	tb.AddRow("ticks.span", fmt.Sprintf("%d", a.TickSpan()))
@@ -224,6 +284,20 @@ func (a *Aggregator) Table(title string) *metrics.Table {
 		tb.AddRow("sensor.rejected", fmt.Sprintf("%d", a.sensorRejects))
 		tb.AddRow("sensor.guard-ticks", fmt.Sprintf("%d", a.sensorGuard))
 		tb.AddRow("sensor.unhealthy-trips", fmt.Sprintf("%d", a.sensorTrips))
+	}
+	if a.counts[KindEnergy] > 0 {
+		// Efficiency scoreboard — rendered only for runs that emitted
+		// energy accounting events (core.Config.EnergyEvents).
+		tb.AddRow("energy.joules", fmt.Sprintf("%.6g", a.energyJ))
+		tb.AddRow("energy.work-joules", fmt.Sprintf("%.6g", a.workJ))
+		tb.AddRow("energy.heat-joules", fmt.Sprintf("%.6g", a.heatJ))
+		tb.AddRow("energy.shed-joules", fmt.Sprintf("%.6g", a.shedJ))
+		if wpj, ok := a.WorkPerJoule(); ok {
+			tb.AddRow("energy.work-per-joule", fmt.Sprintf("%.6g", wpj))
+		}
+		for _, node := range sortedKeys(a.rackEnergyJ) {
+			tb.AddRow(fmt.Sprintf("energy.rack.%d.joules", node), fmt.Sprintf("%.6g", a.rackEnergyJ[node]))
+		}
 	}
 	for level := range a.budgetTP {
 		util, ok := a.BudgetUtilization(level)

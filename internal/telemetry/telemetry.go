@@ -57,8 +57,14 @@ const (
 	// record per tick a server's control temperature ran on the
 	// model-predicted fallback plus guard band ("guard").
 	KindSensor
+	// KindEnergy is an energy-accounting window summary (energy.go):
+	// joules consumed, useful work, heat dissipated and demand shed over
+	// one supply window, per rack ("rack") and fleet-wide ("fleet").
+	// Emission is opt-in (core.Config.EnergyEvents) so pre-energy event
+	// streams stay byte-identical.
+	KindEnergy
 
-	numKinds = int(KindSensor)
+	numKinds = int(KindEnergy)
 )
 
 // kindNames are the wire names, used in JSONL streams and CLI filters.
@@ -71,6 +77,7 @@ var kindNames = [...]string{
 	KindQoSViolation:    "qos",
 	KindDegraded:        "degraded",
 	KindSensor:          "sensor",
+	KindEnergy:          "energy",
 }
 
 // String returns the kind's wire name.
@@ -146,6 +153,10 @@ func Kinds() []Kind {
 //	                (the reading, or the fault magnitude on inject, or
 //	                the guarded control temperature), Prev (the RC-model
 //	                one-step prediction the reading was gated against)
+//	Energy          Node, Level, Cause ("rack"/"fleet"), Count (ticks
+//	                in the window), Watts (joules consumed over the
+//	                window), Demand (useful-work joules), Prev (heat
+//	                dissipated, joules), Bytes (demand shed, joules)
 type Event struct {
 	// Tick is the simulation tick of the decision — never wall clock,
 	// so event streams are reproducible byte for byte.

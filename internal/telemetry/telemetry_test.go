@@ -181,3 +181,43 @@ func TestAggregator(t *testing.T) {
 		t.Error("Table missing rows")
 	}
 }
+
+// TestAggregatorEnergyRows is the efficiency-row golden: the rendered
+// scoreboard section of the summary table is pinned verbatim, and a
+// stream without energy events must not render it at all (the
+// pre-energy byte-identity guarantee).
+func TestAggregatorEnergyRows(t *testing.T) {
+	var a Aggregator
+	a.Publish(Event{Tick: 15, Kind: KindEnergy, Cause: "rack", Node: 3, Count: 16, Watts: 4000, Demand: 2500, Prev: 3600, Bytes: 120})
+	a.Publish(Event{Tick: 15, Kind: KindEnergy, Cause: "rack", Node: 4, Count: 16, Watts: 6000, Demand: 3500, Prev: 5400, Bytes: 80})
+	a.Publish(Event{Tick: 15, Kind: KindEnergy, Cause: "fleet", Node: 0, Count: 16, Watts: 10000, Demand: 6000, Prev: 9000, Bytes: 200})
+
+	if got := a.EnergyJoules(); got != 10000 {
+		t.Errorf("EnergyJoules = %v, want 10000 (fleet record only)", got)
+	}
+	if wpj, ok := a.WorkPerJoule(); !ok || wpj != 0.6 {
+		t.Errorf("WorkPerJoule = %v/%v, want 0.6", wpj, ok)
+	}
+
+	rendered := a.Table("summary").String()
+	for _, want := range []string{
+		"events.energy          3",
+		"energy.joules          10000",
+		"energy.work-joules     6000",
+		"energy.heat-joules     9000",
+		"energy.shed-joules     200",
+		"energy.work-per-joule  0.6",
+		"energy.rack.3.joules   4000",
+		"energy.rack.4.joules   6000",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("summary missing row %q:\n%s", want, rendered)
+		}
+	}
+
+	var quiet Aggregator
+	quiet.Publish(Event{Tick: 0, Kind: KindBudgetChange, Level: 1, Watts: 100, Demand: 80})
+	if plain := quiet.Table("summary").String(); strings.Contains(plain, "energy") {
+		t.Errorf("energy rows rendered without energy events:\n%s", plain)
+	}
+}

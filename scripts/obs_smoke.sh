@@ -1,0 +1,74 @@
+#!/bin/sh
+# obs_smoke.sh — end-to-end smoke of the observability layer: boot
+# willowd (race-instrumented) with energy telemetry on, let it tick,
+# then validate the /metrics exposition and the /v1/efficiency
+# scoreboard with obscheck (strict conformance parse + consistency
+# checks), scrape concurrently with a live event subscriber to shake
+# races, SIGTERM, and assert a clean drain with a timed snapshot.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+willowd_pid=""
+cleanup() {
+    [ -n "$willowd_pid" ] && kill "$willowd_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "obs-smoke: building race-instrumented binaries"
+go build -race -o "$tmp/willowd" ./cmd/willowd
+go build -race -o "$tmp/obscheck" ./internal/tools/obscheck
+
+"$tmp/willowd" \
+    -addr 127.0.0.1:0 -port-file "$tmp/port" \
+    -tick 2ms -ticks 5000 -energy -pprof \
+    -snapshot "$tmp/snap.json" \
+    > "$tmp/willowd.out" 2>&1 &
+willowd_pid=$!
+
+i=0
+while [ ! -s "$tmp/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "obs-smoke: FAIL — willowd never wrote its port file" >&2
+        cat "$tmp/willowd.out" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(head -n 1 "$tmp/port")
+echo "obs-smoke: willowd up on $addr"
+
+# Two concurrent obscheck runs: each polls /metrics while ticks land,
+# so the scrape path races the tick loop under the -race build.
+"$tmp/obscheck" -addr "http://$addr" -min-tick 150 -wait 60s &
+check_pid=$!
+"$tmp/obscheck" -addr "http://$addr" -min-tick 150 -wait 60s > "$tmp/check2.out" 2>&1 &
+check2_pid=$!
+
+if ! wait "$check_pid"; then
+    echo "obs-smoke: FAIL — obscheck rejected the observability surface" >&2
+    cat "$tmp/willowd.out" >&2
+    exit 1
+fi
+if ! wait "$check2_pid"; then
+    echo "obs-smoke: FAIL — concurrent obscheck failed" >&2
+    cat "$tmp/check2.out" >&2
+    exit 1
+fi
+
+kill -TERM "$willowd_pid"
+if ! wait "$willowd_pid"; then
+    echo "obs-smoke: FAIL — willowd exited non-zero on SIGTERM" >&2
+    cat "$tmp/willowd.out" >&2
+    exit 1
+fi
+willowd_pid=""
+
+if [ ! -s "$tmp/snap.json" ]; then
+    echo "obs-smoke: FAIL — no final snapshot written" >&2
+    exit 1
+fi
+
+echo "obs-smoke: OK (metrics + efficiency validated under concurrent scrapes, snapshot written)"
