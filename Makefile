@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke experiments report fuzz examples clean
+.PHONY: all build test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -31,8 +31,10 @@ race:
 # fleet, plus an allocation guard on the fleet tick benchmark.
 # obs-smoke boots willowd with energy telemetry on and validates the
 # /metrics exposition and /v1/efficiency scoreboard with the strict
-# conformance checker.
-ci: build test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke
+# conformance checker. crash-smoke SIGKILLs a WAL-armed willowd at
+# seeded points mid-run and requires recovery to be byte-identical to
+# an uninterrupted run.
+ci: build test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -98,6 +100,16 @@ serve-smoke:
 obs-smoke:
 	$(GO) test -count=1 -run 'TestEnergyShardInvariance|TestExpositionRoundTrip|TestMetricsEndpoint|TestEfficiencyEndpoint|TestEnergySnapshotRestoreIdentity' ./internal/cluster ./internal/obs ./internal/server
 	./scripts/obs_smoke.sh
+
+# Crash-safety gate: the WAL framing, torn-tail, and recovery pins
+# under -race (corrupt-input tables included), then the real harness —
+# a race-instrumented willowd SIGKILLed five times mid-run at seeded
+# points and restarted, with the final state, stats, journal, and
+# assembled event stream required byte-identical to an uninterrupted
+# replay of the same mutation history.
+crash-smoke:
+	$(GO) test -race -count=1 -run 'TestWAL|TestRecover|TestAdmission|TestCorrupt' ./internal/server
+	./scripts/crash_smoke.sh
 
 # Regenerate the full evaluation section at full fidelity.
 experiments:

@@ -4,9 +4,16 @@
 // reports request-latency quantiles.
 //
 //	willow-load -addr http://127.0.0.1:8080 -n 1000 -clients 8
+//	willow-load -n 5000 -clients 32 -demand 1 -retries 3 -req-timeout 2s
 //
-// It exits non-zero if any request fails, so scripts can use it as a
-// smoke gate.
+// With -retries, failed attempts (transport errors, per-request
+// timeouts from -req-timeout, 429 shed by the admission gate, 5xx) are
+// retried with jittered exponential backoff — 429 honors the server's
+// Retry-After hint — and the final report counts retries, timeouts,
+// and rejections alongside latency quantiles.
+//
+// It exits non-zero if any request fails after retries, so scripts can
+// use it as a smoke gate.
 package main
 
 import (
@@ -24,13 +31,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8080", "willowd base URL")
-		n       = flag.Int("n", 1000, "total requests")
-		clients = flag.Int("clients", 8, "concurrent client goroutines")
-		seed    = flag.Uint64("seed", 1, "seed for the request mix")
-		demand  = flag.Float64("demand", 0.05, "fraction of requests that POST /v1/demand")
-		stream  = flag.Bool("stream", true, "subscribe to /v1/events for the duration and count events")
-		timeout = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "willowd base URL")
+		n          = flag.Int("n", 1000, "total requests")
+		clients    = flag.Int("clients", 8, "concurrent client goroutines")
+		seed       = flag.Uint64("seed", 1, "seed for the request mix")
+		demand     = flag.Float64("demand", 0.05, "fraction of requests that POST /v1/demand")
+		stream     = flag.Bool("stream", true, "subscribe to /v1/events for the duration and count events")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+		reqTimeout = flag.Duration("req-timeout", 0, "per-request deadline (0: only the 10s client timeout applies)")
+		retries    = flag.Int("retries", 0, "retries per request on transport errors, timeouts, 429, or 5xx")
+		backoff    = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered; 429 honors Retry-After)")
 	)
 	flag.Parse()
 
@@ -50,6 +60,9 @@ func main() {
 		Seed:           *seed,
 		DemandFraction: *demand,
 		Stream:         *stream,
+		RequestTimeout: *reqTimeout,
+		Retries:        *retries,
+		Backoff:        *backoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "willow-load:", err)

@@ -67,14 +67,43 @@ func run() error {
 		eventsFilter = flag.String("events-filter", "", "comma-separated event kinds to keep in the -events file (default all)")
 		snapshotPath = flag.String("snapshot", "", "write a final snapshot here on shutdown")
 		restorePath  = flag.String("restore", "", "boot from a snapshot instead of flags (spec comes from the snapshot)")
+
+		walPath     = flag.String("wal", "", "write-ahead journal: fsync every mutation here before acknowledging; on restart, recover from it (plus -restore as the base snapshot)")
+		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "admission gate: max concurrent mutations holding the tick path")
+		maxQueue    = flag.Int("max-queue", server.DefaultMaxQueue, "admission gate: max mutations queued behind the in-flight ones; excess sheds with 429")
 	)
 	flag.Parse()
 
 	var (
 		d   *server.Daemon
+		wal *server.WAL
 		err error
 	)
-	if *restorePath != "" {
+	walExists := false
+	if *walPath != "" {
+		if _, serr := os.Stat(*walPath); serr == nil {
+			walExists = true
+		} else if !os.IsNotExist(serr) {
+			return serr
+		}
+	}
+	switch {
+	case walExists:
+		// Crash (or restart) recovery: the WAL is authoritative for the
+		// spec and the mutation history; -restore, when given, supplies
+		// the base snapshot and is cross-checked against the WAL.
+		var info server.RecoveryInfo
+		d, wal, info, err = server.Recover(*restorePath, *walPath)
+		if err != nil {
+			return err
+		}
+		torn := ""
+		if info.TruncatedBytes > 0 {
+			torn = fmt.Sprintf(", %d-byte torn tail truncated", info.TruncatedBytes)
+		}
+		fmt.Printf("recovered wal %s: resuming at tick %d/%d (%d durable mutations%s)\n",
+			*walPath, info.Tick, d.Spec().Ticks, info.Mutations, torn)
+	case *restorePath != "":
 		snap, rerr := server.ReadSnapshot(*restorePath)
 		if rerr != nil {
 			return rerr
@@ -85,7 +114,7 @@ func run() error {
 		}
 		fmt.Printf("restored snapshot %s at tick %d/%d (%d journal entries)\n",
 			*restorePath, snap.Tick, d.Spec().Ticks, len(snap.Journal))
-	} else {
+	default:
 		spec := server.Spec{
 			Util:        *util,
 			Ticks:       *ticks,
@@ -108,6 +137,20 @@ func run() error {
 		if d, err = server.New(spec); err != nil {
 			return err
 		}
+	}
+	// -wal set but no file yet: create one seeded with the daemon's
+	// current journal (empty on a fresh boot; the base snapshot's
+	// journal after -restore), so the WAL always holds the complete
+	// history from tick 0.
+	if *walPath != "" && !walExists {
+		if wal, err = server.CreateWAL(*walPath, d.Spec(), d.Snapshot().Journal); err != nil {
+			return err
+		}
+		d.AttachWAL(wal)
+		fmt.Printf("wal %s armed: mutations are durable before they are acknowledged\n", *walPath)
+	}
+	if wal != nil {
+		defer wal.Close()
 	}
 	defer d.Close()
 
@@ -144,7 +187,10 @@ func run() error {
 		spec := d.Spec()
 		fmt.Printf("willowd: %d servers, U=%.0f%%, supply=%s, %d ticks; listening on http://%s\n",
 			spec.Servers(), spec.Util*100, spec.Supply, spec.Ticks, bound)
-		handler := server.NewHandler(d)
+		handler := server.NewHandlerOpts(d, server.HandlerOptions{
+			MaxInflight: *maxInflight,
+			MaxQueue:    *maxQueue,
+		})
 		if *pprofOn {
 			// Profiling is opt-in: the pprof surface costs nothing until
 			// mounted, and a public daemon should not expose it by accident.
@@ -157,7 +203,14 @@ func run() error {
 			root.Handle("/", handler)
 			handler = root
 		}
-		srv = &http.Server{Handler: handler}
+		// Slow-client hardening. No WriteTimeout: /v1/events streams for
+		// the life of the subscription and a write deadline would sever it.
+		srv = &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "willowd: http:", serr)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -50,17 +51,37 @@ type Snapshot struct {
 	Journal []Mutation `json:"journal,omitempty"`
 }
 
-// WriteFile atomically writes the snapshot as JSON.
+// WriteFile atomically and durably writes the snapshot as JSON:
+// write to a temp file, fsync it, rename over the target, then fsync
+// the parent directory. Without the two fsyncs the rename gives only
+// atomicity against process death — a power cut could surface the
+// renamed entry pointing at unwritten blocks, which is exactly the
+// acknowledged-but-lost state a snapshot exists to prevent.
 func (s Snapshot) WriteFile(path string) error {
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
 // ReadSnapshot loads a snapshot written by WriteFile (or by hand).
@@ -92,6 +113,13 @@ type Daemon struct {
 	hub     *Hub
 	metrics *daemonMetrics
 	started time.Time
+
+	// wal, when attached, makes every accepted mutation durable before
+	// the API acknowledges it. walErr is sticky: once an append fails,
+	// the in-memory machine is ahead of the durable journal, so further
+	// mutations are refused rather than widening the divergence.
+	wal    *WAL
+	walErr error
 }
 
 // New builds a daemon from a spec, at tick 0 with an empty journal.
@@ -104,10 +132,30 @@ func New(spec Spec) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Daemon{spec: spec, m: m, hub: NewHub(), metrics: newDaemonMetrics(), started: time.Now()}
+	return newDaemon(spec, m, nil), nil
+}
+
+// newDaemon wraps a machine (fresh or replayed) into a daemon with its
+// hub, metrics, and telemetry plumbing attached.
+func newDaemon(spec Spec, m *cluster.Machine, journal []Mutation) *Daemon {
+	d := &Daemon{spec: spec, m: m, journal: journal, hub: NewHub(), metrics: newDaemonMetrics(), started: time.Now()}
 	m.SetSink(telemetry.SinkFunc(d.publish))
+	// Phase timing starts now: any replay that built m is warm-up work
+	// the wall-clock histograms should not pollute.
 	m.Controller().Phases = d.metrics
-	return d, nil
+	return d
+}
+
+// AttachWAL makes every subsequently accepted mutation durable: the
+// daemon appends and fsyncs it to w before the mutating call returns.
+// The WAL must already contain the daemon's current journal (Recover
+// guarantees this; a fresh daemon has an empty journal and CreateWAL
+// writes an empty one). The daemon does not close the WAL; the caller
+// owns its lifecycle.
+func (d *Daemon) AttachWAL(w *WAL) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wal = w
 }
 
 // Restore rebuilds a daemon from a snapshot: a fresh machine from the
@@ -116,27 +164,56 @@ func New(spec Spec) (*Daemon, error) {
 // during replay (those events were already published by the previous
 // incarnation); the hub and sink see only post-restore ticks.
 func Restore(snap Snapshot) (*Daemon, error) {
-	if snap.Version != SnapshotVersion {
-		return nil, fmt.Errorf("server: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	if err := validateSnapshot(snap); err != nil {
+		return nil, err
 	}
 	cfg, err := snap.Spec.Build()
 	if err != nil {
 		return nil, err
 	}
+	m, err := newReplayedMachine(cfg, snap, nil)
+	if err != nil {
+		return nil, err
+	}
+	return newDaemon(snap.Spec, m, append([]Mutation(nil), snap.Journal...)), nil
+}
+
+// validateSnapshot checks the wire-level invariants Restore and Replay
+// both depend on: version, tick bounds, and journal ordering.
+func validateSnapshot(snap Snapshot) error {
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("server: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	cfg, err := snap.Spec.Build()
+	if err != nil {
+		return err
+	}
 	if snap.Tick < 0 || snap.Tick > cfg.Ticks {
-		return nil, fmt.Errorf("server: snapshot tick %d outside [0, %d]", snap.Tick, cfg.Ticks)
+		return fmt.Errorf("server: snapshot tick %d outside [0, %d]", snap.Tick, cfg.Ticks)
 	}
 	prev := -1
 	for i, mut := range snap.Journal {
 		if mut.Tick < prev || mut.Tick > snap.Tick {
-			return nil, fmt.Errorf("server: journal entry %d at tick %d breaks ordering (prev %d, snapshot %d)",
+			return fmt.Errorf("server: journal entry %d at tick %d breaks ordering (prev %d, snapshot %d)",
 				i, mut.Tick, prev, snap.Tick)
 		}
 		prev = mut.Tick
 	}
+	return nil
+}
+
+// newReplayedMachine builds a fresh machine and fast-forwards it to
+// snap.Tick, applying each journaled mutation at its original boundary.
+// A nil sink replays silently (Restore: a live predecessor already
+// published those events); a non-nil sink receives the replayed stream
+// (Replay: the uninterrupted-run oracle).
+func newReplayedMachine(cfg cluster.Config, snap Snapshot, sink telemetry.Sink) (*cluster.Machine, error) {
 	m, err := cluster.NewMachine(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sink != nil {
+		m.SetSink(sink)
 	}
 	ji := 0
 	replay := func() error {
@@ -162,19 +239,7 @@ func Restore(snap Snapshot) (*Daemon, error) {
 	if ji != len(snap.Journal) {
 		return nil, fmt.Errorf("server: %d journal entries beyond snapshot tick %d", len(snap.Journal)-ji, snap.Tick)
 	}
-	d := &Daemon{
-		spec:    snap.Spec,
-		m:       m,
-		journal: append([]Mutation(nil), snap.Journal...),
-		hub:     NewHub(),
-		metrics: newDaemonMetrics(),
-		started: time.Now(),
-	}
-	m.SetSink(telemetry.SinkFunc(d.publish))
-	// Phase timing starts post-restore: replay is warm-up work the
-	// wall-clock histograms should not pollute.
-	m.Controller().Phases = d.metrics
-	return d, nil
+	return m, nil
 }
 
 // publish is the machine's telemetry sink: lossless caller sink first
@@ -249,6 +314,16 @@ func (d *Daemon) afterTick() {
 	if d.metrics != nil {
 		d.metrics.push(d.m.NextTick(), d.m.Controller().EnergyTotals())
 	}
+	// With a WAL attached, the crash contract extends to the event
+	// stream: hand the lossless sink's userspace buffers to the kernel
+	// at every tick boundary, so a kill -9 loses at most the tick in
+	// flight (already-written bytes survive process death; surviving
+	// power loss is the snapshot's and WAL's job, not the stream's).
+	if d.wal != nil {
+		if f, ok := d.sink.(interface{ Flush() error }); ok {
+			_ = f.Flush()
+		}
+	}
 }
 
 // Run drives the machine to completion: one tick per tickEvery of wall
@@ -285,16 +360,55 @@ func (d *Daemon) Run(ctx context.Context, tickEvery time.Duration) error {
 
 // ScaleDemand multiplies the mean demand of every application on the
 // given server (-1 = whole fleet) by factor, journaling the mutation.
-// It lands at the current tick boundary.
+// It lands at the current tick boundary. With a WAL attached, the
+// mutation is durable before the call returns.
 func (d *Daemon) ScaleDemand(server int, factor float64) (tick int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.walHealthy(); err != nil {
+		return 0, err
+	}
 	if err := d.m.ScaleDemand(server, factor); err != nil {
 		return 0, err
 	}
 	tick = d.m.NextTick()
-	d.journal = append(d.journal, Mutation{Tick: tick, Kind: "demand", Server: server, Factor: factor})
+	if err := d.journalMutation(Mutation{Tick: tick, Kind: "demand", Server: server, Factor: factor}); err != nil {
+		return 0, err
+	}
 	return tick, nil
+}
+
+// walHealthy reports the sticky WAL failure, if any: after a failed
+// append the in-memory run is ahead of the durable journal, and the
+// only honest move is to refuse further mutations (reads and ticking
+// continue — the divergence never widens).
+func (d *Daemon) walHealthy() error {
+	if d.walErr != nil {
+		return fmt.Errorf("server: mutations disabled, wal diverged: %w", d.walErr)
+	}
+	return nil
+}
+
+// journalMutation records an accepted mutation in the in-memory journal
+// and, when a WAL is attached, makes it durable before returning. The
+// in-memory append happens regardless of WAL failure — the machine has
+// already mutated, and a later graceful snapshot must describe the
+// state the machine is actually in.
+func (d *Daemon) journalMutation(mut Mutation) error {
+	d.journal = append(d.journal, mut)
+	if d.wal == nil {
+		return nil
+	}
+	start := time.Now()
+	err := d.wal.Append(mut)
+	if d.metrics != nil {
+		d.metrics.walAppend.Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		d.walErr = err
+		return fmt.Errorf("server: mutation applied but not durable: %w", err)
+	}
+	return nil
 }
 
 // InjectChaos expands a chaos spec (sensorOnly selects sensor.ParseSpec
@@ -305,6 +419,9 @@ func (d *Daemon) ScaleDemand(server int, factor float64) (tick int, err error) {
 func (d *Daemon) InjectChaos(spec string, seed uint64, sensorOnly bool) (chaos.Plan, int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.walHealthy(); err != nil {
+		return chaos.Plan{}, 0, err
+	}
 	if seed == 0 {
 		seed = d.spec.Seed
 	}
@@ -313,7 +430,9 @@ func (d *Daemon) InjectChaos(spec string, seed uint64, sensorOnly bool) (chaos.P
 		return chaos.Plan{}, 0, err
 	}
 	tick := d.m.NextTick()
-	d.journal = append(d.journal, Mutation{Tick: tick, Kind: "chaos", Spec: spec, Seed: seed, Sensor: sensorOnly})
+	if err := d.journalMutation(Mutation{Tick: tick, Kind: "chaos", Spec: spec, Seed: seed, Sensor: sensorOnly}); err != nil {
+		return chaos.Plan{}, 0, err
+	}
 	return plan, tick, nil
 }
 

@@ -1,0 +1,110 @@
+package server
+
+// Overload admission control for the mutation endpoints. Every mutation
+// serializes on the daemon's tick lock (and, with a WAL attached, pays
+// an fsync), so unbounded concurrent POSTs would pile goroutines on the
+// mutex — memory grows with offered load and tail latency with queue
+// depth, the classic congestion-collapse shape. The gate bounds both
+// dimensions explicitly: at most maxInflight mutations hold the lock
+// path at once, at most maxQueue more wait behind them, and everything
+// beyond that is shed immediately with 429 + Retry-After — cheap for
+// the server, actionable for the client. Read endpoints are not gated:
+// they take the lock only briefly and shedding them would blind
+// operators exactly when they most need /v1/state.
+
+import (
+	"context"
+	"sync/atomic"
+
+	"willow/internal/obs"
+)
+
+// Default admission bounds: generous enough that a well-behaved load
+// generator never notices, small enough that a mutation flood cannot
+// accumulate unbounded goroutines.
+const (
+	DefaultMaxInflight = 16
+	DefaultMaxQueue    = 64
+)
+
+// gate is a two-stage admission valve: a semaphore of inflight slots
+// plus a bounded count of waiters. acquire either admits (possibly
+// after queueing), or sheds without blocking.
+type gate struct {
+	slots  chan struct{}
+	queued atomic.Int64
+
+	maxQueue int64
+
+	admitted   *obs.Counter
+	shed       *obs.Counter
+	inflightG  *obs.Gauge
+	queuedG    *obs.Gauge
+	inflightHi *obs.Gauge
+}
+
+// newGate builds a gate registering its counters on reg (the daemon's
+// /metrics registry). Non-positive bounds take the defaults.
+func newGate(maxInflight, maxQueue int, reg *obs.Registry) *gate {
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	g := &gate{
+		slots:    make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+		admitted: reg.Counter("willow_admission_admitted_total",
+			"mutations admitted through the overload gate"),
+		shed: reg.Counter("willow_admission_shed_total",
+			"mutations shed with 429 because the gate was saturated"),
+		inflightG: reg.Gauge("willow_admission_inflight",
+			"mutations currently holding an admission slot"),
+		queuedG: reg.Gauge("willow_admission_queued",
+			"mutations currently waiting for an admission slot"),
+		inflightHi: reg.Gauge("willow_admission_inflight_limit",
+			"configured admission slot limit"),
+	}
+	g.inflightHi.Set(float64(maxInflight))
+	return g
+}
+
+// acquire claims an admission slot, queueing up to the bound if none is
+// free. It returns false — without ever blocking beyond the queue's
+// discipline — when the request should be shed: gate saturated, or the
+// client gave up (ctx done) while queued. Callers that get true must
+// release.
+func (g *gate) acquire(ctx context.Context) bool {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Inc()
+		g.inflightG.Set(float64(len(g.slots)))
+		return true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		g.shed.Inc()
+		return false
+	}
+	g.queuedG.Set(float64(g.queued.Load()))
+	defer func() {
+		g.queuedG.Set(float64(g.queued.Add(-1)))
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Inc()
+		g.inflightG.Set(float64(len(g.slots)))
+		return true
+	case <-ctx.Done():
+		g.shed.Inc()
+		return false
+	}
+}
+
+// release frees an admission slot.
+func (g *gate) release() {
+	<-g.slots
+	g.inflightG.Set(float64(len(g.slots)))
+}

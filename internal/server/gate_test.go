@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"willow/internal/obs"
+)
+
+// TestAdmissionGateShedsUnderSaturation pins the overload contract:
+// with the tick lock held (mutations in progress can never finish), at
+// most MaxInflight+MaxQueue requests wait and every further arrival is
+// shed promptly with 429 + Retry-After — without ever touching the
+// daemon. The count is deterministic regardless of arrival order:
+// nothing releases while the lock is held, so exactly the overflow
+// sheds.
+func TestAdmissionGateShedsUnderSaturation(t *testing.T) {
+	d := newTestDaemon(t, testSpec())
+	h := NewHandlerOpts(d, HandlerOptions{MaxInflight: 1, MaxQueue: 1, RetryAfter: 2 * time.Second})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	d.mu.Lock() // hold the tick lock: admitted mutations block here
+	unlocked := false
+	defer func() {
+		if !unlocked {
+			d.mu.Unlock()
+		}
+	}()
+
+	const total = 6 // 1 in flight + 1 queued + 4 shed
+	type outcome struct {
+		code       int
+		retryAfter string
+	}
+	results := make(chan outcome, total)
+	for i := 0; i < total; i++ {
+		go func() {
+			resp, err := http.Post(srv.URL+"/v1/demand", "application/json",
+				strings.NewReader(`{"server": -1, "factor": 1.0}`))
+			if err != nil {
+				results <- outcome{code: -1}
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			results <- outcome{code: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}()
+	}
+
+	// The four shed responses must arrive while the lock is still held —
+	// shedding never waits on the daemon.
+	deadline := time.After(10 * time.Second)
+	for shed := 0; shed < total-2; {
+		select {
+		case res := <-results:
+			if res.code != http.StatusTooManyRequests {
+				t.Fatalf("while saturated: got status %d, want 429", res.code)
+			}
+			if res.retryAfter != "2" {
+				t.Fatalf("Retry-After = %q, want \"2\"", res.retryAfter)
+			}
+			shed++
+		case <-deadline:
+			t.Fatal("shed responses did not arrive while the gate was saturated")
+		}
+	}
+
+	// Release the lock: the in-flight and queued mutations drain and
+	// succeed — queueing delays, it never rejects.
+	d.mu.Unlock()
+	unlocked = true
+	for done := 0; done < 2; done++ {
+		select {
+		case res := <-results:
+			if res.code != http.StatusOK {
+				t.Fatalf("after release: got status %d, want 200", res.code)
+			}
+		case <-deadline:
+			t.Fatal("admitted mutations never completed after the lock was released")
+		}
+	}
+
+	// The gate is fully recovered: a fresh mutation sails through.
+	resp, err := http.Post(srv.URL+"/v1/demand", "application/json",
+		strings.NewReader(`{"server": -1, "factor": 1.0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after drain: got status %d, want 200", resp.StatusCode)
+	}
+
+	// The /metrics registry saw all of it (WriteMetrics takes the tick
+	// lock, so it is checked after release).
+	var metricsText bytes.Buffer
+	if err := d.WriteMetrics(&metricsText); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"willow_admission_shed_total 4",
+		"willow_admission_admitted_total 3",
+		"willow_admission_inflight_limit 1",
+	} {
+		if !strings.Contains(metricsText.String(), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metricsText.String())
+		}
+	}
+}
+
+// TestAdmissionGateAcquireRelease unit-tests the valve itself: slots
+// admit immediately, the queue holds exactly its bound, overflow sheds
+// without blocking, release hands a slot to a queued waiter, and a
+// waiter whose context ends is shed instead of leaking.
+func TestAdmissionGateAcquireRelease(t *testing.T) {
+	g := newGate(2, 1, obs.NewRegistry())
+	ctx := context.Background()
+	if !g.acquire(ctx) || !g.acquire(ctx) {
+		t.Fatal("free slots must admit immediately")
+	}
+	// Third caller queues (the queue is 1 deep)...
+	queued := make(chan bool, 1)
+	go func() { queued <- g.acquire(ctx) }()
+	waitQueueDepth(t, g, 1)
+	// ...so a fourth is shed instantly, never blocking.
+	if g.acquire(ctx) {
+		t.Fatal("overflow past the queue bound must shed")
+	}
+	// A released slot goes to the queued waiter.
+	g.release()
+	if !<-queued {
+		t.Fatal("queued caller must be admitted after a release")
+	}
+	waitQueueDepth(t, g, 0)
+	// A waiter whose client gives up is shed, not leaked.
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { queued <- g.acquire(cctx) }()
+	waitQueueDepth(t, g, 1)
+	cancel()
+	if <-queued {
+		t.Fatal("cancelled queued caller must be shed")
+	}
+	g.release()
+	g.release()
+	if !g.acquire(ctx) {
+		t.Fatal("gate must fully recover after releases")
+	}
+}
+
+func waitQueueDepth(t *testing.T, g *gate, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.queued.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", want, g.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -6,9 +6,25 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"willow/internal/telemetry"
 )
+
+// HandlerOptions tunes the HTTP layer's overload protection. The zero
+// value takes the defaults, so NewHandler(d) keeps its historical
+// behavior (generously gated, never unbounded).
+type HandlerOptions struct {
+	// MaxInflight bounds mutations concurrently holding the admission
+	// gate (default DefaultMaxInflight).
+	MaxInflight int
+	// MaxQueue bounds mutations waiting behind the in-flight ones;
+	// arrivals beyond it are shed with 429 (default DefaultMaxQueue).
+	MaxQueue int
+	// RetryAfter is the backoff hint sent with 429 responses, rounded
+	// up to whole seconds (default 1s).
+	RetryAfter time.Duration
+}
 
 // NewHandler exposes a daemon over HTTP/JSON:
 //
@@ -29,8 +45,38 @@ import (
 // Handlers are safe for unbounded concurrency: reads and mutations
 // serialize on the daemon's tick lock (so they always see and land on
 // tick boundaries), and the events stream runs entirely off the hub,
-// never touching the lock.
+// never touching the lock. Mutations additionally pass an admission
+// gate (see gate.go): beyond the configured in-flight and queue bounds
+// they are shed with 429 + Retry-After instead of piling goroutines on
+// the tick mutex.
 func NewHandler(d *Daemon) http.Handler {
+	return NewHandlerOpts(d, HandlerOptions{})
+}
+
+// NewHandlerOpts is NewHandler with explicit overload bounds.
+func NewHandlerOpts(d *Daemon, opts HandlerOptions) http.Handler {
+	g := newGate(opts.MaxInflight, opts.MaxQueue, d.metrics.reg)
+	retryAfter := opts.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	retrySecs := strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second))
+	// admit wraps a mutation handler in the gate: shed requests get 429
+	// with a Retry-After hint and never touch the daemon.
+	admit := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if !g.acquire(r.Context()) {
+				w.Header().Set("Retry-After", retrySecs)
+				writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("mutation admission gate saturated (%d in flight + %d queued); retry after %s",
+						cap(g.slots), g.maxQueue, retryAfter))
+				return
+			}
+			defer g.release()
+			h(w, r)
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "tick": d.NextTick()})
@@ -56,7 +102,7 @@ func NewHandler(d *Daemon) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Stats())
 	})
-	mux.HandleFunc("POST /v1/demand", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/demand", admit(func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Server *int    `json:"server"`
 			Factor float64 `json:"factor"`
@@ -75,8 +121,8 @@ func NewHandler(d *Daemon) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"tick": tick, "server": server, "factor": req.Factor})
-	})
-	mux.HandleFunc("POST /v1/chaos", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/chaos", admit(func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Spec   string `json:"spec"`
 			Seed   uint64 `json:"seed"`
@@ -98,7 +144,7 @@ func NewHandler(d *Daemon) http.Handler {
 			"loss_windows":    len(plan.LossWindows),
 			"sensor_faults":   len(plan.SensorFaults),
 		})
-	})
+	}))
 	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Snapshot())
 	})

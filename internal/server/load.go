@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -39,13 +42,39 @@ type LoadOptions struct {
 	Stream bool
 	// Client overrides the HTTP client (default: 10 s timeout).
 	Client *http.Client
+
+	// RequestTimeout bounds each individual request attempt (0 leaves
+	// only the client's overall timeout). A timed-out attempt counts in
+	// the report and is retried like any transport failure.
+	RequestTimeout time.Duration
+	// Retries is how many times a failed attempt (transport error,
+	// timeout, 429, or 5xx) is retried before counting as an error.
+	// 429 responses honor the server's Retry-After hint; everything
+	// else backs off exponentially from Backoff with jitter drawn from
+	// a dedicated per-client stream, so the request mix itself stays
+	// seed-deterministic.
+	Retries int
+	// Backoff is the base retry delay (default 100 ms, doubling per
+	// attempt, capped at 5 s, jittered ±50 %).
+	Backoff time.Duration
 }
+
+// loadBackoffCap bounds one retry delay regardless of attempt count or
+// Retry-After hints, so a misconfigured server cannot park the load
+// generator.
+const loadBackoffCap = 5 * time.Second
 
 // LoadReport is what a load run measured.
 type LoadReport struct {
 	Requests int
 	Errors   int
 	ByPath   map[string]int
+	// Retries counts re-attempts after failures; Timeouts the attempts
+	// that hit the per-request deadline; Rejected the 429 responses the
+	// admission gate shed (each retried attempt can add to all three).
+	Retries  int
+	Timeouts int
+	Rejected int
 	// Events is the number of telemetry events the Stream subscriber
 	// received (0 when Stream was off).
 	Events int
@@ -60,6 +89,9 @@ func (r *LoadReport) Table(title string) *metrics.Table {
 	tb := metrics.NewTable(title, "metric", "value")
 	tb.AddRow("requests", fmt.Sprintf("%d", r.Requests))
 	tb.AddRow("errors", fmt.Sprintf("%d", r.Errors))
+	tb.AddRow("retries", fmt.Sprintf("%d", r.Retries))
+	tb.AddRow("timeouts", fmt.Sprintf("%d", r.Timeouts))
+	tb.AddRow("rejected (429)", fmt.Sprintf("%d", r.Rejected))
 	paths := make([]string, 0, len(r.ByPath))
 	for p := range r.ByPath {
 		paths = append(paths, p)
@@ -82,6 +114,9 @@ func (r *LoadReport) Table(title string) *metrics.Table {
 
 type clientResult struct {
 	errors    int
+	retries   int
+	timeouts  int
+	rejected  int
 	byPath    map[string]int
 	latencies []float64
 }
@@ -122,11 +157,17 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	}
 
 	// Fork one stream per client up front, in index order, so the
-	// request mix is independent of scheduling.
+	// request mix is independent of scheduling. Jitter streams fork
+	// after every mix stream, so enabling retries leaves the request
+	// mix for a given seed untouched.
 	root := dist.NewSource(opts.Seed)
 	srcs := make([]*dist.Source, clients)
 	for i := range srcs {
 		srcs[i] = root.Fork()
+	}
+	jitters := make([]*dist.Source, clients)
+	for i := range jitters {
+		jitters[i] = root.Fork()
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -158,7 +199,17 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 		wg.Add(1)
 		go func(c, n int) {
 			defer wg.Done()
-			results[c] = runClient(runCtx, hc, opts.BaseURL, srcs[c], n, numServers, demandFrac)
+			results[c] = runClient(runCtx, hc, clientConfig{
+				base:       opts.BaseURL,
+				src:        srcs[c],
+				jitter:     jitters[c],
+				requests:   n,
+				numServers: numServers,
+				demandFrac: demandFrac,
+				reqTimeout: opts.RequestTimeout,
+				retries:    opts.Retries,
+				backoff:    opts.Backoff,
+			})
 		}(c, n)
 	}
 	wg.Wait()
@@ -173,6 +224,9 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	report := &LoadReport{ByPath: map[string]int{}, Latency: hist, Elapsed: elapsed, Events: events}
 	for _, r := range results {
 		report.Errors += r.errors
+		report.Retries += r.retries
+		report.Timeouts += r.timeouts
+		report.Rejected += r.rejected
 		for p, n := range r.byPath {
 			report.ByPath[p] += n
 			report.Requests += n
@@ -209,9 +263,22 @@ func probeServers(ctx context.Context, hc *http.Client, base string) (int, error
 	return st.Servers, nil
 }
 
-func runClient(ctx context.Context, hc *http.Client, base string, src *dist.Source, n, numServers int, demandFrac float64) clientResult {
+// clientConfig bundles one generator goroutine's parameters.
+type clientConfig struct {
+	base       string
+	src        *dist.Source // request-mix stream
+	jitter     *dist.Source // retry-backoff stream
+	requests   int
+	numServers int
+	demandFrac float64
+	reqTimeout time.Duration
+	retries    int
+	backoff    time.Duration
+}
+
+func runClient(ctx context.Context, hc *http.Client, cfg clientConfig) clientResult {
 	res := clientResult{byPath: map[string]int{}}
-	for i := 0; i < n; i++ {
+	for i := 0; i < cfg.requests; i++ {
 		if ctx.Err() != nil {
 			return res
 		}
@@ -219,56 +286,135 @@ func runClient(ctx context.Context, hc *http.Client, base string, src *dist.Sour
 			path string
 			body []byte
 		)
-		switch r := src.Float64(); {
-		case r < demandFrac:
+		switch r := cfg.src.Float64(); {
+		case r < cfg.demandFrac:
 			path = "/v1/demand"
-			server := src.Intn(numServers+1) - 1 // -1 = fleet-wide
-			factor := src.Uniform(0.95, 1.05)
+			server := cfg.src.Intn(cfg.numServers+1) - 1 // -1 = fleet-wide
+			factor := cfg.src.Uniform(0.95, 1.05)
 			body = []byte(fmt.Sprintf(`{"server": %d, "factor": %.4f}`, server, factor))
-		case r < demandFrac+0.10:
+		case r < cfg.demandFrac+0.10:
 			path = "/healthz"
-		case r < demandFrac+0.35:
+		case r < cfg.demandFrac+0.35:
 			path = "/v1/stats"
 		default:
 			path = "/v1/state"
 		}
 		res.byPath[path]++
 		start := time.Now()
-		if err := doRequest(ctx, hc, base, path, body); err != nil {
+		if err := res.request(ctx, hc, cfg, path, body); err != nil {
 			res.errors++
 			continue
 		}
+		// Latency is client-observed: it includes retries and backoff
+		// sleeps, which is what a caller of the API actually waits.
 		res.latencies = append(res.latencies, time.Since(start).Seconds())
 	}
 	return res
 }
 
-func doRequest(ctx context.Context, hc *http.Client, base, path string, body []byte) error {
+// request performs one logical request with up to cfg.retries
+// re-attempts, counting timeouts, 429 rejections, and retries as it
+// goes. 429 honors the server's Retry-After hint; other failures back
+// off exponentially with jitter.
+func (res *clientResult) request(ctx context.Context, hc *http.Client, cfg clientConfig, path string, body []byte) error {
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := doRequest(ctx, hc, cfg, path, body)
+		if err == nil && status >= 200 && status <= 299 {
+			return nil
+		}
+		if isTimeout(err) {
+			res.timeouts++
+		}
+		if status == http.StatusTooManyRequests {
+			res.rejected++
+		}
+		retryable := err != nil || status == http.StatusTooManyRequests || status >= 500
+		if !retryable || attempt >= cfg.retries || ctx.Err() != nil {
+			if err == nil {
+				err = fmt.Errorf("%s: status %d", path, status)
+			}
+			return err
+		}
+		res.retries++
+		if !sleepBackoff(ctx, cfg, attempt, retryAfter) {
+			return fmt.Errorf("%s: cancelled during retry backoff", path)
+		}
+	}
+}
+
+// sleepBackoff waits before a retry: the server's Retry-After hint when
+// it gave one, otherwise exponential backoff from cfg.backoff, both
+// jittered ±50 % and capped. Returns false if ctx ended first.
+func sleepBackoff(ctx context.Context, cfg clientConfig, attempt int, retryAfter time.Duration) bool {
+	delay := retryAfter
+	if delay <= 0 {
+		base := cfg.backoff
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		delay = base << attempt
+	}
+	if delay > loadBackoffCap {
+		delay = loadBackoffCap
+	}
+	delay = time.Duration(float64(delay) * (0.5 + cfg.jitter.Float64()))
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// isTimeout reports whether an attempt failed on a deadline (the
+// per-request timeout or a transport-level one).
+func isTimeout(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// doRequest performs one attempt. A transport failure returns err; an
+// HTTP response returns its status and any Retry-After hint with a nil
+// error — the caller classifies.
+func doRequest(ctx context.Context, hc *http.Client, cfg clientConfig, path string, body []byte) (status int, retryAfter time.Duration, err error) {
+	if cfg.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.reqTimeout)
+		defer cancel()
+	}
 	method := http.MethodGet
 	var rd io.Reader
 	if body != nil {
 		method = http.MethodPost
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, cfg.base+path, rd)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
+		return 0, 0, err
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("%s: status %s", path, resp.Status)
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+		retryAfter = time.Duration(secs) * time.Second
 	}
-	return nil
+	return resp.StatusCode, retryAfter, nil
 }
 
 // streamEvents subscribes to /v1/events and counts lines until ctx

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoadRetriesShedRequests pins the generator's client-side overload
+// behavior against a stub daemon: 429 responses are retried with
+// backoff (honoring Retry-After), counted in the report, and a request
+// that eventually succeeds is not an error.
+func TestLoadRetriesShedRequests(t *testing.T) {
+	var calls atomic.Int64
+	const rejectFirst = 3
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/state" && r.Method == http.MethodGet && calls.Load() == 0 {
+			// The probe request RunLoad sends before hammering.
+			w.Write([]byte(`{"num_servers": 6}`))
+			calls.Add(1)
+			return
+		}
+		// Shed the first few load requests the way the admission gate
+		// does, then accept everything.
+		if calls.Add(1) <= rejectFirst+1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer stub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := RunLoad(ctx, LoadOptions{
+		BaseURL:  stub.URL,
+		Clients:  1, // sequential, so the shed/accept sequence is deterministic
+		Requests: 10,
+		Seed:     1,
+		Retries:  rejectFirst,
+		Backoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("report.Errors = %d, want 0 (shed requests must be retried to success)", report.Errors)
+	}
+	if report.Rejected != rejectFirst {
+		t.Fatalf("report.Rejected = %d, want %d", report.Rejected, rejectFirst)
+	}
+	if report.Retries != rejectFirst {
+		t.Fatalf("report.Retries = %d, want %d", report.Retries, rejectFirst)
+	}
+	if report.Requests != 10 {
+		t.Fatalf("report.Requests = %d, want 10", report.Requests)
+	}
+}
+
+// TestLoadRetriesExhausted pins the failure path: a server that sheds
+// forever turns into report errors after the retry budget, never an
+// infinite loop.
+func TestLoadRetriesExhausted(t *testing.T) {
+	var probed atomic.Bool
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if probed.CompareAndSwap(false, true) {
+			w.Write([]byte(`{"num_servers": 6}`))
+			return
+		}
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer stub.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := RunLoad(ctx, LoadOptions{
+		BaseURL:  stub.URL,
+		Clients:  1,
+		Requests: 2,
+		Seed:     1,
+		Retries:  2,
+		Backoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 2 {
+		t.Fatalf("report.Errors = %d, want 2", report.Errors)
+	}
+	if want := 2 * 3; report.Rejected != want { // every attempt was shed
+		t.Fatalf("report.Rejected = %d, want %d", report.Rejected, want)
+	}
+	if want := 2 * 2; report.Retries != want {
+		t.Fatalf("report.Retries = %d, want %d", report.Retries, want)
+	}
+}
+
+// TestLoadPerRequestTimeout pins the -req-timeout path: a hung endpoint
+// trips the per-request deadline, counts as a timeout, and retries.
+func TestLoadPerRequestTimeout(t *testing.T) {
+	var probed atomic.Bool
+	var hung atomic.Int64
+	release := make(chan struct{})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if probed.CompareAndSwap(false, true) {
+			w.Write([]byte(`{"num_servers": 6}`))
+			return
+		}
+		if hung.Add(1) == 1 {
+			<-release // hang the first load request past the deadline
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer stub.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	report, err := RunLoad(ctx, LoadOptions{
+		BaseURL:        stub.URL,
+		Clients:        1,
+		Requests:       3,
+		Seed:           1,
+		RequestTimeout: 50 * time.Millisecond,
+		Retries:        1,
+		Backoff:        time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("report.Errors = %d, want 0 (timed-out request must retry to success)", report.Errors)
+	}
+	if report.Timeouts != 1 {
+		t.Fatalf("report.Timeouts = %d, want 1", report.Timeouts)
+	}
+	if report.Retries != 1 {
+		t.Fatalf("report.Retries = %d, want 1", report.Retries)
+	}
+}

@@ -37,6 +37,7 @@ type daemonMetrics struct {
 	phaseConsume  *obs.Histogram
 	publish       *obs.Histogram
 	snapshot      *obs.Histogram
+	walAppend     *obs.Histogram
 
 	// ring holds cumulative fleet energy totals at each recent tick
 	// boundary, newest last; guarded by the daemon's tick lock. samples
@@ -68,6 +69,8 @@ func newDaemonMetrics() *daemonMetrics {
 			"wall-clock time per hub fan-out publish", obs.LatencyBuckets),
 		snapshot: reg.Histogram("willow_snapshot_write_seconds",
 			"wall-clock time to serialize and write a snapshot", obs.LatencyBuckets),
+		walAppend: reg.Histogram("willow_wal_append_seconds",
+			"wall-clock time to frame, append, and fsync one WAL record", obs.LatencyBuckets),
 	}
 }
 

@@ -1,0 +1,147 @@
+package server
+
+// Crash recovery: rebuilding a daemon from durable state after an
+// ungraceful death. The recovery order is fixed and matters:
+//
+//  1. Open the WAL. Its header record carries the Spec the run was
+//     built from (command-line flags are ignored on recovery — the WAL
+//     is authoritative), and its body carries every acknowledged
+//     mutation. A torn tail record is truncated, never fatal.
+//  2. If a base snapshot is supplied, load it and verify consistency:
+//     same Spec, and the snapshot's journal must be a prefix of the
+//     WAL's mutations (the WAL holds the complete history from tick 0,
+//     so a snapshot can only ever summarize a prefix of it).
+//  3. Rebuild through Restore at the recovery tick — the furthest
+//     boundary durable state proves the old incarnation reached:
+//     max(snapshot tick, last WAL mutation tick). Ticks the dead
+//     incarnation ran beyond that boundary re-execute live after
+//     recovery; determinism makes the re-execution bit-identical, so
+//     the run's final state is byte-identical to one that never died.
+//
+// The base snapshot never changes the outcome — Restore replays the
+// same journal either way — it only documents the operator workflow
+// (periodic snapshots bound WAL replay cost at scale). Recovery
+// verifies the pair agrees instead of trusting either alone.
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+
+	"willow/internal/telemetry"
+)
+
+// RecoveryInfo describes what Recover reconstructed, for operator
+// logging.
+type RecoveryInfo struct {
+	// Spec is the run spec recovered from the WAL header.
+	Spec Spec
+	// Tick is the boundary the daemon resumed at.
+	Tick int
+	// Mutations is the number of durable mutations replayed.
+	Mutations int
+	// SnapshotTick is the base snapshot's tick (-1 when recovering from
+	// the WAL alone).
+	SnapshotTick int
+	// TruncatedBytes is the torn WAL tail discarded, if any.
+	TruncatedBytes int64
+}
+
+// Recover rebuilds a daemon from a WAL (and an optional base snapshot),
+// attaches the WAL for further appends, and returns what it found. On
+// error the WAL is closed; on success the caller owns both the daemon
+// and the WAL (Daemon.Close does not close the WAL).
+func Recover(snapPath, walPath string) (*Daemon, *WAL, RecoveryInfo, error) {
+	wal, st, err := OpenWAL(walPath)
+	if err != nil {
+		return nil, nil, RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{
+		Spec:           st.Spec,
+		Mutations:      len(st.Mutations),
+		SnapshotTick:   -1,
+		TruncatedBytes: st.Truncated,
+	}
+	fail := func(err error) (*Daemon, *WAL, RecoveryInfo, error) {
+		wal.Close()
+		return nil, nil, RecoveryInfo{}, err
+	}
+
+	tick := 0
+	for i, mut := range st.Mutations {
+		if mut.Tick < tick {
+			return fail(fmt.Errorf("server: wal %s mutation %d at tick %d precedes tick %d — not an append-only history",
+				walPath, i, mut.Tick, tick))
+		}
+		tick = mut.Tick
+	}
+
+	if snapPath != "" {
+		snap, rerr := ReadSnapshot(snapPath)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				// No base snapshot yet (none was ever written): WAL-only
+				// recovery is the normal young-run case.
+				snapPath = ""
+			} else {
+				return fail(rerr)
+			}
+		} else {
+			if !reflect.DeepEqual(snap.Spec, st.Spec) {
+				return fail(fmt.Errorf("server: snapshot %s and wal %s describe different runs (specs differ)", snapPath, walPath))
+			}
+			if len(snap.Journal) > len(st.Mutations) {
+				return fail(fmt.Errorf("server: snapshot %s has %d journal entries but wal %s holds only %d — the wal is not this run's journal",
+					snapPath, len(snap.Journal), walPath, len(st.Mutations)))
+			}
+			for i, mut := range snap.Journal {
+				if !reflect.DeepEqual(mut, st.Mutations[i]) {
+					return fail(fmt.Errorf("server: snapshot %s journal entry %d disagrees with wal %s — refusing to guess which history is real",
+						snapPath, i, walPath))
+				}
+			}
+			info.SnapshotTick = snap.Tick
+			if snap.Tick > tick {
+				tick = snap.Tick
+			}
+		}
+	}
+
+	d, err := Restore(Snapshot{
+		Version: SnapshotVersion,
+		Spec:    st.Spec,
+		Tick:    tick,
+		Journal: st.Mutations,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("server: recovering from wal %s: %w", walPath, err))
+	}
+	d.AttachWAL(wal)
+	info.Tick = tick
+	return d, wal, info, nil
+}
+
+// Replay is the uninterrupted-run oracle: it rebuilds the run a
+// snapshot describes with telemetry flowing from tick 0 — unlike
+// Restore, which silences events during fast-forward because a live
+// predecessor already published them. The returned daemon rests at
+// snap.Tick having published, through sink, the exact event stream a
+// single never-interrupted run with the same mutation history would
+// have produced. The crash harness compares a kill/recover run's
+// surviving stream fragments against this.
+func Replay(snap Snapshot, sink telemetry.Sink) (*Daemon, error) {
+	if err := validateSnapshot(snap); err != nil {
+		return nil, err
+	}
+	cfg, err := snap.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := newReplayedMachine(cfg, snap, sink)
+	if err != nil {
+		return nil, err
+	}
+	d := newDaemon(snap.Spec, m, append([]Mutation(nil), snap.Journal...))
+	d.sink = sink
+	return d, nil
+}

@@ -1,0 +1,281 @@
+package server
+
+// Write-ahead journal for the live daemon. The snapshot format from the
+// PR 5 control plane made the mutation journal the source of truth —
+// (Spec, journal) rebuilds any run bit for bit — but a snapshot only
+// exists when someone asks for one: a kill -9 loses every mutation since
+// the last POST /v1/snapshot. The WAL closes that window. With a WAL
+// attached, every accepted mutation is framed, appended, and fsync'd
+// BEFORE the API call acknowledges, so an acknowledged mutation survives
+// any process death. Recovery is then snapshot (optional base) + WAL
+// replay; see recovery.go.
+//
+// On-disk format, all integers little-endian:
+//
+//	header:  8-byte magic "WILLOWAL" | uint32 version (1)
+//	record:  uint32 payload length | uint32 CRC32-IEEE(payload) | payload
+//
+// The first record's payload is the run Spec as JSON; every later
+// record is one Mutation as JSON. Records are strictly appended and the
+// file is fsync'd after every append, so at any instant the file is a
+// well-formed prefix plus, at worst, one torn tail record (a crash
+// mid-write). Open detects the torn tail — short frame, short payload,
+// or CRC mismatch — and truncates it rather than failing: the torn
+// record was by construction never acknowledged. Corruption that a
+// truncated tail cannot explain (bad magic, unparseable spec record) is
+// an error, not a recovery.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	walMagic   = "WILLOWAL"
+	walVersion = 1
+	// walMaxRecord bounds one record's payload: a Mutation or Spec is a
+	// few hundred bytes of JSON, so anything near this limit means the
+	// length prefix itself is garbage.
+	walMaxRecord = 1 << 20
+)
+
+// walHeaderLen is the byte length of the file header.
+const walHeaderLen = len(walMagic) + 4
+
+// walFrameLen is the byte overhead of one record frame.
+const walFrameLen = 8
+
+// WAL is an append-only, fsync-per-append mutation journal. Append is
+// not safe for concurrent use on its own; the daemon serializes appends
+// under its tick lock.
+type WAL struct {
+	f    *os.File
+	path string
+}
+
+// CreateWAL creates a new WAL at path (failing if one already exists —
+// recovery must be a deliberate OpenWAL, never an accidental overwrite)
+// and writes the spec header record plus one record per existing journal
+// entry, so the WAL always carries the complete mutation history from
+// tick 0. The file and its parent directory are fsync'd before return.
+func CreateWAL(path string, spec Spec, journal []Mutation) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: creating wal: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	fail := func(err error) (*WAL, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	var buf []byte
+	buf = append(buf, walMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, walVersion)
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendRecord(buf, specJSON)
+	if _, err := f.Write(buf); err != nil {
+		return fail(fmt.Errorf("server: writing wal header: %w", err))
+	}
+	for _, mut := range journal {
+		if err := w.append(mut, false); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("server: syncing wal: %w", err))
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fail(err)
+	}
+	return w, nil
+}
+
+// WALState is what OpenWAL found on disk: the spec the run was built
+// from, every durable mutation in acceptance order, and how many bytes
+// of torn tail (an unacknowledged partial append) were truncated away.
+type WALState struct {
+	Spec      Spec
+	Mutations []Mutation
+	// Truncated is the byte length of the torn tail record discarded on
+	// open (0 for a cleanly closed WAL).
+	Truncated int64
+}
+
+// OpenWAL opens an existing WAL for recovery and further appends. It
+// validates the header, replays every intact record, and truncates a
+// torn tail record in place (see the package comment for why only the
+// tail can legally be torn). Structural corruption — wrong magic,
+// unsupported version, an unparseable spec record — returns an error
+// naming the offset, never a panic.
+func OpenWAL(path string) (*WAL, WALState, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, WALState{}, fmt.Errorf("server: opening wal: %w", err)
+	}
+	st, validEnd, err := scanWAL(f, path)
+	if err != nil {
+		f.Close()
+		return nil, WALState{}, err
+	}
+	if st.Truncated > 0 {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, WALState{}, fmt.Errorf("server: truncating torn wal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, WALState{}, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, WALState{}, err
+	}
+	return &WAL{f: f, path: path}, st, nil
+}
+
+// scanWAL parses the header and every record, returning the recovered
+// state and the offset where the valid prefix ends.
+func scanWAL(r io.Reader, path string) (WALState, int64, error) {
+	var st WALState
+	header := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return st, 0, fmt.Errorf("server: %s is not a willow wal (short header): %w", path, err)
+	}
+	if string(header[:len(walMagic)]) != walMagic {
+		return st, 0, fmt.Errorf("server: %s is not a willow wal (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint32(header[len(walMagic):]); v != walVersion {
+		return st, 0, fmt.Errorf("server: wal %s has version %d, want %d", path, v, walVersion)
+	}
+	offset := int64(walHeaderLen)
+	first := true
+	for {
+		payload, frameLen, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A bad record can only be the torn tail of an interrupted
+			// append; everything beyond it is unacknowledged by
+			// construction. Count whatever remains and stop.
+			st.Truncated = tornLength(r, frameLen)
+			break
+		}
+		if first {
+			if err := json.Unmarshal(payload, &st.Spec); err != nil {
+				return st, 0, fmt.Errorf("server: wal %s spec record at offset %d: %w", path, offset, err)
+			}
+			first = false
+		} else {
+			var mut Mutation
+			if err := json.Unmarshal(payload, &mut); err != nil {
+				// CRC passed but the JSON is bad: the record was written
+				// corrupt, which truncation cannot repair.
+				return st, 0, fmt.Errorf("server: wal %s mutation record at offset %d: %w", path, offset, err)
+			}
+			st.Mutations = append(st.Mutations, mut)
+		}
+		offset += int64(frameLen)
+	}
+	if first {
+		return st, 0, fmt.Errorf("server: wal %s has no spec record (torn during creation) — delete it and start fresh", path)
+	}
+	return st, offset, nil
+}
+
+// readRecord reads one frame. It returns io.EOF exactly at a clean
+// record boundary; any partial read or CRC mismatch is a non-EOF error
+// with frameLen holding the bytes consumed so far (for torn-tail
+// accounting).
+func readRecord(r io.Reader) (payload []byte, frameLen int, err error) {
+	var frame [walFrameLen]byte
+	n, err := io.ReadFull(r, frame[:])
+	if err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if err != nil {
+		return nil, n, fmt.Errorf("torn frame: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(frame[:4])
+	sum := binary.LittleEndian.Uint32(frame[4:])
+	if length > walMaxRecord {
+		return nil, walFrameLen, fmt.Errorf("torn frame: implausible record length %d", length)
+	}
+	payload = make([]byte, length)
+	n, err = io.ReadFull(r, payload)
+	if err != nil {
+		return nil, walFrameLen + n, fmt.Errorf("torn payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, walFrameLen + int(length), fmt.Errorf("crc mismatch: %08x != %08x", got, sum)
+	}
+	return payload, walFrameLen + int(length), nil
+}
+
+// tornLength counts the total torn bytes: what the failed record read
+// consumed plus whatever trails it.
+func tornLength(r io.Reader, consumed int) int64 {
+	rest, _ := io.Copy(io.Discard, r)
+	return int64(consumed) + rest
+}
+
+// appendRecord frames payload onto buf.
+func appendRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// Append frames, writes, and fsyncs one mutation. It returns only after
+// the record is durable, which is what lets the API acknowledge the
+// mutation: an acknowledged mutation survives kill -9.
+func (w *WAL) Append(mut Mutation) error {
+	return w.append(mut, true)
+}
+
+func (w *WAL) append(mut Mutation, sync bool) error {
+	payload, err := json.Marshal(mut)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(appendRecord(nil, payload)); err != nil {
+		return fmt.Errorf("server: wal append: %w", err)
+	}
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("server: wal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Path returns the WAL's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close closes the file. Appends are already durable, so Close has
+// nothing to flush.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// syncDir fsyncs a directory so a freshly created or renamed entry in
+// it survives power loss, not just process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("server: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}

@@ -47,6 +47,13 @@ func (s *FileSink) Publish(e Event) {
 	}
 }
 
+// Flush drains the sink's userspace buffer into the kernel, so events
+// published so far survive an abrupt process death (kill -9). The live
+// daemon calls this at tick boundaries when crash safety is armed.
+func (s *FileSink) Flush() error {
+	return s.w.Flush()
+}
+
 // Close flushes and closes the stream file, then writes the summary
 // report (when configured). The first error wins.
 func (s *FileSink) Close() error {
