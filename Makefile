@@ -3,12 +3,14 @@
 
 GO ?= go
 
-.PHONY: all build test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke experiments report fuzz examples clean
+.PHONY: all build vet test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke failover-smoke experiments report fuzz examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
@@ -33,8 +35,10 @@ race:
 # /metrics exposition and /v1/efficiency scoreboard with the strict
 # conformance checker. crash-smoke SIGKILLs a WAL-armed willowd at
 # seeded points mid-run and requires recovery to be byte-identical to
-# an uninterrupted run.
-ci: build test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke
+# an uninterrupted run. failover-smoke promotes a hot standby through
+# seeded kill/partition cycles and a scripted live migration, again
+# requiring byte-identity with the unmoved run.
+ci: build vet test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke failover-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -110,6 +114,16 @@ obs-smoke:
 crash-smoke:
 	$(GO) test -race -count=1 -run 'TestWAL|TestRecover|TestAdmission|TestCorrupt' ./internal/server
 	./scripts/crash_smoke.sh
+
+# Hot-standby gate: the replication, promotion, drain-ordering, and
+# Retry-After contract pins under -race, then the real harness — a
+# race-instrumented primary killed at seeded ticks across repeated
+# promote cycles while the replication link is partitioned and stalled,
+# plus a scripted live migration; both must reproduce the uninterrupted
+# run byte for byte.
+failover-smoke:
+	$(GO) test -race -count=1 -run 'TestReplicat|TestFollower|TestPromote|TestMigration|TestDrain|TestRetryAfter|TestEventsFrom|TestEventRing' ./internal/server
+	./scripts/failover_smoke.sh
 
 # Regenerate the full evaluation section at full fidelity.
 experiments:

@@ -1,0 +1,836 @@
+// Command willow-failover is the seeded chaos harness behind the
+// replication layer's byte-identical failover claim. It boots a real
+// willowd primary plus a hot-standby follower whose replication link
+// runs through an in-process disruption proxy, then repeatedly: injects
+// seeded mutations, partitions and stalls the replication stream,
+// waits for the follower to catch back up through the flapping link,
+// SIGKILLs the primary at that exact moment, and promotes the follower
+// — which becomes the primary of the next cycle. After N promote
+// cycles the surviving daemon completes the run, and the harness
+// asserts the failed-over run is byte-identical to a run that never
+// failed:
+//
+//   - the final /v1/state matches an uninterrupted server.Replay of
+//     the same mutation history, byte for byte;
+//   - /v1/stats matches too (wall-clock and subscriber bookkeeping
+//     excluded);
+//   - the snapshot journal equals exactly the acknowledged mutations —
+//     nothing a client was told "done" about died with a primary;
+//   - the telemetry event stream, assembled from each incarnation's
+//     file fragment spliced at its successor's promotion boundary, is
+//     byte-identical to the uninterrupted replay's stream.
+//
+// -mode migrate runs the same verification over a scripted live
+// migration instead: primary + follower, a mid-run handoff/promote
+// cutover (server.RunMigration), post-cutover mutations on the new
+// primary, and the identical four assertions at the end.
+//
+// The kill protocol extends willow-crash's: the primary is only killed
+// once every acknowledged mutation is durable on the follower, because
+// "nothing acknowledged is lost" is exactly the guarantee under test —
+// and the kill lands the instant catch-up completes, so the window
+// where the follower is merely *barely* sufficient is the one exercised.
+//
+//	willow-failover -willowd ./bin/willowd -cycles 3 -seed 1
+//	willow-failover -willowd ./bin/willowd -mode migrate -seed 3
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"willow/internal/dist"
+	"willow/internal/server"
+	"willow/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "willow-failover:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		willowd = flag.String("willowd", "willowd", "path to the willowd binary under test")
+		mode    = flag.String("mode", "failover", "failover (kill/promote cycles) or migrate (scripted live cutover)")
+		cycles  = flag.Int("cycles", 3, "kill/promote cycles (failover mode)")
+		seed    = flag.Uint64("seed", 1, "seed for kill targets, mutation mix, and disruption schedule")
+		ticks   = flag.Int("ticks", 400, "run length in ticks")
+		tick    = flag.Duration("tick", 4*time.Millisecond, "willowd tick pace")
+		disrupt = flag.Int("disruptions", 3, "partition/stall rounds per cycle on the replication link")
+		timeout = flag.Duration("timeout", 4*time.Minute, "overall harness deadline")
+		dir     = flag.String("dir", "", "work directory (default: a fresh temp dir, removed on success)")
+		keep    = flag.Bool("keep", false, "keep the work directory even on success")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	workDir := *dir
+	if workDir == "" {
+		var err error
+		if workDir, err = os.MkdirTemp("", "willow-failover-"); err != nil {
+			return err
+		}
+	}
+	h := &harness{
+		ctx:         ctx,
+		willowd:     *willowd,
+		dir:         workDir,
+		ticks:       *ticks,
+		tick:        *tick,
+		seed:        *seed,
+		disruptions: *disrupt,
+		client:      &http.Client{Timeout: 10 * time.Second},
+	}
+	var err error
+	switch *mode {
+	case "failover":
+		err = h.failover(*cycles)
+	case "migrate":
+		err = h.migrate()
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err == nil && !*keep && *dir == "" {
+		os.RemoveAll(workDir)
+	} else {
+		fmt.Printf("work dir: %s\n", workDir)
+	}
+	return err
+}
+
+// harness drives one failover (or migration) experiment end to end.
+type harness struct {
+	ctx         context.Context
+	willowd     string
+	dir         string
+	ticks       int
+	tick        time.Duration
+	seed        uint64
+	disruptions int
+	client      *http.Client
+
+	acked []ackedMut // every mutation acknowledged, in order
+	frags []frag     // per-incarnation event-stream fragments
+
+	base string    // final primary's base URL (for finish)
+	cmd  *exec.Cmd // final primary's process
+}
+
+// ackedMut is one mutation the API acknowledged, with the tick the ack
+// reported.
+type ackedMut struct {
+	mut  server.Mutation
+	tick int
+}
+
+// frag is one incarnation's event file plus its ownership boundary:
+// the tick the NEXT incarnation resumed at. Only events strictly
+// before the boundary belong to this fragment (later ticks re-executed
+// on the successor and were republished there). end < 0 means
+// "contributes everything" (the final incarnation).
+type frag struct {
+	path string
+	end  int
+}
+
+// proc is one running willowd (primary or standby).
+type proc struct {
+	cmd    *exec.Cmd
+	base   string
+	events string
+}
+
+func (p *proc) kill() {
+	if p != nil && p.cmd != nil && p.cmd.ProcessState == nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+// failover runs `cycles` kill/partition/promote cycles, then verifies.
+func (h *harness) failover(cycles int) error {
+	src := dist.NewSource(h.seed)
+	killSrc := src.Fork()
+	mutSrc := src.Fork()
+	chaosSrc := src.Fork()
+
+	// Kill targets: distinct increasing ticks in the first ~60% of the
+	// run. If wall-clock overhead pushes a later cycle past its target
+	// tick, waitTick returns immediately and the cycle still runs — the
+	// byte-identity assertions are tick-agnostic.
+	lo, hi := h.ticks/20, h.ticks*3/5
+	if hi <= lo+cycles {
+		return fmt.Errorf("ticks=%d too short for %d kill cycles", h.ticks, cycles)
+	}
+	targets := make([]int, 0, cycles)
+	seen := map[int]bool{}
+	for len(targets) < cycles {
+		t := lo + int(killSrc.Uint64()%uint64(hi-lo))
+		if !seen[t] {
+			seen[t] = true
+			targets = append(targets, t)
+		}
+	}
+	sort.Ints(targets)
+	fmt.Printf("willow-failover: seed %d, %d ticks @ %s, kill targets %v, %d disruptions/cycle\n",
+		h.seed, h.ticks, h.tick, targets, h.disruptions)
+
+	pri, err := h.spawnPrimary(0)
+	if err != nil {
+		return err
+	}
+	defer func() { pri.kill() }()
+
+	for c := 0; c < cycles; c++ {
+		px, err := newProxy(pri.base)
+		if err != nil {
+			return err
+		}
+		fol, err := h.spawnFollower(c+1, px.url())
+		if err != nil {
+			px.close()
+			return err
+		}
+		// From here the follower must survive the cycle; kill it on error.
+		cycleErr := func() error {
+			if err := h.waitTick(pri.base, targets[c]); err != nil {
+				return err
+			}
+			burst := 1 + int(mutSrc.Uint64()%3)
+			for i := 0; i < burst; i++ {
+				if err := h.inject(pri.base, mutSrc); err != nil {
+					return err
+				}
+			}
+			// Chaos on the replication link while the primary keeps
+			// ticking: the follower must retry, resume from its durable
+			// cursor, and survive server-side overflow disconnects.
+			h.disrupt(px, chaosSrc)
+			px.setMode(proxyPass)
+			// Wait for catch-up to the acked set through the healed link,
+			// then SIGKILL the primary at that exact moment.
+			if err := h.waitFollowerRecords(fol.base, len(h.acked)); err != nil {
+				return err
+			}
+			pri.kill()
+			var pr struct {
+				Tick    int `json:"tick"`
+				Records int `json:"records"`
+			}
+			if err := h.postJSON(fol.base+"/v1/promote", nil, &pr); err != nil {
+				return err
+			}
+			if pr.Records != len(h.acked) {
+				return fmt.Errorf("cycle %d: promoted with %d records, harness acked %d", c, pr.Records, len(h.acked))
+			}
+			h.frags[len(h.frags)-2].end = pr.Tick
+			fmt.Printf("cycle %d: killed primary at tick >= %d after %d mutations; follower promoted at tick %d (%d records)\n",
+				c, targets[c], burst, pr.Tick, pr.Records)
+			return nil
+		}()
+		px.close()
+		if cycleErr != nil {
+			fol.kill()
+			return cycleErr
+		}
+		pri = fol
+	}
+
+	h.base, h.cmd = pri.base, pri.cmd
+	return h.finish(fmt.Sprintf("%d promote cycles", cycles))
+}
+
+// migrate runs a scripted live migration mid-run and verifies the moved
+// run byte-identically.
+func (h *harness) migrate() error {
+	src := dist.NewSource(h.seed)
+	mutSrc := src.Fork()
+
+	pri, err := h.spawnPrimary(0)
+	if err != nil {
+		return err
+	}
+	defer func() { pri.kill() }()
+	fol, err := h.spawnFollower(1, pri.base)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if h.cmd == nil {
+			fol.kill()
+		}
+	}()
+
+	// Mutate the source before the move so the cutover carries a
+	// non-trivial journal.
+	if err := h.waitTick(pri.base, h.ticks/4); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.inject(pri.base, mutSrc); err != nil {
+			return err
+		}
+	}
+
+	rep, err := server.RunMigration(h.ctx, server.MigrationOptions{
+		Source: pri.base,
+		Target: fol.base,
+		Client: h.client,
+	})
+	if err != nil {
+		return err
+	}
+	h.frags[0].end = rep.HandoffTick
+	fmt.Printf("migrated at tick %d (%d records) in %s\n", rep.HandoffTick, rep.HandoffRecords, rep.Elapsed.Round(time.Millisecond))
+
+	// The frozen source drains gracefully; its event file is final.
+	if err := pri.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := pri.cmd.Wait(); err != nil {
+		return fmt.Errorf("source willowd exit after handoff: %w", err)
+	}
+
+	// The moved run must keep accepting (and making durable) mutations.
+	if err := h.waitTick(fol.base, rep.HandoffTick+h.ticks/10); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := h.inject(fol.base, mutSrc); err != nil {
+			return err
+		}
+	}
+
+	h.base, h.cmd = fol.base, fol.cmd
+	return h.finish("live migration")
+}
+
+// spawnPrimary boots incarnation 0: a fresh primary that defines the run.
+func (h *harness) spawnPrimary(inc int) (*proc, error) {
+	return h.spawn(inc, []string{
+		"-tick", h.tick.String(),
+		"-ticks", fmt.Sprint(h.ticks),
+		"-seed", fmt.Sprint(h.seed),
+		"-wal", filepath.Join(h.dir, fmt.Sprintf("wal_%d.wal", inc)),
+	})
+}
+
+// spawnFollower boots a hot standby tailing primaryURL (usually the
+// disruption proxy) with its own WAL.
+func (h *harness) spawnFollower(inc int, primaryURL string) (*proc, error) {
+	return h.spawn(inc, []string{
+		"-tick", h.tick.String(),
+		"-follow", primaryURL,
+		"-seed", fmt.Sprint(h.seed + uint64(inc)), // distinct backoff jitter
+		"-wal", filepath.Join(h.dir, fmt.Sprintf("wal_%d.wal", inc)),
+	})
+}
+
+// spawn starts one willowd with common flags plus extra, waits for its
+// API, and registers its event file as the newest fragment.
+func (h *harness) spawn(inc int, extra []string) (*proc, error) {
+	portFile := filepath.Join(h.dir, fmt.Sprintf("port_%d", inc))
+	os.Remove(portFile)
+	events := filepath.Join(h.dir, fmt.Sprintf("events_%d.jsonl", inc))
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-port-file", portFile,
+		"-events", events,
+	}, extra...)
+	cmd := exec.Command(h.willowd, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting willowd %d: %w", inc, err)
+	}
+	p := &proc{cmd: cmd, events: events}
+	h.frags = append(h.frags, frag{path: events, end: -1})
+	for {
+		if err := h.ctx.Err(); err != nil {
+			p.kill()
+			return nil, err
+		}
+		if b, err := os.ReadFile(portFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			p.base = "http://" + strings.TrimSpace(string(b))
+			if _, err := h.getJSON(p.base+"/healthz", nil); err == nil {
+				return p, nil
+			}
+		}
+		if cmd.ProcessState != nil {
+			return nil, fmt.Errorf("willowd %d exited before serving", inc)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// disrupt runs the seeded partition/stall schedule on the replication
+// link: cut rounds drop every connection and refuse new ones; stall
+// rounds hold bytes silently (the nastier failure — the TCP session
+// stays up while no data moves). The primary keeps ticking throughout.
+func (h *harness) disrupt(px *proxy, src *dist.Source) {
+	for i := 0; i < h.disruptions; i++ {
+		mode := proxyCut
+		if src.Uint64()%2 == 0 {
+			mode = proxyStall
+		}
+		px.setMode(mode)
+		h.sleep(time.Duration(20+src.Uint64()%80) * time.Millisecond)
+		px.setMode(proxyPass)
+		h.sleep(time.Duration(10+src.Uint64()%40) * time.Millisecond)
+	}
+}
+
+func (h *harness) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-h.ctx.Done():
+	case <-t.C:
+	}
+}
+
+// inject POSTs one seeded mutation — mostly mean-neutral demand scales,
+// with an occasional live chaos injection — and records the ack.
+func (h *harness) inject(base string, mutSrc *dist.Source) error {
+	roll := mutSrc.Uint64() % 10
+	if roll == 0 {
+		seed := mutSrc.Uint64() | 1 // nonzero: no derived-seed ambiguity
+		var resp struct {
+			Tick int `json:"tick"`
+		}
+		if err := h.postJSON(base+"/v1/chaos", map[string]any{"spec": "light", "seed": seed, "sensor": false}, &resp); err != nil {
+			return err
+		}
+		h.acked = append(h.acked, ackedMut{
+			mut:  server.Mutation{Tick: resp.Tick, Kind: "chaos", Spec: "light", Seed: seed},
+			tick: resp.Tick,
+		})
+		return nil
+	}
+	srvIdx := -1
+	if roll%2 == 1 {
+		srvIdx = int(mutSrc.Uint64() % 18)
+	}
+	factor := 0.9 + 0.2*float64(mutSrc.Uint64()%1000)/1000.0
+	var resp struct {
+		Tick int `json:"tick"`
+	}
+	if err := h.postJSON(base+"/v1/demand", map[string]any{"server": srvIdx, "factor": factor}, &resp); err != nil {
+		return err
+	}
+	h.acked = append(h.acked, ackedMut{
+		mut:  server.Mutation{Tick: resp.Tick, Kind: "demand", Server: srvIdx, Factor: factor},
+		tick: resp.Tick,
+	})
+	return nil
+}
+
+// waitTick polls a daemon's /healthz until its tick reaches target.
+func (h *harness) waitTick(base string, target int) error {
+	for {
+		if err := h.ctx.Err(); err != nil {
+			return err
+		}
+		var hz struct {
+			Tick int `json:"tick"`
+		}
+		if _, err := h.getJSON(base+"/healthz", &hz); err == nil && hz.Tick >= target {
+			return nil
+		}
+		time.Sleep(h.tick)
+	}
+}
+
+// waitFollowerRecords polls the follower's /healthz until it holds at
+// least want durable records — every acknowledged mutation.
+func (h *harness) waitFollowerRecords(base string, want int) error {
+	for {
+		if err := h.ctx.Err(); err != nil {
+			return err
+		}
+		var hv server.HealthView
+		if _, err := h.getJSON(base+"/healthz", &hv); err == nil &&
+			hv.Replication != nil && hv.Replication.Records >= want {
+			return nil
+		}
+		time.Sleep(h.tick)
+	}
+}
+
+// finish waits for the surviving primary to complete the run, captures
+// its final state, stops it gracefully, and verifies all four
+// byte-identity claims against the uninterrupted Replay oracle.
+func (h *harness) finish(what string) error {
+	defer func() {
+		if h.cmd.ProcessState == nil {
+			h.cmd.Process.Kill()
+			h.cmd.Wait()
+		}
+	}()
+
+	for {
+		if err := h.ctx.Err(); err != nil {
+			return err
+		}
+		var st struct {
+			Done bool `json:"done"`
+		}
+		if _, err := h.getJSON(h.base+"/v1/stats", &st); err == nil && st.Done {
+			break
+		}
+		time.Sleep(5 * h.tick)
+	}
+
+	stateRaw, err := h.getJSON(h.base+"/v1/state", nil)
+	if err != nil {
+		return err
+	}
+	var stats server.StatsView
+	if _, err := h.getJSON(h.base+"/v1/stats", &stats); err != nil {
+		return err
+	}
+	snapRaw, err := h.postRaw(h.base + "/v1/snapshot")
+	if err != nil {
+		return err
+	}
+	var snap server.Snapshot
+	if err := json.Unmarshal(snapRaw, &snap); err != nil {
+		return fmt.Errorf("final snapshot: %w", err)
+	}
+
+	if err := h.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := h.cmd.Wait(); err != nil {
+		return fmt.Errorf("final willowd exit: %w", err)
+	}
+
+	// Check 1: journal == acknowledged set, exactly.
+	if len(snap.Journal) != len(h.acked) {
+		return fmt.Errorf("journal has %d mutations, harness acked %d", len(snap.Journal), len(h.acked))
+	}
+	for i, a := range h.acked {
+		if !reflect.DeepEqual(snap.Journal[i], a.mut) {
+			return fmt.Errorf("journal entry %d = %+v, acked %+v", i, snap.Journal[i], a.mut)
+		}
+	}
+
+	// The oracle: one uninterrupted run of the same (spec, journal).
+	oraclePath := filepath.Join(h.dir, "oracle.jsonl")
+	sink, err := telemetry.OpenFileSink(oraclePath, "", "", telemetry.AllKinds)
+	if err != nil {
+		return err
+	}
+	oracle, err := server.Replay(snap, sink)
+	if err != nil {
+		sink.Close()
+		return fmt.Errorf("oracle replay: %w", err)
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	defer oracle.Close()
+
+	// Check 2: /v1/state byte-identical.
+	oracleState, err := json.MarshalIndent(oracle.State(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(stateRaw), bytes.TrimSpace(oracleState)) {
+		return fmt.Errorf("final /v1/state differs from uninterrupted replay:\n--- failed-over ---\n%s\n--- oracle ---\n%s",
+			stateRaw, oracleState)
+	}
+
+	// Check 3: /v1/stats identical minus wall-clock/subscriber fields.
+	oracleStats := oracle.Stats()
+	for _, s := range []*server.StatsView{&stats, &oracleStats} {
+		s.Uptime = 0
+		s.EventsPublished = 0
+		s.EventsDropped = 0
+		s.Subscribers = 0
+		s.SubscriberStats = nil
+	}
+	if !reflect.DeepEqual(stats, oracleStats) {
+		return fmt.Errorf("final /v1/stats differs from uninterrupted replay:\nfailed-over: %+v\noracle:      %+v", stats, oracleStats)
+	}
+
+	// Check 4: the spliced event stream is byte-identical.
+	assembled, lines, err := h.assemble()
+	if err != nil {
+		return err
+	}
+	oracleEvents, err := os.ReadFile(oraclePath)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(assembled, oracleEvents) {
+		return fmt.Errorf("assembled event stream differs from uninterrupted replay (%d vs %d bytes): %s",
+			len(assembled), len(oracleEvents), firstDiff(assembled, oracleEvents))
+	}
+
+	fmt.Printf("willow-failover OK: %s, %d mutations acked, state+stats+journal identical, %d events byte-identical\n",
+		what, len(h.acked), lines)
+	return nil
+}
+
+// assemble stitches the per-incarnation event files into the single
+// stream an uninterrupted run would have written: fragment i
+// contributes events strictly before its successor's promotion
+// boundary; the final fragment contributes everything. A SIGKILL can
+// tear the last line of a killed primary's file, so an unterminated
+// tail is dropped; every contributed line must parse.
+func (h *harness) assemble() ([]byte, int, error) {
+	var out []byte
+	lines := 0
+	for i, fr := range h.frags {
+		data, err := os.ReadFile(fr.path)
+		if err != nil {
+			return nil, 0, err
+		}
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			if nl < 0 {
+				if fr.end < 0 {
+					return nil, 0, fmt.Errorf("final fragment %s ends mid-line", fr.path)
+				}
+				break // torn tail of a killed incarnation
+			}
+			line := data[:nl+1]
+			data = data[nl+1:]
+			ev, err := telemetry.Decode(bytes.TrimSuffix(line, []byte("\n")))
+			if err != nil {
+				return nil, 0, fmt.Errorf("fragment %d (%s): bad event line: %w", i, fr.path, err)
+			}
+			if fr.end >= 0 && ev.Tick >= fr.end {
+				break // re-executed after the boundary; the successor owns it
+			}
+			out = append(out, line...)
+			lines++
+		}
+	}
+	return out, lines, nil
+}
+
+// firstDiff locates the first byte where two streams diverge.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first divergence at byte %d: ...%q vs ...%q", i, a[lo:i+1], b[lo:i+1])
+		}
+	}
+	return fmt.Sprintf("one stream is a prefix of the other (at byte %d)", n)
+}
+
+// ---- HTTP helpers ----
+
+func (h *harness) getJSON(url string, dst any) ([]byte, error) {
+	req, err := http.NewRequestWithContext(h.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return h.do(req, dst)
+}
+
+func (h *harness) postJSON(url string, body, dst any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(h.ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	_, err = h.do(req, dst)
+	return err
+}
+
+func (h *harness) postRaw(url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(h.ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return h.do(req, nil)
+}
+
+func (h *harness) do(req *http.Request, dst any) ([]byte, error) {
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, bytes.TrimSpace(data))
+	}
+	if dst != nil {
+		if err := json.Unmarshal(data, dst); err != nil {
+			return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, err)
+		}
+	}
+	return data, nil
+}
+
+// ---- disruption proxy ----
+
+// Proxy link modes.
+const (
+	proxyPass  = int32(0) // forward bytes normally
+	proxyCut   = int32(1) // drop every connection, refuse new ones
+	proxyStall = int32(2) // accept and hold: the link is up, no bytes move
+)
+
+// proxy is a TCP forwarder the harness interposes on the replication
+// link so it can partition (cut) and black-hole (stall) the stream
+// without touching either daemon.
+type proxy struct {
+	ln     net.Listener
+	target string
+	mode   atomic.Int32
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// newProxy starts a forwarder to primaryBase (an http://host:port URL).
+func newProxy(primaryBase string) (*proxy, error) {
+	target := strings.TrimPrefix(primaryBase, "http://")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &proxy{ln: ln, target: target, conns: map[net.Conn]struct{}{}}
+	go p.accept()
+	return p, nil
+}
+
+func (p *proxy) url() string { return "http://" + p.ln.Addr().String() }
+
+// setMode switches the link mode; entering cut also severs every live
+// connection, so the follower sees a hard partition, not a quiet one.
+func (p *proxy) setMode(mode int32) {
+	p.mode.Store(mode)
+	if mode == proxyCut {
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *proxy) close() {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+func (p *proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *proxy) accept() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if p.mode.Load() == proxyCut {
+			conn.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		if !p.track(conn) || !p.track(up) {
+			conn.Close()
+			up.Close()
+			return
+		}
+		go p.pipe(up, conn)
+		go p.pipe(conn, up)
+	}
+}
+
+// pipe forwards one direction, honoring stall (hold bytes, keep the
+// connection) and cut (sever).
+func (p *proxy) pipe(dst, src net.Conn) {
+	defer p.untrack(dst)
+	defer p.untrack(src)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			for p.mode.Load() == proxyStall {
+				time.Sleep(2 * time.Millisecond)
+			}
+			if p.mode.Load() == proxyCut {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

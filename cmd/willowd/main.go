@@ -7,6 +7,14 @@
 //	willowd -addr 127.0.0.1:8080 -tick 50ms
 //	willowd -addr 127.0.0.1:0 -port-file /tmp/port -events run.jsonl
 //	willowd -restore snap.json -ff            # resume a run to completion
+//	willowd -follow http://primary:8080 -wal standby.wal -promote-after 3s
+//
+// With -follow, willowd boots as a hot standby: it tails the primary's
+// /v1/replicate stream, makes every record durable in its own WAL, and
+// serves a follower API (/healthz lag view, /metrics, POST /v1/promote)
+// until promoted — manually, or automatically after -promote-after of
+// primary silence — at which point it becomes a full primary resuming
+// at exactly the primary's last proven tick boundary.
 //
 // SIGTERM/SIGINT drain gracefully: the tick loop stops at a boundary,
 // open event streams terminate, sinks flush, and a final snapshot is
@@ -71,8 +79,29 @@ func run() error {
 		walPath     = flag.String("wal", "", "write-ahead journal: fsync every mutation here before acknowledging; on restart, recover from it (plus -restore as the base snapshot)")
 		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "admission gate: max concurrent mutations holding the tick path")
 		maxQueue    = flag.Int("max-queue", server.DefaultMaxQueue, "admission gate: max mutations queued behind the in-flight ones; excess sheds with 429")
+
+		follow       = flag.String("follow", "", "boot as a hot standby tailing this primary's /v1/replicate (spec comes from the primary; -wal is the standby's own journal)")
+		promoteAfter = flag.Duration("promote-after", 0, "with -follow: promote automatically after this much primary silence (0 = manual POST /v1/promote only)")
 	)
 	flag.Parse()
+
+	env := &runtimeEnv{
+		addr: *addr, portFile: *portFile,
+		events: *events, eventsFilter: *eventsFilter,
+		snapshotPath: *snapshotPath,
+		tickDur:      *tickDur, ff: *ff,
+		maxInflight: *maxInflight, maxQueue: *maxQueue,
+		pprofOn: *pprofOn,
+	}
+
+	if *follow != "" {
+		return runFollower(env, server.FollowerOptions{
+			Primary:      *follow,
+			WALPath:      *walPath,
+			PromoteAfter: *promoteAfter,
+			Seed:         *seed,
+		})
+	}
 
 	var (
 		d   *server.Daemon
@@ -154,72 +183,190 @@ func run() error {
 	}
 	defer d.Close()
 
-	var sink *telemetry.FileSink
-	if *events != "" {
-		keep := telemetry.AllKinds
-		if *eventsFilter != "" {
-			if keep, err = telemetry.ParseKindSet(*eventsFilter); err != nil {
-				return err
-			}
-		}
-		base := strings.TrimSuffix(*events, ".jsonl")
-		if sink, err = telemetry.OpenFileSink(*events, base+".summary.txt", "willowd telemetry", keep); err != nil {
-			return err
-		}
-		d.SetSink(sink)
+	sink, err := env.openSink(d)
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var srv *http.Server
-	if *addr != "" {
-		ln, lerr := net.Listen("tcp", *addr)
-		if lerr != nil {
-			return lerr
-		}
-		bound := ln.Addr().String()
-		if *portFile != "" {
-			if werr := os.WriteFile(*portFile, []byte(bound+"\n"), 0o644); werr != nil {
-				return werr
-			}
+	if env.addr != "" {
+		handler := server.NewHandlerOpts(d, server.HandlerOptions{
+			MaxInflight: env.maxInflight,
+			MaxQueue:    env.maxQueue,
+		})
+		bound := ""
+		if srv, bound, err = env.serve(handler); err != nil {
+			return err
 		}
 		spec := d.Spec()
 		fmt.Printf("willowd: %d servers, U=%.0f%%, supply=%s, %d ticks; listening on http://%s\n",
 			spec.Servers(), spec.Util*100, spec.Supply, spec.Ticks, bound)
-		handler := server.NewHandlerOpts(d, server.HandlerOptions{
-			MaxInflight: *maxInflight,
-			MaxQueue:    *maxQueue,
-		})
-		if *pprofOn {
-			// Profiling is opt-in: the pprof surface costs nothing until
-			// mounted, and a public daemon should not expose it by accident.
-			root := http.NewServeMux()
-			root.HandleFunc("/debug/pprof/", pprof.Index)
-			root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-			root.HandleFunc("/debug/pprof/profile", pprof.Profile)
-			root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-			root.HandleFunc("/debug/pprof/trace", pprof.Trace)
-			root.Handle("/", handler)
-			handler = root
-		}
-		// Slow-client hardening. No WriteTimeout: /v1/events streams for
-		// the life of the subscription and a write deadline would sever it.
-		srv = &http.Server{
-			Handler:           handler,
-			ReadHeaderTimeout: 5 * time.Second,
-			ReadTimeout:       30 * time.Second,
-			IdleTimeout:       2 * time.Minute,
-		}
-		go func() {
-			if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "willowd: http:", serr)
-			}
-		}()
 	}
 
-	pace := *tickDur
-	if *ff {
+	return env.driveAndDrain(ctx, d, srv, sink)
+}
+
+// runtimeEnv bundles the flags both the primary and follower paths
+// share: where to listen, where telemetry and snapshots go, how to
+// pace the tick loop once driving.
+type runtimeEnv struct {
+	addr, portFile       string
+	events, eventsFilter string
+	snapshotPath         string
+	tickDur              time.Duration
+	ff                   bool
+	maxInflight          int
+	maxQueue             int
+	pprofOn              bool
+}
+
+// runFollower boots willowd as a hot standby: tail the primary, serve
+// the follower API, and on promotion become a full primary driving the
+// run from the replicated boundary.
+func runFollower(env *runtimeEnv, fopts server.FollowerOptions) error {
+	f, err := server.NewFollower(fopts)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		srv *http.Server
+		sw  *server.SwitchHandler
+	)
+	if env.addr != "" {
+		// The promote endpoint swaps in the full primary surface the
+		// moment promotion succeeds; the listener never restarts.
+		onPromote := func(d *server.Daemon) {
+			sw.Set(server.NewHandlerOpts(d, server.HandlerOptions{
+				MaxInflight: env.maxInflight,
+				MaxQueue:    env.maxQueue,
+			}))
+		}
+		sw = server.NewSwitchHandler(server.NewFollowerHandler(f, onPromote))
+		bound := ""
+		if srv, bound, err = env.serve(sw); err != nil {
+			return err
+		}
+		auto := "manual promote only"
+		if fopts.PromoteAfter > 0 {
+			auto = fmt.Sprintf("auto-promote after %s of silence", fopts.PromoteAfter)
+		}
+		fmt.Printf("willowd: standby following %s (%s); listening on http://%s\n",
+			fopts.Primary, auto, bound)
+	}
+
+	runErr := f.Run(ctx)
+	d := f.Promoted()
+	if d == nil {
+		// Drained before ever promoting: stop serving and keep the WAL —
+		// the standby can resume tailing from its durable cursor later.
+		if srv != nil {
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shCtx)
+		}
+		if runErr != nil && !errors.Is(runErr, context.Canceled) {
+			return runErr
+		}
+		fmt.Printf("standby drained at %d replicated records (resume tick %d)\n", f.Records(), f.ResumeTick())
+		return nil
+	}
+
+	fmt.Printf("promoted: resuming run at tick %d/%d with %d replicated mutations\n",
+		d.NextTick(), d.Spec().Ticks, f.Records())
+	if sw != nil {
+		// Auto-promotion does not pass through the HTTP handler; make sure
+		// the primary surface is live either way (Set is idempotent).
+		sw.Set(server.NewHandlerOpts(d, server.HandlerOptions{
+			MaxInflight: env.maxInflight,
+			MaxQueue:    env.maxQueue,
+		}))
+	}
+	defer d.Close()
+	sink, err := env.openSink(d)
+	if err != nil {
+		return err
+	}
+	return env.driveAndDrain(ctx, d, srv, sink)
+}
+
+// openSink opens the -events FileSink and attaches it, when configured.
+func (env *runtimeEnv) openSink(d *server.Daemon) (*telemetry.FileSink, error) {
+	if env.events == "" {
+		return nil, nil
+	}
+	keep := telemetry.AllKinds
+	if env.eventsFilter != "" {
+		var err error
+		if keep, err = telemetry.ParseKindSet(env.eventsFilter); err != nil {
+			return nil, err
+		}
+	}
+	base := strings.TrimSuffix(env.events, ".jsonl")
+	sink, err := telemetry.OpenFileSink(env.events, base+".summary.txt", "willowd telemetry", keep)
+	if err != nil {
+		return nil, err
+	}
+	d.SetSink(sink)
+	return sink, nil
+}
+
+// serve binds env.addr, writes the port file, and starts an http.Server
+// on handler (plus the pprof surface when armed).
+func (env *runtimeEnv) serve(handler http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", env.addr)
+	if err != nil {
+		return nil, "", err
+	}
+	bound := ln.Addr().String()
+	if env.portFile != "" {
+		if werr := os.WriteFile(env.portFile, []byte(bound+"\n"), 0o644); werr != nil {
+			return nil, "", werr
+		}
+	}
+	if env.pprofOn {
+		// Profiling is opt-in: the pprof surface costs nothing until
+		// mounted, and a public daemon should not expose it by accident.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+	}
+	// Slow-client hardening. No WriteTimeout: /v1/events streams for
+	// the life of the subscription and a write deadline would sever it.
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "willowd: http:", serr)
+		}
+	}()
+	return srv, bound, nil
+}
+
+// driveAndDrain runs the tick loop to completion or signal, then drains
+// in the only safe order: daemon streams first (hub + replication feed
+// — they would otherwise hold Shutdown open), then the HTTP listener,
+// then sink flush and the final snapshot — always at a clean tick
+// boundary.
+func (env *runtimeEnv) driveAndDrain(ctx context.Context, d *server.Daemon, srv *http.Server, sink *telemetry.FileSink) error {
+	pace := env.tickDur
+	if env.ff {
 		pace = 0
 	}
 	runErr := make(chan error, 1)
@@ -246,10 +393,6 @@ func run() error {
 	}
 	interrupted := errors.Is(driveErr, context.Canceled)
 
-	// Graceful drain: terminate event streams first (they would
-	// otherwise hold Shutdown open), then stop the listener, then
-	// flush sinks and write the final snapshot — always at a clean
-	// tick boundary.
 	d.Close()
 	if srv != nil {
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -264,13 +407,13 @@ func run() error {
 			return cerr
 		}
 	}
-	if *snapshotPath != "" {
-		snap, werr := d.WriteSnapshot(*snapshotPath)
+	if env.snapshotPath != "" {
+		snap, werr := d.WriteSnapshot(env.snapshotPath)
 		if werr != nil {
 			return werr
 		}
 		fmt.Printf("snapshot written to %s (tick %d, %d journal entries)\n",
-			*snapshotPath, snap.Tick, len(snap.Journal))
+			env.snapshotPath, snap.Tick, len(snap.Journal))
 	}
 
 	st := d.Stats()

@@ -114,12 +114,60 @@ type Daemon struct {
 	metrics *daemonMetrics
 	started time.Time
 
+	// rep streams durable journal records and tick heartbeats to
+	// /v1/replicate subscribers (hot standbys); see replication.go.
+	rep *repFeed
+	// frozen marks a migration handoff: the tick loop steps no further
+	// and mutations are refused, so the journal is final (Freeze).
+	frozen bool
+	// resumedAt is the tick boundary this incarnation started from (0
+	// for a fresh daemon, the snapshot tick after Restore/promotion) —
+	// surfaced in /healthz so failover harnesses know the event-stream
+	// ownership boundary.
+	resumedAt int
+	// history retains the most recent hub events so a reconnecting
+	// subscriber can resume with GET /v1/events?from=<tick>.
+	history eventRing
+
 	// wal, when attached, makes every accepted mutation durable before
 	// the API acknowledges it. walErr is sticky: once an append fails,
 	// the in-memory machine is ahead of the durable journal, so further
 	// mutations are refused rather than widening the divergence.
 	wal    *WAL
 	walErr error
+}
+
+// eventRing is a fixed ring of the last eventHistory hub events, for
+// ?from= stream resumption. Guarded by the daemon's tick lock; the
+// buffer is pre-allocated so the publish hot path never allocates.
+type eventRing struct {
+	buf []telemetry.Event
+	n   int // lifetime count; buf[(n-1)%len(buf)] is the newest entry
+}
+
+// eventHistory is how many recent events the daemon retains for
+// ?from= resumption — best effort by design: a subscriber further
+// behind than the ring gets the oldest retained tick onward.
+const eventHistory = 8192
+
+func (r *eventRing) add(e telemetry.Event) {
+	r.buf[r.n%len(r.buf)] = e
+	r.n++
+}
+
+// tail returns the retained events with Tick >= from, oldest first.
+func (r *eventRing) tail(from int) []telemetry.Event {
+	first := 0
+	if r.n > len(r.buf) {
+		first = r.n - len(r.buf)
+	}
+	var out []telemetry.Event
+	for i := first; i < r.n; i++ {
+		if e := r.buf[i%len(r.buf)]; e.Tick >= from {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // New builds a daemon from a spec, at tick 0 with an empty journal.
@@ -138,7 +186,12 @@ func New(spec Spec) (*Daemon, error) {
 // newDaemon wraps a machine (fresh or replayed) into a daemon with its
 // hub, metrics, and telemetry plumbing attached.
 func newDaemon(spec Spec, m *cluster.Machine, journal []Mutation) *Daemon {
-	d := &Daemon{spec: spec, m: m, journal: journal, hub: NewHub(), metrics: newDaemonMetrics(), started: time.Now()}
+	d := &Daemon{
+		spec: spec, m: m, journal: journal,
+		hub: NewHub(), rep: newRepFeed(), metrics: newDaemonMetrics(),
+		history: eventRing{buf: make([]telemetry.Event, eventHistory)},
+		started: time.Now(),
+	}
 	m.SetSink(telemetry.SinkFunc(d.publish))
 	// Phase timing starts now: any replay that built m is warm-up work
 	// the wall-clock histograms should not pollute.
@@ -175,7 +228,9 @@ func Restore(snap Snapshot) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDaemon(snap.Spec, m, append([]Mutation(nil), snap.Journal...)), nil
+	d := newDaemon(snap.Spec, m, append([]Mutation(nil), snap.Journal...))
+	d.resumedAt = snap.Tick
+	return d, nil
 }
 
 // validateSnapshot checks the wire-level invariants Restore and Replay
@@ -250,6 +305,7 @@ func (d *Daemon) publish(e telemetry.Event) {
 	if d.sink != nil {
 		d.sink.Publish(e)
 	}
+	d.history.add(e)
 	if d.metrics == nil {
 		d.hub.Publish(e)
 		return
@@ -288,10 +344,15 @@ func (d *Daemon) Done() bool {
 	return d.m.Done()
 }
 
-// Step advances one tick and reports whether the run is now done.
+// Step advances one tick and reports whether the run is now done. On a
+// frozen (handed-off) daemon it is a no-op: the handoff response named
+// a final boundary and no tick may run beyond it.
 func (d *Daemon) Step() bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.frozen {
+		return d.m.Done()
+	}
 	d.m.Step()
 	d.afterTick()
 	return d.m.Done()
@@ -301,7 +362,7 @@ func (d *Daemon) Step() bool {
 func (d *Daemon) StepN(n int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for i := 0; i < n && !d.m.Done(); i++ {
+	for i := 0; i < n && !d.m.Done() && !d.frozen; i++ {
 		d.m.Step()
 		d.afterTick()
 	}
@@ -324,6 +385,16 @@ func (d *Daemon) afterTick() {
 			_ = f.Flush()
 		}
 	}
+	// Replication heartbeat, strictly after the stream flush: a
+	// follower that heard "tick T" may assume the primary's event file
+	// holds every completed tick before T, which is what makes the
+	// promoted follower's event stream splice byte-exact.
+	d.rep.publish(RepRecord{
+		Type:    "hb",
+		Tick:    d.m.NextTick(),
+		Records: len(d.journal),
+		Done:    d.m.Done(),
+	})
 }
 
 // Run drives the machine to completion: one tick per tickEvery of wall
@@ -339,6 +410,11 @@ func (d *Daemon) Run(ctx context.Context, tickEvery time.Duration) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if d.Frozen() {
+				// Handed off: hold the boundary and serve until shutdown.
+				<-ctx.Done()
+				return ctx.Err()
+			}
 			if d.Step() {
 				return nil
 			}
@@ -351,6 +427,10 @@ func (d *Daemon) Run(ctx context.Context, tickEvery time.Duration) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-tk.C:
+			if d.Frozen() {
+				<-ctx.Done()
+				return ctx.Err()
+			}
 			if d.Step() {
 				return nil
 			}
@@ -381,8 +461,13 @@ func (d *Daemon) ScaleDemand(server int, factor float64) (tick int, err error) {
 // walHealthy reports the sticky WAL failure, if any: after a failed
 // append the in-memory run is ahead of the durable journal, and the
 // only honest move is to refuse further mutations (reads and ticking
-// continue — the divergence never widens).
+// continue — the divergence never widens). A frozen (handed-off)
+// daemon refuses for a different reason: the handoff promised the
+// journal was final.
 func (d *Daemon) walHealthy() error {
+	if d.frozen {
+		return fmt.Errorf("server: mutations disabled, run handed off at tick %d", d.m.NextTick())
+	}
 	if d.walErr != nil {
 		return fmt.Errorf("server: mutations disabled, wal diverged: %w", d.walErr)
 	}
@@ -396,18 +481,30 @@ func (d *Daemon) walHealthy() error {
 // state the machine is actually in.
 func (d *Daemon) journalMutation(mut Mutation) error {
 	d.journal = append(d.journal, mut)
-	if d.wal == nil {
-		return nil
+	if d.wal != nil {
+		start := time.Now()
+		err := d.wal.Append(mut)
+		if d.metrics != nil {
+			d.metrics.walAppend.Observe(time.Since(start).Seconds())
+		}
+		if err != nil {
+			d.walErr = err
+			if d.metrics != nil {
+				d.metrics.walErrors.Inc()
+			}
+			return fmt.Errorf("server: mutation applied but not durable: %w", err)
+		}
 	}
-	start := time.Now()
-	err := d.wal.Append(mut)
-	if d.metrics != nil {
-		d.metrics.walAppend.Observe(time.Since(start).Seconds())
-	}
-	if err != nil {
-		d.walErr = err
-		return fmt.Errorf("server: mutation applied but not durable: %w", err)
-	}
+	// Replicate only after the mutation is durable (or durability is not
+	// armed): a follower must never hold a record the primary could
+	// still lose.
+	d.rep.publish(RepRecord{
+		Type:    "mut",
+		Index:   len(d.journal) - 1,
+		Mut:     &mut,
+		Tick:    mut.Tick,
+		Records: len(d.journal),
+	})
 	return nil
 }
 
@@ -526,9 +623,27 @@ func (d *Daemon) Result() *cluster.Result {
 	return d.m.Result()
 }
 
-// Close shuts the hub down, terminating every event subscription. The
-// machine itself needs no teardown.
-func (d *Daemon) Close() { d.hub.Close() }
+// Close shuts the hub and replication feed down, terminating every
+// event subscription and follower stream. Drain ordering matters: this
+// must run before http.Server.Shutdown, or a connected follower or
+// event subscriber would hold the drain open forever. The machine
+// itself needs no teardown.
+func (d *Daemon) Close() {
+	d.hub.Close()
+	d.rep.close()
+}
+
+// SubscribeEvents registers a hub subscriber and, atomically with the
+// subscription (under the tick lock, so no event can fall between),
+// returns the buffered history from tick `from` on. The handler
+// replays the history, then follows the live subscription — together a
+// gapless, duplicate-free resume as long as `from` is within the
+// retained window (eventHistory events, best effort beyond that).
+func (d *Daemon) SubscribeEvents(from, buffer int) ([]telemetry.Event, *Subscription) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.history.tail(from), d.hub.Subscribe(buffer)
+}
 
 // ServerState is one server's between-ticks control state.
 type ServerState struct {
@@ -644,6 +759,13 @@ type StatsView struct {
 	Subscribers     int   `json:"subscribers"`
 	JournalLen      int   `json:"journal_len"`
 
+	// WalOK is false once a WAL append has failed (the sticky error that
+	// disables mutations); WalError carries the failure text. A daemon
+	// refusing mutations is thus visible on the API surface, not only in
+	// logs.
+	WalOK    bool   `json:"wal_ok"`
+	WalError string `json:"wal_error,omitempty"`
+
 	// SubscriberStats details each live subscriber's backpressure:
 	// buffer capacity, current occupancy, and events dropped — the
 	// per-stream view behind the aggregate EventsDropped.
@@ -659,6 +781,7 @@ func (d *Daemon) Stats() StatsView {
 	done := d.m.Done()
 	journal := len(d.journal)
 	started := d.started
+	walErr := d.walErr
 	d.mu.Unlock()
 
 	published, dropped, subs := d.hub.Stats()
@@ -693,5 +816,15 @@ func (d *Daemon) Stats() StatsView {
 		Subscribers:     subs,
 		JournalLen:      journal,
 		SubscriberStats: d.hub.SubscriberStats(),
+
+		WalOK:    walErr == nil,
+		WalError: errText(walErr),
 	}
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }

@@ -28,7 +28,8 @@ type HandlerOptions struct {
 
 // NewHandler exposes a daemon over HTTP/JSON:
 //
-//	GET  /healthz      liveness + current tick
+//	GET  /healthz      readiness view: role, tick, wal health, gate
+//	                   saturation, replication subscribers (HealthView)
 //	GET  /metrics      Prometheus text exposition (wall-clock latency
 //	                   histograms + sim-time energy/hub series)
 //	GET  /v1/state     full hierarchy state at the tick boundary
@@ -40,7 +41,15 @@ type HandlerOptions struct {
 //	POST /v1/snapshot  returns the full snapshot JSON
 //	GET  /v1/events    telemetry stream, JSONL (or SSE with
 //	                   Accept: text/event-stream); ?kinds=budget,...
-//	                   filters; ?buffer=N sizes the subscription
+//	                   filters; ?buffer=N sizes the subscription;
+//	                   ?from=T replays retained history from tick T
+//	                   before going live (reconnect resume)
+//	GET  /v1/replicate NDJSON replication stream: spec record, journal
+//	                   backlog from ?from=<index>, then live mutations
+//	                   and tick heartbeats (hot-standby feed)
+//	POST /v1/handoff   freeze the run at the current tick boundary for
+//	                   a migration cutover; returns {tick, records}
+//	POST /v1/promote   409 on a primary (meaningful only on a follower)
 //
 // Handlers are safe for unbounded concurrency: reads and mutations
 // serialize on the daemon's tick lock (so they always see and land on
@@ -79,7 +88,8 @@ func NewHandlerOpts(d *Daemon, opts HandlerOptions) http.Handler {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "tick": d.NextTick()})
+		gh := g.health()
+		writeJSON(w, http.StatusOK, d.Health(&gh))
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		// Render into a buffer first: the exposition is small (a few KB)
@@ -148,6 +158,21 @@ func NewHandlerOpts(d *Daemon, opts HandlerOptions) http.Handler {
 	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Snapshot())
 	})
+	mux.HandleFunc("GET /v1/replicate", func(w http.ResponseWriter, r *http.Request) {
+		serveReplicate(d, w, r)
+	})
+	mux.HandleFunc("POST /v1/handoff", func(w http.ResponseWriter, r *http.Request) {
+		// Freeze the run at the current boundary for a migration cutover:
+		// the response names the final (tick, records) pair the follower
+		// must reach before promoting.
+		tick, records := d.Freeze()
+		writeJSON(w, http.StatusOK, map[string]any{"tick": tick, "records": records})
+	})
+	mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		// A full daemon is already the primary; promotion only means
+		// something on a follower (see NewFollowerHandler).
+		writeError(w, http.StatusConflict, fmt.Errorf("already primary"))
+	})
 	mux.HandleFunc("GET /v1/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(d, w, r)
 	})
@@ -157,7 +182,9 @@ func NewHandlerOpts(d *Daemon, opts HandlerOptions) http.Handler {
 // serveEvents streams telemetry to one subscriber until the client
 // disconnects or the hub shuts down. The subscription buffer bounds
 // what a slow client costs: overflow drops events for this stream only
-// and the tick loop never blocks.
+// and the tick loop never blocks. With ?from=<tick>, retained history
+// from that tick on is replayed before the live feed — the resume path
+// a reconnecting subscriber (or follower surviving link loss) uses.
 func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
 	keep := telemetry.AllKinds
 	if q := r.URL.Query().Get("kinds"); q != "" {
@@ -176,9 +203,24 @@ func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
 		}
 		buffer = v
 	}
+	from := -1
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", q))
+			return
+		}
+		from = v
+	}
 	sse := r.Header.Get("Accept") == "text/event-stream"
 
-	sub := d.Hub().Subscribe(buffer)
+	var history []telemetry.Event
+	var sub *Subscription
+	if from >= 0 {
+		history, sub = d.SubscribeEvents(from, buffer)
+	} else {
+		sub = d.Hub().Subscribe(buffer)
+	}
 	defer d.Hub().Unsubscribe(sub)
 
 	if sse {
@@ -193,6 +235,38 @@ func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
 		flusher.Flush() // commit headers so clients see the stream open
 	}
 
+	writeEvent := func(ev telemetry.Event) bool {
+		if !keep.Has(ev.Kind) {
+			return true
+		}
+		line, err := telemetry.Encode(ev)
+		if err != nil {
+			return true
+		}
+		if sse {
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
+				return false
+			}
+		} else {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return false
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	// Replay retained history first (?from=): the subscription was taken
+	// atomically with the history snapshot, so the splice is gapless and
+	// duplicate-free.
+	for _, ev := range history {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+
 	for {
 		select {
 		case <-r.Context().Done():
@@ -203,24 +277,8 @@ func serveEvents(d *Daemon, w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			if !keep.Has(ev.Kind) {
-				continue
-			}
-			line, err := telemetry.Encode(ev)
-			if err != nil {
-				continue
-			}
-			if sse {
-				if _, err := fmt.Fprintf(w, "data: %s\n\n", line); err != nil {
-					return
-				}
-			} else {
-				if _, err := w.Write(append(line, '\n')); err != nil {
-					return
-				}
-			}
-			if flusher != nil {
-				flusher.Flush()
+			if !writeEvent(ev) {
+				return
 			}
 		}
 	}

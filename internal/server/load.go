@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -76,8 +77,11 @@ type LoadReport struct {
 	Timeouts int
 	Rejected int
 	// Events is the number of telemetry events the Stream subscriber
-	// received (0 when Stream was off).
-	Events int
+	// received (0 when Stream was off); Reconnects how many times it had
+	// to re-establish the stream and resume (?from=) after a broken
+	// connection.
+	Events     int
+	Reconnects int
 	// Latency holds per-request wall-clock seconds in logarithmic
 	// buckets from 10 µs up.
 	Latency *metrics.Histogram
@@ -109,6 +113,7 @@ func (r *LoadReport) Table(title string) *metrics.Table {
 	tb.AddRow("latency p99", fmt.Sprintf("%.2f ms", r.Latency.Quantile(0.99)*1e3))
 	tb.AddRow("latency max", fmt.Sprintf("%.2f ms", r.Latency.Max()*1e3))
 	tb.AddRow("events streamed", fmt.Sprintf("%d", r.Events))
+	tb.AddRow("stream reconnects", fmt.Sprintf("%d", r.Reconnects))
 	return tb
 }
 
@@ -173,14 +178,14 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	events := 0
+	events, reconnects := 0, 0
 	var streamWG sync.WaitGroup
 	if opts.Stream {
 		ready := make(chan struct{})
 		streamWG.Add(1)
 		go func() {
 			defer streamWG.Done()
-			events = streamEvents(runCtx, hc, opts.BaseURL, ready)
+			events, reconnects = streamEvents(runCtx, hc, opts.BaseURL, ready)
 		}()
 		select {
 		case <-ready: // stream open before the hammering starts
@@ -221,7 +226,7 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	report := &LoadReport{ByPath: map[string]int{}, Latency: hist, Elapsed: elapsed, Events: events}
+	report := &LoadReport{ByPath: map[string]int{}, Latency: hist, Elapsed: elapsed, Events: events, Reconnects: reconnects}
 	for _, r := range results {
 		report.Errors += r.errors
 		report.Retries += r.retries
@@ -411,43 +416,100 @@ func doRequest(ctx context.Context, hc *http.Client, cfg clientConfig, path stri
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		return 0, 0, err
 	}
-	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
-		retryAfter = time.Duration(secs) * time.Second
-	}
-	return resp.StatusCode, retryAfter, nil
+	return resp.StatusCode, parseRetryAfter(resp.Header.Get("Retry-After")), nil
 }
 
-// streamEvents subscribes to /v1/events and counts lines until ctx
-// cancels or the daemon closes the stream. It closes ready once the
-// response headers arrive (the subscription exists from then on).
-func streamEvents(ctx context.Context, hc *http.Client, base string, ready chan<- struct{}) int {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events", nil)
-	if err != nil {
-		close(ready)
+// parseRetryAfter turns a Retry-After header into a backoff duration.
+// Servers in the wild send garbage — empty strings, HTTP dates, floats,
+// negatives — and a load generator must treat all of it as "no hint"
+// (zero), never panic or sleep on a bogus value.
+func parseRetryAfter(header string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || secs < 0 {
 		return 0
 	}
+	return time.Duration(secs) * time.Second
+}
+
+// streamEvents subscribes to /v1/events and counts events until ctx
+// cancels. A broken stream — daemon restart, failover cutover, link
+// loss — is survived, not surrendered to: the subscriber reconnects and
+// resumes with ?from=<last tick heard>, replaying the daemon's retained
+// history so tick coverage stays gapless (the boundary tick itself may
+// be double-counted; a resumed count errs toward overlap, never holes).
+// It closes ready once the first connection attempt resolves.
+func streamEvents(ctx context.Context, hc *http.Client, base string, ready chan<- struct{}) (events, reconnects int) {
 	// Streaming must outlive the per-request timeout of the pooled
 	// client; rely on ctx for cancellation instead.
 	streamClient := &http.Client{Transport: hc.Transport}
-	resp, err := streamClient.Do(req)
-	if err != nil {
-		close(ready)
-		return 0
-	}
-	defer resp.Body.Close()
-	close(ready)
-	if resp.StatusCode != http.StatusOK {
-		return 0
-	}
-	count := 0
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
-			count++
+	readyOnce := sync.OnceFunc(func() { close(ready) })
+	defer readyOnce()
+
+	lastTick := -1
+	connects := 0
+	for {
+		if ctx.Err() != nil {
+			return events, reconnects
+		}
+		url := base + "/v1/events"
+		if lastTick >= 0 {
+			url += "?from=" + strconv.Itoa(lastTick)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return events, reconnects
+		}
+		resp, err := streamClient.Do(req)
+		readyOnce()
+		if err != nil {
+			if !sleepStream(ctx) {
+				return events, reconnects
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// The daemon itself refused the subscription; retrying the same
+			// request cannot end differently.
+			resp.Body.Close()
+			return events, reconnects
+		}
+		connects++
+		if connects > 1 {
+			reconnects++
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			events++
+			var ev struct {
+				Tick int `json:"tick"`
+			}
+			if json.Unmarshal(line, &ev) == nil && ev.Tick > lastTick {
+				lastTick = ev.Tick
+			}
+		}
+		resp.Body.Close()
+		if !sleepStream(ctx) {
+			return events, reconnects
 		}
 	}
-	return count
+}
+
+// sleepStream pauses briefly between stream reconnect attempts; false
+// means ctx ended first.
+func sleepStream(ctx context.Context) bool {
+	t := time.NewTimer(200 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 func decodeBody(r io.Reader, dst any) error {

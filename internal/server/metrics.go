@@ -39,6 +39,11 @@ type daemonMetrics struct {
 	snapshot      *obs.Histogram
 	walAppend     *obs.Histogram
 
+	// walErrors counts failed WAL appends — the sticky condition that
+	// disables mutations — so a diverged daemon is scrapeable, not just
+	// greppable.
+	walErrors *obs.Counter
+
 	// ring holds cumulative fleet energy totals at each recent tick
 	// boundary, newest last; guarded by the daemon's tick lock. samples
 	// counts lifetime pushes so the window start is known before the
@@ -71,6 +76,8 @@ func newDaemonMetrics() *daemonMetrics {
 			"wall-clock time to serialize and write a snapshot", obs.LatencyBuckets),
 		walAppend: reg.Histogram("willow_wal_append_seconds",
 			"wall-clock time to frame, append, and fsync one WAL record", obs.LatencyBuckets),
+		walErrors: reg.Counter("willow_wal_errors_total",
+			"failed WAL appends (mutations are refused once this is nonzero)"),
 	}
 }
 
@@ -295,6 +302,9 @@ func (d *Daemon) WriteMetrics(w io.Writer) error {
 	e.Sample("willow_hub_dropped_total", nil, float64(dropped))
 	e.Family("willow_hub_subscribers", "gauge", "live event subscribers")
 	e.Sample("willow_hub_subscribers", nil, float64(subscribers))
+
+	e.Family("willow_replication_subscribers", "gauge", "connected /v1/replicate followers")
+	e.Sample("willow_replication_subscribers", nil, float64(d.rep.count()))
 
 	subs := d.hub.SubscriberStats()
 	e.Family("willow_hub_subscriber_queue", "gauge", "buffered events per subscriber")

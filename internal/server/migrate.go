@@ -1,0 +1,196 @@
+package server
+
+// Live cluster migration: moving a running willowd between processes
+// (or hosts) with zero state divergence, built entirely from the
+// replication primitives. The cutover sequence is:
+//
+//  1. Wait for the target follower to report caught_up — handing off to
+//     a cold standby would stall the run for the whole catch-up.
+//  2. POST /v1/handoff on the source: the run freezes at a tick
+//     boundary (tick T, records R) and further mutations are refused,
+//     so the journal is final. The frozen heartbeat carries (T, R) to
+//     the follower over the replication stream.
+//  3. Wait for the follower to hold all R records durably and reach
+//     resume tick T — at that instant it provably owns the complete
+//     run.
+//  4. POST /v1/promote on the target and verify it resumed at exactly
+//     T with R records. Determinism does the rest: the promoted daemon
+//     re-executes from T bit-for-bit identically to a run that never
+//     moved.
+//
+// The source keeps serving reads (state, stats, metrics, its share of
+// the event stream) while frozen; it is shut down at the operator's
+// leisure after the cutover.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// MigrationOptions configures one live migration.
+type MigrationOptions struct {
+	// Source is the running primary's base URL; Target the follower's.
+	Source string
+	Target string
+	// Client issues the control requests (default http.DefaultClient).
+	Client *http.Client
+	// Poll is the health-poll interval while waiting for catch-up
+	// (default 25 ms); Timeout bounds each wait phase (default 30 s).
+	Poll    time.Duration
+	Timeout time.Duration
+}
+
+// MigrationReport is what a completed cutover did.
+type MigrationReport struct {
+	// HandoffTick/HandoffRecords are the boundary the source froze at.
+	HandoffTick    int `json:"handoff_tick"`
+	HandoffRecords int `json:"handoff_records"`
+	// PromotedTick is the boundary the target resumed at (equals
+	// HandoffTick on success — RunMigration fails otherwise).
+	PromotedTick int `json:"promoted_tick"`
+	// Elapsed is the wall-clock cutover time, handoff to promotion.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// RunMigration performs the full cutover described in the package
+// comment and verifies the boundary accounting at every step.
+func RunMigration(ctx context.Context, opts MigrationOptions) (*MigrationReport, error) {
+	if opts.Source == "" || opts.Target == "" {
+		return nil, fmt.Errorf("server: migration needs source and target URLs")
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 25 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+
+	// Phase 1: the follower must be warm before the run freezes.
+	if err := waitHealth(ctx, opts, "catch-up", func(h HealthView) error {
+		if h.Replication == nil {
+			return fmt.Errorf("target %s is not a follower", opts.Target)
+		}
+		if !h.Replication.CaughtUp {
+			return fmt.Errorf("lagging %d records / %d ticks",
+				h.Replication.LagRecords, h.Replication.LagTicks)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: freeze the source at a tick boundary.
+	start := time.Now()
+	var handoff struct {
+		Tick    int `json:"tick"`
+		Records int `json:"records"`
+	}
+	if err := postJSONInto(ctx, opts.Client, opts.Source+"/v1/handoff", &handoff); err != nil {
+		return nil, fmt.Errorf("server: handoff: %w", err)
+	}
+
+	// Phase 3: the follower must hold the complete frozen run.
+	if err := waitHealth(ctx, opts, "drain to handoff boundary", func(h HealthView) error {
+		if h.Replication == nil {
+			return fmt.Errorf("target %s is not a follower", opts.Target)
+		}
+		if h.Replication.Records < handoff.Records || h.Replication.ResumeTick < handoff.Tick {
+			return fmt.Errorf("at tick %d/%d, records %d/%d",
+				h.Replication.ResumeTick, handoff.Tick, h.Replication.Records, handoff.Records)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: promote and verify the boundary moved intact.
+	var promoted struct {
+		Tick    int `json:"tick"`
+		Records int `json:"records"`
+	}
+	if err := postJSONInto(ctx, opts.Client, opts.Target+"/v1/promote", &promoted); err != nil {
+		return nil, fmt.Errorf("server: promote: %w", err)
+	}
+	if promoted.Tick != handoff.Tick || promoted.Records != handoff.Records {
+		return nil, fmt.Errorf("server: cutover mismatch: handed off (tick %d, records %d) but target resumed (tick %d, records %d)",
+			handoff.Tick, handoff.Records, promoted.Tick, promoted.Records)
+	}
+	return &MigrationReport{
+		HandoffTick:    handoff.Tick,
+		HandoffRecords: handoff.Records,
+		PromotedTick:   promoted.Tick,
+		Elapsed:        time.Since(start),
+	}, nil
+}
+
+// waitHealth polls the target's /healthz until check passes, one wait
+// phase's timeout expires, or ctx ends. The last check failure is
+// folded into the timeout error so the operator sees what never became
+// true.
+func waitHealth(ctx context.Context, opts MigrationOptions, phase string, check func(HealthView) error) error {
+	deadline := time.Now().Add(opts.Timeout)
+	var last error
+	for {
+		var h HealthView
+		err := getJSONInto(ctx, opts.Client, opts.Target+"/healthz", &h)
+		if err == nil {
+			if err = check(h); err == nil {
+				return nil
+			}
+		}
+		last = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: migration %s timed out after %s: %w", phase, opts.Timeout, last)
+		}
+		t := time.NewTimer(opts.Poll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func getJSONInto(ctx context.Context, hc *http.Client, url string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(hc, req, dst)
+}
+
+func postJSONInto(ctx context.Context, hc *http.Client, url string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(nil))
+	if err != nil {
+		return err
+	}
+	return doJSON(hc, req, dst)
+}
+
+func doJSON(hc *http.Client, req *http.Request, dst any) error {
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: status %d: %s", req.Method, req.URL, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if dst == nil {
+		return nil
+	}
+	return decodeBody(bytes.NewReader(body), dst)
+}

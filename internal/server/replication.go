@@ -1,0 +1,296 @@
+package server
+
+// Primary-side hot-standby replication. The WAL (wal.go) made one
+// daemon's mutation history durable; replication streams that same
+// history — the spec record plus every journaled mutation, in exactly
+// the order they were framed on disk — to follower daemons over
+// GET /v1/replicate, so a standby can hold a byte-identical copy of
+// the run and take over on promotion without losing anything the
+// primary ever acknowledged.
+//
+// Wire format: NDJSON, one RepRecord per line.
+//
+//	{"type":"spec","spec":{...},"tick":T,"records":N}   stream opener
+//	{"type":"mut","index":i,"mut":{...},"tick":T,...}   journal entry i
+//	{"type":"hb","tick":T,"records":N,...}              tick heartbeat
+//
+// Ordering contract: a mutation record is published only after the
+// primary made it durable (WAL fsync) — a follower can never observe
+// state the primary could lose — and the heartbeat for tick T is
+// published after the primary flushed its telemetry stream for tick T,
+// so a follower that has heard "tick T, records N" and holds N durable
+// records may safely resume at boundary T: determinism re-executes
+// everything beyond it bit for bit (the PR 8 recovery argument, over
+// the network).
+//
+// Backpressure: each replication subscriber gets a bounded buffer. A
+// follower too slow to drain it is disconnected rather than silently
+// skipped — record loss must be visible as a dropped connection, which
+// the follower heals by reconnecting with ?from=<durable count>. The
+// resume cursor is a journal index, so catch-up never re-sends what
+// the follower already fsync'd.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// repBuffer bounds one replication subscriber's in-flight records. A
+// burst larger than this (a follower stalled mid-catch-up) drops the
+// connection; the follower resumes from its durable cursor.
+const repBuffer = 256
+
+// RepRecord is one line of the /v1/replicate NDJSON stream.
+type RepRecord struct {
+	// Type discriminates: "spec" (stream opener), "mut" (one journal
+	// entry), "hb" (tick heartbeat).
+	Type string `json:"type"`
+	// Spec is the run spec ("spec" records only) — the same JSON the
+	// WAL's header record carries.
+	Spec *Spec `json:"spec,omitempty"`
+	// Index is the journal position of a "mut" record (0-based), the
+	// follower's resume cursor.
+	Index int `json:"index,omitempty"`
+	// Mut is the journal entry ("mut" records only).
+	Mut *Mutation `json:"mut,omitempty"`
+	// Tick is the primary's tick boundary when the record was produced.
+	Tick int `json:"tick"`
+	// Records is the primary's journal length at that boundary.
+	Records int `json:"records"`
+	// Done reports the primary's run has completed every configured
+	// tick; Frozen that it handed off (tick loop stopped for migration).
+	Done   bool `json:"done,omitempty"`
+	Frozen bool `json:"frozen,omitempty"`
+}
+
+// repFeed fans replication records out to the /v1/replicate handlers.
+// Like the telemetry Hub it never blocks the tick loop, but unlike the
+// Hub it may not silently drop: an overflowing subscriber is closed, so
+// the follower sees a broken stream and reconnects from its cursor.
+type repFeed struct {
+	mu     sync.Mutex
+	subs   map[*repSub]struct{}
+	closed bool
+}
+
+// repSub is one replication subscriber's bounded record feed; C closes
+// on overflow or feed shutdown.
+type repSub struct {
+	C chan RepRecord
+}
+
+func newRepFeed() *repFeed {
+	return &repFeed{subs: map[*repSub]struct{}{}}
+}
+
+// publish delivers rec to every subscriber, disconnecting any whose
+// buffer is full. Called under the daemon's tick lock, so records reach
+// every subscriber in journal order.
+func (f *repFeed) publish(rec RepRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for s := range f.subs {
+		select {
+		case s.C <- rec:
+		default:
+			// Slow follower: a gap would be silent corruption, a closed
+			// stream is a visible retry. Close wins.
+			delete(f.subs, s)
+			close(s.C)
+		}
+	}
+}
+
+// subscribe registers a new bounded subscriber.
+func (f *repFeed) subscribe() *repSub {
+	s := &repSub{C: make(chan RepRecord, repBuffer)}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		close(s.C)
+		return s
+	}
+	f.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe removes a subscriber; harmless if already disconnected.
+func (f *repFeed) unsubscribe(s *repSub) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.subs[s]; !ok {
+		return
+	}
+	delete(f.subs, s)
+	close(s.C)
+}
+
+// close terminates every subscriber; idempotent. Part of Daemon.Close,
+// which must run before http.Server.Shutdown so a connected follower
+// cannot hold the drain open.
+func (f *repFeed) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for s := range f.subs {
+		delete(f.subs, s)
+		close(s.C)
+	}
+}
+
+// count returns the live replication subscriber count.
+func (f *repFeed) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// repSnapshot is the consistent view a new replication subscriber
+// starts from: everything it must send before switching to the live
+// feed.
+type repSnapshot struct {
+	spec    Spec
+	backlog []Mutation // journal[from:]
+	from    int        // index of backlog[0]
+	tick    int
+	records int
+	done    bool
+	frozen  bool
+}
+
+// subscribeReplication atomically snapshots the journal suffix from
+// index `from` and registers a live subscriber, under the tick lock so
+// no mutation can land between the two — the snapshot plus the feed is
+// gapless and duplicate records are detectable by index alone.
+func (d *Daemon) subscribeReplication(from int) (repSnapshot, *repSub, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if from < 0 || from > len(d.journal) {
+		return repSnapshot{}, nil, fmt.Errorf("server: replicate from=%d outside journal [0, %d]", from, len(d.journal))
+	}
+	snap := repSnapshot{
+		spec:    d.spec,
+		backlog: append([]Mutation(nil), d.journal[from:]...),
+		from:    from,
+		tick:    d.m.NextTick(),
+		records: len(d.journal),
+		done:    d.m.Done(),
+		frozen:  d.frozen,
+	}
+	return snap, d.rep.subscribe(), nil
+}
+
+// Freeze stops the daemon at the current tick boundary for a migration
+// handoff: the tick driver steps no further and every subsequent
+// mutation is refused, so the journal is final. The frozen boundary is
+// announced on the replication feed (heartbeat with Frozen set), which
+// is what lets a follower prove it holds the complete run. Freeze is
+// idempotent and returns the frozen tick and journal length.
+func (d *Daemon) Freeze() (tick, records int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frozen = true
+	tick, records = d.m.NextTick(), len(d.journal)
+	d.rep.publish(RepRecord{
+		Type: "hb", Tick: tick, Records: records,
+		Done: d.m.Done(), Frozen: true,
+	})
+	return tick, records
+}
+
+// Frozen reports whether a handoff has stopped the tick loop.
+func (d *Daemon) Frozen() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frozen
+}
+
+// serveReplicate streams the run's durable history — spec, journal
+// backlog from ?from, then live records — as NDJSON until the client
+// disconnects, the subscriber overflows, or the daemon drains.
+func serveReplicate(d *Daemon, w http.ResponseWriter, r *http.Request) {
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", q))
+			return
+		}
+		from = v
+	}
+	snap, sub, err := d.subscribeReplication(from)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer d.rep.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	send := func(rec RepRecord) bool {
+		if err := enc.Encode(rec); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if !send(RepRecord{Type: "spec", Spec: &snap.spec, Tick: snap.tick, Records: snap.records}) {
+		return
+	}
+	sent := snap.from
+	for i, mut := range snap.backlog {
+		m := mut
+		if !send(RepRecord{Type: "mut", Index: snap.from + i, Mut: &m, Tick: m.Tick, Records: snap.records}) {
+			return
+		}
+		sent = snap.from + i + 1
+	}
+	// Initial heartbeat: the follower learns the primary's boundary even
+	// on a quiet run, so resume ticks advance without waiting for the
+	// next step.
+	if !send(RepRecord{Type: "hb", Tick: snap.tick, Records: snap.records, Done: snap.done, Frozen: snap.frozen}) {
+		return
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case rec, ok := <-sub.C:
+			if !ok {
+				return // feed closed (drain) or this subscriber overflowed
+			}
+			if rec.Type == "mut" {
+				if rec.Index < sent {
+					continue // already sent from the backlog snapshot
+				}
+				if rec.Index > sent {
+					// A gap can only mean this subscriber missed records
+					// (should be impossible — overflow closes the channel);
+					// drop the connection rather than ship a hole.
+					return
+				}
+				sent = rec.Index + 1
+			}
+			if !send(rec) {
+				return
+			}
+		}
+	}
+}
