@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke failover-smoke experiments report fuzz examples clean
+.PHONY: all build vet test race ci cover bench bench-smoke bench-baseline scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke failover-smoke bakeoff-smoke experiments report fuzz examples clean
 
 all: build test
 
@@ -37,8 +37,12 @@ race:
 # seeded points mid-run and requires recovery to be byte-identical to
 # an uninterrupted run. failover-smoke promotes a hot standby through
 # seeded kill/partition cycles and a scripted live migration, again
-# requiring byte-identity with the unmoved run.
-ci: build vet test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke failover-smoke
+# requiring byte-identity with the unmoved run. bakeoff-smoke pins the
+# controller-policy seam: willow byte-identical to the default
+# controller, the bake-off table deterministic across worker counts
+# with the robust policies holding the true-temperature cap, and the
+# policy-dispatch benchmark through the allocation guard.
+ci: build vet test race bench-smoke scale-smoke chaos-smoke sensor-smoke serve-smoke obs-smoke crash-smoke failover-smoke bakeoff-smoke
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -125,6 +129,18 @@ failover-smoke:
 	$(GO) test -race -count=1 -run 'TestReplicat|TestFollower|TestPromote|TestMigration|TestDrain|TestRetryAfter|TestEventsFrom|TestEventRing' ./internal/server
 	./scripts/failover_smoke.sh
 
+# Policy gate: the willow byte-identity pin and shard invariance of the
+# stateful policies at 1k-server scale, the bake-off smoke (robust
+# policies must hold the true 70 °C cap under machine+sensor chaos) and
+# its worker-count determinism pin, then the policy-dispatch benchmark
+# through the allocation guard — the willow row must hold the
+# nil-policy BenchmarkFleetTick/1k profile.
+bakeoff-smoke:
+	$(GO) test -count=1 -run 'TestPolicyWillowIdentity|TestPolicyShardInvariance' ./internal/cluster
+	$(GO) test -count=1 -run 'TestBakeoffSmoke|TestBakeoffDeterminism' ./internal/exp
+	$(GO) test -run '^$$' -bench '^BenchmarkFleetTickPolicy$$' -benchtime 10x -benchmem ./internal/cluster > bakeoff_smoke.txt
+	$(GO) run ./internal/tools/benchguard -input bakeoff_smoke.txt -baseline docs/bench_baseline.txt
+
 # Regenerate the full evaluation section at full fidelity.
 experiments:
 	$(GO) run ./cmd/willow-exp -all
@@ -143,6 +159,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/telemetry
 	$(GO) test -fuzz=FuzzChaosSchedule -fuzztime=10s ./internal/chaos
 	$(GO) test -fuzz=FuzzSensorSpec -fuzztime=10s ./internal/sensor
+	$(GO) test -fuzz=FuzzPolicySpec -fuzztime=10s ./internal/policy
 	$(GO) test -fuzz=FuzzIncrementalAggregation -fuzztime=10s ./internal/core
 
 examples:
@@ -154,4 +171,4 @@ examples:
 	$(GO) run ./examples/failover
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt scale_smoke.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_smoke.txt scale_smoke.txt bakeoff_smoke.txt

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"willow/internal/exp"
+	"willow/internal/policy"
 	"willow/internal/telemetry"
 )
 
@@ -44,13 +45,19 @@ func main() {
 		chaosSpec    = flag.String("chaos", "", "chaos schedule for fault-injecting experiments, e.g. \"medium\" or \"light,pmu-mtbf=400\" (the resilience experiment runs it against the fail-free baseline)")
 		chaosSeed    = flag.Uint64("chaos-seed", 0, "seed for chaos schedule expansion (0 = fixed default)")
 		sensorSpec   = flag.String("sensor-chaos", "", "sensor-fault spec for the sensing experiment, e.g. \"heavy\" or \"light,dropout=1\" (replaces its intensity ladder)")
+		policySpec   = flag.String("policy", "", "controller policy for every run, e.g. \"integral\" or \"mpc,horizon=8\" (the bakeoff experiments ignore it and run all policies)")
 	)
 	flag.Parse()
 
+	if *policySpec != "" {
+		if _, err := policy.ParseSpec(*policySpec); err != nil {
+			fatal(err)
+		}
+	}
 	opts := exp.Options{
 		Quick: *quick, Seed: *seed, Replications: *reps, Workers: *workers,
 		ChaosSpec: *chaosSpec, ChaosSeed: *chaosSeed,
-		SensorSpec: *sensorSpec,
+		SensorSpec: *sensorSpec, PolicySpec: *policySpec,
 	}
 	if *events != "" {
 		sinks, err := eventSinkFactory(*events, *eventsFilter, *reps)

@@ -22,6 +22,7 @@ import (
 	"willow/internal/cluster"
 	"willow/internal/config"
 	"willow/internal/metrics"
+	"willow/internal/policy"
 	"willow/internal/power"
 	"willow/internal/telemetry"
 	"willow/internal/trace"
@@ -46,6 +47,7 @@ func main() {
 		sensorSpec   = flag.String("sensor-chaos", "", "inject seeded sensor faults: preset and/or k=v overrides, e.g. \"heavy\" or \"light,dropout=1\" (see internal/sensor)")
 		sensorNaive  = flag.Bool("sensor-naive", false, "disable the robust estimator under -sensor-chaos (trust every reading; unsafe baseline)")
 		energyOut    = flag.Bool("energy", false, "print the energy scoreboard and emit per-supply-window energy telemetry events")
+		policySpec   = flag.String("policy", "", "controller policy: willow (default), integral, or mpc, plus ,key=val knobs (see internal/policy)")
 	)
 	flag.Parse()
 
@@ -112,6 +114,13 @@ func main() {
 
 	if *energyOut {
 		cfg.Core.EnergyEvents = true
+	}
+
+	if *policySpec != "" {
+		if _, err := policy.ParseSpec(*policySpec); err != nil {
+			fatal(err)
+		}
+		cfg.Policy = *policySpec
 	}
 
 	var planLine string

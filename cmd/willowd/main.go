@@ -69,6 +69,7 @@ func run() error {
 		sensing     = flag.Bool("sensing", false, "arm the robust temperature estimator at boot (for live sensor chaos)")
 		energy      = flag.Bool("energy", false, "emit per-supply-window energy telemetry events (accounting is always on)")
 		tickSecs    = flag.Float64("tick-seconds", 0, "simulated seconds one tick models for joule conversion (0 = 1 s)")
+		policySpec  = flag.String("policy", "", "controller policy: willow (default), integral, or mpc, plus ,key=val knobs (see internal/policy)")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the API listener")
 
 		events       = flag.String("events", "", "stream every event as JSONL to this file (plus a .summary.txt report)")
@@ -159,6 +160,7 @@ func run() error {
 			Sensing:     *sensing,
 			Energy:      *energy,
 			TickSeconds: *tickSecs,
+			Policy:      *policySpec,
 		}
 		if spec.Fanout, err = parseFanout(*fanout); err != nil {
 			return err

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,7 +39,7 @@ func ParseSpec(spec string) (Schedule, error) {
 			}
 			preset, ok := presets[f]
 			if !ok {
-				return s, fmt.Errorf("chaos: unknown preset %q (want light, medium, heavy or a sensor-* counterpart)", f)
+				return s, fmt.Errorf("chaos: unknown preset %q (valid presets: %s)", f, strings.Join(Names(), ", "))
 			}
 			s = preset
 			continue
@@ -100,6 +101,17 @@ var presets = map[string]Schedule{
 		SensorNoise: 2.5, SensorBias: 8, SensorDrift: 0.5,
 		SensorStuck: 1, SensorDropout: 1,
 	},
+}
+
+// Names returns the valid preset names, sorted — the list surfaced by
+// unknown-preset errors and the CLIs' usage text.
+func Names() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // specKeys maps spec keys to their Schedule fields.

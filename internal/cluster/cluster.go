@@ -56,6 +56,14 @@ type Config struct {
 	Network netsim.Config
 	// Core configures the controller; zero fields take paper defaults.
 	Core core.Config
+	// Policy selects the controller policy by spec string
+	// (internal/policy.ParseSpec): "" or "willow" run the paper's
+	// proportional scheme byte-identically, "integral" and "mpc" swap in
+	// the alternative controllers, with ",key=val" tuning knobs.
+	// NewMachine builds a fresh stateful instance per machine, so Config
+	// values stay reusable across runs; an instance already planted in
+	// Core.Policy wins over this string.
+	Policy string
 	// Warmup ticks are excluded from averaged metrics; Ticks is the total
 	// run length.
 	Warmup, Ticks int

@@ -129,6 +129,19 @@ func goldenConfigs(t *testing.T) map[string]Config {
 	local.Core.LocalOnly = true
 	out["local-only"] = local
 
+	// The alternative controller policies, each under the sensor-medium
+	// plan their safety contract is written against. The willow policy
+	// needs no scenario of its own: TestPolicyWillowIdentity pins it
+	// byte-identical to every nil-policy scenario above.
+	for _, pol := range []string{"integral", "mpc"} {
+		cfg := shortConfig(0.7)
+		cfg.Policy = pol
+		if _, err := ApplySensorChaos(&cfg, "medium", 42); err != nil {
+			t.Fatal(err)
+		}
+		out["policy-"+pol] = cfg
+	}
+
 	return out
 }
 

@@ -29,6 +29,7 @@ import (
 	"willow/internal/dist"
 	"willow/internal/metrics"
 	"willow/internal/netsim"
+	"willow/internal/policy"
 	"willow/internal/power"
 	"willow/internal/queueing"
 	"willow/internal/sensor"
@@ -187,6 +188,13 @@ func NewMachine(cfg Config) (*Machine, error) {
 		}
 	}
 
+	if cfg.Policy != "" && cfg.Core.Policy == nil {
+		pol, err := policy.New(cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		cfg.Core.Policy = pol
+	}
 	ctrl, err := core.New(tree, specs, cfg.Supply, cfg.Core, src.Fork())
 	if err != nil {
 		return nil, err

@@ -83,6 +83,14 @@ func (c *Controller) computeChildAllocations(node *topo.Node, budget float64) []
 		floorSum += f
 	}
 
+	// Budget-division seam: a bound policy may take over the division
+	// entirely (core still clamps the result into the hard envelope); a
+	// declining policy falls through to the paper's three rounds below.
+	if c.pol != nil && c.pol.DivideBudget(node.Level, budget, demands, caps, floors, sc.alloc) {
+		clampDivision(sc.alloc, budget, caps)
+		return sc.alloc
+	}
+
 	// Round 0: static floors. An awake server draws its static power no
 	// matter what, so floors are funded before any dynamic demand. If
 	// even the floors exceed the budget the children split it floor-

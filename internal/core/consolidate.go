@@ -34,7 +34,9 @@ func (c *Controller) consolidate(t int) {
 		if c.failedPMUCount > 0 && c.underDeadPMU(s.Node) {
 			continue // a dead span cannot coordinate its own drain
 		}
-		if utilization(s) < c.Cfg.ConsolidateBelow {
+		// Consolidation-trigger seam (policy.go): the built-in rule
+		// drains servers running below the utilization threshold.
+		if c.consolidateEligible(s, utilization(s)) {
 			candidates = append(candidates, s)
 		}
 	}
@@ -66,7 +68,7 @@ func (c *Controller) consolidate(t int) {
 		// above the threshold, or slept it (it cannot have slept — only
 		// candidates sleep and each is visited once — but demand may have
 		// landed on it).
-		if victim.Asleep() || utilization(victim) >= c.Cfg.ConsolidateBelow {
+		if victim.Asleep() || !c.consolidateEligible(victim, utilization(victim)) {
 			continue
 		}
 		if len(c.awakeServers()) <= 1 {

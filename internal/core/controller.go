@@ -226,6 +226,10 @@ type Controller struct {
 	// always on, allocation-free, sequential in server order.
 	energy *energyAcc
 
+	// pol is the bound controller policy (Cfg.Policy); nil runs the
+	// built-in Willow scheme on every seam (policy.go).
+	pol Policy
+
 	// Phases, when non-nil, receives the wall-clock duration of the
 	// observe/allocate/consume tick phases. Wall-clock figures never
 	// enter the telemetry stream or any simulation state — they exist
@@ -350,6 +354,19 @@ func New(tree *topo.Tree, specs []ServerSpec, supply power.Supply, cfg Config, s
 	}
 	c.shardPlan = planShards(tree, cfg.Shards, numServers)
 	c.energy = newEnergyAcc(c)
+	if cfg.Policy != nil {
+		c.pol = cfg.Policy
+		c.hot.pol = cfg.Policy
+		c.pol.Bind(c)
+		// Construction primed the cached hard caps through the built-in
+		// Eq. 3 inversion (the policy was not bound yet); re-derive them
+		// so tick 0 already allocates against policy caps. A fully
+		// delegating policy recomputes the same pure function of TObs,
+		// keeping the bytes identical.
+		for _, s := range c.Servers {
+			s.refreshHardCap()
+		}
+	}
 	c.markAllDirty()
 	c.recountLiveUpLinks()
 	return c, nil

@@ -162,6 +162,14 @@ type Config struct {
 	// paper's naive per-Δ_D full recompute, kept as the testing oracle
 	// (and perf baseline) for the incremental path.
 	FullAggregation bool
+	// Policy plugs an alternative controller into the three control
+	// seams (see the Policy interface in policy.go). nil — the default
+	// — runs the paper's built-in proportional scheme bit for bit, as
+	// does a policy that delegates every hook (policy.Willow). A policy
+	// instance is stateful and owned by one Controller: build a fresh
+	// one per run (internal/policy.New) rather than sharing a Config
+	// value that embeds one.
+	Policy Policy
 }
 
 // Defaults returns the configuration used by the paper's simulation:

@@ -38,10 +38,12 @@ func (c *Controller) migrateDemand(t int) {
 	var items []item
 	for _, s := range c.Servers {
 		def := c.viewDeficit(s, window) - c.outboundFor(s)
-		if def <= c.Cfg.PMin {
+		// Migration-trigger seam (policy.go): the built-in rule peels
+		// when the deficit exceeds P_min, targeting deficit + P_min.
+		target := c.peelTarget(s, def)
+		if target <= 0 {
 			continue
 		}
-		target := def + c.Cfg.PMin
 		var peeled float64
 		for _, a := range s.Apps.SortedByMeanDesc() {
 			if peeled >= target {

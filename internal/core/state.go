@@ -58,6 +58,12 @@ type fleetHot struct {
 	// its direct children at the next synchronous aggregation. Leaf
 	// slots are unused.
 	dirty []bool
+
+	// pol mirrors Controller.pol for the throttle seam: refreshHardCap
+	// is a Server method with no controller reference, so the bound
+	// policy rides on the shared slab. nil keeps the built-in Eq. 3
+	// inversion.
+	pol Policy
 }
 
 func newFleetHot(servers, nodes int) *fleetHot {
@@ -147,19 +153,23 @@ func (s *Server) setTObs(v float64) {
 }
 
 // refreshHardCap recomputes the cached hard cap from the current TObs.
-// The arithmetic replicates thermal.Model.PowerLimit with the decay
-// factor e^(−c2·Δs) precomputed at construction — math.Exp is a pure
-// function, so the cached factor is bit-identical to the inline call.
+// The thermal component is the per-server throttle seam: a bound policy
+// may replace the Eq. 3 one-step inversion with its own cap (clamped
+// non-negative); the built-in path and declining policies compute
+// Eq3Limit.
 func (s *Server) refreshHardCap() {
-	m := s.Thermal.Model
 	var lim float64
-	if s.capDen <= 0 {
-		lim = math.Inf(1)
-	} else {
-		lim = m.C2 * (m.Limit - m.Ambient - (s.hot.tobs[s.idx]-m.Ambient)*s.capDecay) / s.capDen
-		if lim < 0 {
-			lim = 0
+	if p := s.hot.pol; p != nil {
+		if v, ok := p.ThermalCap(s, s.hot.tobs[s.idx]); ok {
+			if v < 0 || v != v { // negative or NaN
+				v = 0
+			}
+			lim = v
+		} else {
+			lim = s.Eq3Limit(s.hot.tobs[s.idx])
 		}
+	} else {
+		lim = s.Eq3Limit(s.hot.tobs[s.idx])
 	}
 	s.hot.thermLim[s.idx] = lim
 	if s.CircuitLimit > 0 && s.CircuitLimit < lim {
@@ -170,6 +180,28 @@ func (s *Server) refreshHardCap() {
 	}
 	s.hot.hardCap[s.idx] = lim
 }
+
+// Eq3Limit returns the built-in Eq. 3 thermal power limit over the
+// configured adjustment window at an arbitrary observed temperature —
+// the safety envelope alternative throttle policies clamp to. The
+// arithmetic replicates thermal.Model.PowerLimit with the decay factor
+// e^(−c2·Δs) precomputed at construction — math.Exp is a pure function,
+// so the cached factor is bit-identical to the inline call.
+func (s *Server) Eq3Limit(tobs float64) float64 {
+	m := s.Thermal.Model
+	if s.capDen <= 0 {
+		return math.Inf(1)
+	}
+	lim := m.C2 * (m.Limit - m.Ambient - (tobs-m.Ambient)*s.capDecay) / s.capDen
+	if lim < 0 {
+		lim = 0
+	}
+	return lim
+}
+
+// Index returns the server's fleet index (= Node.ServerIndex) — how
+// policies address their per-server state slots.
+func (s *Server) Index() int { return s.idx }
 
 // --- Incremental supply/demand aggregation ----------------------------
 

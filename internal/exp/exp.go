@@ -58,6 +58,11 @@ type Options struct {
 	// intensity ladder for this one spec. Expansion is seeded by
 	// ChaosSeed, like ChaosSpec.
 	SensorSpec string
+	// PolicySpec, when non-empty, is a controller-policy specification
+	// (policy.ParseSpec) applied to every simulation an experiment
+	// runs — "" and "willow" are byte-identical. The bake-off family
+	// ignores it: it always runs all policies side by side.
+	PolicySpec string
 }
 
 func (o Options) seed(def uint64) uint64 {

@@ -42,6 +42,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-async", "ext-latency", "ext-transfer",
 		"ext-hetero", "ext-variance", "ext-failure",
 		"resilience", "sensing", "efficiency",
+		"bakeoff", "bakeoff-stress",
 	}
 	ids := map[string]bool{}
 	for _, id := range IDs() {

@@ -33,6 +33,9 @@ func shortenFor(opts Options) func(*cluster.Config) {
 		if opts.Seed != 0 {
 			c.Seed = opts.Seed
 		}
+		if opts.PolicySpec != "" {
+			c.Policy = opts.PolicySpec
+		}
 		c.Sink = opts.EventSink
 	}
 }

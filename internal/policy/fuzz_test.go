@@ -1,0 +1,39 @@
+package policy
+
+import "testing"
+
+// FuzzPolicySpec drives ParseSpec with arbitrary input: it must never
+// panic, and every accepted spec must render a canonical String that
+// re-parses to the identical Spec (round-trip stability is what lets
+// snapshots and replicas carry policy specs as plain strings).
+func FuzzPolicySpec(f *testing.F) {
+	f.Add("willow")
+	f.Add("integral")
+	f.Add("mpc")
+	f.Add("integral,ki=3,ki-hot=9,sched=2,margin=1")
+	f.Add("mpc,horizon=8,iters=20,rate=1,lambda=250,margin=2")
+	f.Add("integral,ki=1e300")
+	f.Add("mpc,horizon=2.5")
+	f.Add(",,willow,,")
+	f.Add("ki=3")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if again != s {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", spec, canon, again, s)
+		}
+		if again.String() != canon {
+			t.Fatalf("String not stable: %q then %q", canon, again.String())
+		}
+		if _, err := s.Build(); err != nil {
+			t.Fatalf("accepted spec %q does not build: %v", spec, err)
+		}
+	})
+}

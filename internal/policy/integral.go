@@ -1,0 +1,137 @@
+package policy
+
+import (
+	"math"
+
+	"willow/internal/core"
+)
+
+// IntegralGS is a gain-scheduled integral temperature controller in
+// the spirit of Rao et al. (see PAPERS.md): instead of inverting the
+// RC model for a one-window power limit, each server carries an
+// integrator that walks its thermal cap toward the power that holds
+// the observed temperature at a setpoint Margin °C below the limit.
+// The gain schedule uses Ki near the setpoint and the stiffer KiHot
+// once the error magnitude reaches Sched °C, so cold servers ramp up
+// and overheating servers back off quickly while the steady state
+// stays calm.
+//
+// Anti-windup is conditional integration against the budget lease
+// floor: the integrator is clamped to [LeaseFloor, min(peak, Eq. 3
+// envelope)], so a long cold period cannot wind the cap to absurd
+// heights and a long hot period cannot wind it below the static-plus-
+// fair-share power the lease layer will grant anyway. The Eq. 3 clamp
+// doubles as the safety guarantee: the emitted cap never exceeds the
+// envelope the built-in controller would enforce, so under robust
+// sensing (TObs ≥ true temperature) the true-temperature cap holds
+// wherever Willow's does.
+//
+// Saturation at the floor marks the server thermally squeezed; the
+// migration seams then shed work earlier (PeelTarget fires at half the
+// usual deficit threshold) and loosen the consolidation trigger so the
+// squeezed server can be drained and slept.
+//
+// All state is per-server, indexed by Server.Index, and the integrator
+// advances at most once per tick (guarded by lastTick), so the sharded
+// consume phase may call ThermalCap concurrently for distinct servers.
+type IntegralGS struct {
+	spec Spec
+	c    *core.Controller
+
+	cap      []float64 // integrator state: current thermal cap, watts
+	sat      []bool    // pinned at the lease floor this tick
+	lastTick []int     // last tick the integrator advanced, per server
+}
+
+func (g *IntegralGS) Spec() string { return g.spec.String() }
+
+func (g *IntegralGS) Bind(c *core.Controller) {
+	g.c = c
+	n := len(c.Servers)
+	g.cap = make([]float64, n)
+	g.sat = make([]bool, n)
+	g.lastTick = make([]int, n)
+	for i, s := range c.Servers {
+		// Start from the built-in one-window limit at the current
+		// observation so tick 0 allocates against a sane cap.
+		v := s.Eq3Limit(s.TObs())
+		if p := s.Power.Peak; v > p {
+			v = p
+		}
+		g.cap[i] = v
+		g.lastTick[i] = -1
+	}
+}
+
+// DivideBudget declines: budget division stays proportional; this
+// policy only reshapes the per-server caps the division respects.
+func (g *IntegralGS) DivideBudget(level int, budget float64, demands, caps, floors, alloc []float64) bool {
+	return false
+}
+
+func (g *IntegralGS) ThermalCap(s *core.Server, tobs float64) (float64, bool) {
+	i := s.Index()
+	env := s.Eq3Limit(tobs)
+	if t := g.c.Tick(); g.lastTick[i] != t {
+		g.lastTick[i] = t
+		m := s.Thermal.Model
+		err := (m.Limit - g.spec.Margin) - tobs
+		gain := g.spec.Ki
+		if math.Abs(err) >= g.spec.Sched {
+			gain = g.spec.KiHot
+		}
+		v := g.cap[i] + gain*err
+		hi := env
+		if p := s.Power.Peak; p < hi {
+			hi = p
+		}
+		floor := g.c.LeaseFloor(s)
+		if floor > hi {
+			floor = hi
+		}
+		g.sat[i] = false
+		if v <= floor {
+			v = floor
+			g.sat[i] = err < 0 // squeezed only when actually too hot
+		}
+		if v > hi {
+			v = hi
+		}
+		g.cap[i] = v
+	}
+	if v := g.cap[i]; v < env {
+		return v, true
+	}
+	// The envelope moved below the integrator between updates (the
+	// observation can change within a tick under resilient sensing);
+	// never emit a cap above it.
+	return env, true
+}
+
+// PeelTarget sheds load earlier from servers saturated at the lease
+// floor: the usual rule ignores deficits up to P_min, a squeezed server
+// peels anything above P_min/2.
+func (g *IntegralGS) PeelTarget(s *core.Server, deficit float64) (float64, bool) {
+	pmin := g.c.Cfg.PMin
+	if g.sat[s.Index()] {
+		if deficit <= pmin/2 {
+			return 0, true
+		}
+		return deficit + pmin, true
+	}
+	if deficit <= pmin {
+		return 0, true
+	}
+	return deficit + pmin, true
+}
+
+// ConsolidateEligible doubles the utilization threshold for squeezed
+// servers so they can be drained and slept instead of idling hot at
+// their floor.
+func (g *IntegralGS) ConsolidateEligible(s *core.Server, util float64) (bool, bool) {
+	th := g.c.Cfg.ConsolidateBelow
+	if g.sat[s.Index()] && util < 2*th {
+		return true, true
+	}
+	return util < th, true
+}

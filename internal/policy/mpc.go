@@ -1,0 +1,270 @@
+package policy
+
+import (
+	"math"
+
+	"willow/internal/core"
+)
+
+// MPC is a one-step receding-horizon controller over the repo's own RC
+// thermal model. Each tick, each server plans a power sequence
+// p[0..H-1] over the next H adjustment windows by minimizing
+//
+//	Σ_k (p_k − peak)²  +  λ · Σ_k max(0, T_{k+1} − Tset)²
+//
+// subject to 0 ≤ p_k ≤ peak, where temperatures roll forward through
+// the discrete RC step T_{k+1} = Ta + (T_k − Ta)·d + g·p_k with
+// d = e^(−c2·W) and g = (c1/c2)(1 − d) for window length W. The first
+// term pulls toward full throughput, the second charges for predicted
+// overshoot of the setpoint Tset = Limit − Margin. The problem is a
+// small box-constrained convex QP; a fixed-iteration projected-
+// gradient loop (Iters steps at a rate normalized by a Lipschitz
+// bound) solves it deterministically — no external solver, no
+// randomness, identical bytes for any worker count. Warm-starting from
+// last tick's plan makes a dozen iterations plenty.
+//
+// The applied cap is min(p_0, Eq. 3 envelope): the optimizer shapes
+// behavior, the paper's one-window inversion stays as a hard safety
+// clamp, so under robust sensing the true-temperature limit holds
+// wherever Willow's does.
+//
+// The plan's tail is not wasted: sustain = min_k p_k is the power the
+// server can hold all horizon long, and PeelTarget sheds load
+// preemptively when planned consumption exceeds it — migrations start
+// before the throttle bites instead of after.
+//
+// DivideBudget replaces proportional division with an equal-headroom
+// projection: allocations are clamp(demand_i + τ, floor_i, cap_i) with
+// τ chosen by bisection so the total meets the budget — the water-
+// filling dual of the QP's demand-tracking objective at the tree
+// levels above the servers.
+//
+// All mutable state is per-server, indexed by Server.Index, and the
+// solver runs at most once per tick per server (lastTick guard), so
+// the sharded consume phase may call ThermalCap concurrently for
+// distinct servers.
+type MPC struct {
+	spec Spec
+	c    *core.Controller
+
+	h        int       // horizon, windows
+	plan     []float64 // n×h warm-started power plans
+	over     []float64 // n×h per-iteration overshoot scratch
+	decay    []float64 // per-server d = e^(−c2·W)
+	gain     []float64 // per-server g = (c1/c2)(1 − d)
+	step     []float64 // per-server normalized gradient step
+	applied  []float64 // cap emitted at the last solve
+	sustain  []float64 // min_k p_k from the last solve
+	lastTick []int
+}
+
+func (m *MPC) Spec() string { return m.spec.String() }
+
+func (m *MPC) Bind(c *core.Controller) {
+	m.c = c
+	n := len(c.Servers)
+	m.h = int(m.spec.Horizon)
+	m.plan = make([]float64, n*m.h)
+	m.over = make([]float64, n*m.h)
+	m.decay = make([]float64, n)
+	m.gain = make([]float64, n)
+	m.step = make([]float64, n)
+	m.applied = make([]float64, n)
+	m.sustain = make([]float64, n)
+	m.lastTick = make([]int, n)
+	w := c.Cfg.ThermalWindow
+	for i, s := range c.Servers {
+		tm := s.Thermal.Model
+		d := math.Exp(-tm.C2 * w)
+		g := (tm.C1 / tm.C2) * (1 - d)
+		m.decay[i] = d
+		m.gain[i] = g
+		// Gradient Lipschitz bound: 2 from the tracking term plus
+		// 2λ‖A‖² for the penalty, with ‖A‖² ≤ g²·min(H, 1/(1−d²)) for
+		// the lower-triangular prediction matrix A_{kj} = g·d^(k−j).
+		reach := float64(m.h)
+		if d < 1 {
+			if r := 1 / (1 - d*d); r < reach {
+				reach = r
+			}
+		}
+		l := 2 + 2*m.spec.Lambda*g*g*reach
+		m.step[i] = m.spec.Rate / l
+		// Seed the plan at the current one-window limit so tick 0 is
+		// already feasible.
+		v := s.Eq3Limit(s.TObs())
+		if p := s.Power.Peak; v > p {
+			v = p
+		}
+		row := m.plan[i*m.h : (i+1)*m.h]
+		for k := range row {
+			row[k] = v
+		}
+		m.applied[i] = v
+		m.sustain[i] = v
+		m.lastTick[i] = -1
+	}
+}
+
+func (m *MPC) ThermalCap(s *core.Server, tobs float64) (float64, bool) {
+	i := s.Index()
+	env := s.Eq3Limit(tobs)
+	if t := m.c.Tick(); m.lastTick[i] != t {
+		m.lastTick[i] = t
+		m.solve(s, i, tobs)
+	}
+	v := m.applied[i]
+	if v > env {
+		v = env
+	}
+	return v, true
+}
+
+// solve runs the projected-gradient loop for server i from observation
+// tobs, updating the warm-started plan, applied cap and sustain floor.
+func (m *MPC) solve(s *core.Server, i int, tobs float64) {
+	tm := s.Thermal.Model
+	d, g, step := m.decay[i], m.gain[i], m.step[i]
+	peak := s.Power.Peak
+	tset := tm.Limit - m.spec.Margin
+	p := m.plan[i*m.h : (i+1)*m.h]
+	hb := m.over[i*m.h : (i+1)*m.h]
+	lam := m.spec.Lambda
+
+	for it := 0; it < int(m.spec.Iters); it++ {
+		// Forward pass: roll the RC model, record setpoint overshoot.
+		t := tobs
+		for k := 0; k < m.h; k++ {
+			t = tm.Ambient + (t-tm.Ambient)*d + g*p[k]
+			if ov := t - tset; ov > 0 {
+				hb[k] = ov
+			} else {
+				hb[k] = 0
+			}
+		}
+		// Backward pass: acc_k = Σ_{j≥k} h_j·d^(j−k) accumulates each
+		// overshoot's sensitivity to p_k in O(H); step and project.
+		acc := 0.0
+		for k := m.h - 1; k >= 0; k-- {
+			acc = hb[k] + acc*d
+			grad := 2*(p[k]-peak) + 2*lam*g*acc
+			v := p[k] - step*grad
+			if v < 0 {
+				v = 0
+			} else if v > peak {
+				v = peak
+			}
+			p[k] = v
+		}
+	}
+	m.applied[i] = p[0]
+	sus := p[0]
+	for k := 1; k < m.h; k++ {
+		if p[k] < sus {
+			sus = p[k]
+		}
+	}
+	m.sustain[i] = sus
+}
+
+// DivideBudget replaces the proportional rounds with an equal-headroom
+// projection: x_i = clamp(demand_i + τ, floor_i, cap_i), with τ found
+// by bisection so Σx meets min(budget, Σcaps). Falls back to the
+// built-in waterfill when even the floors exceed the budget.
+func (m *MPC) DivideBudget(level int, budget float64, demands, caps, floors, alloc []float64) bool {
+	var capSum, floorSum float64
+	for i := range caps {
+		c := caps[i]
+		if math.IsInf(c, 1) || c > 1e18 {
+			c = 1e18 // keep the bisection bracket finite
+		}
+		capSum += c
+		floorSum += floors[i]
+	}
+	if floorSum > budget {
+		return false
+	}
+	target := budget
+	if capSum < target {
+		target = capSum
+	}
+	// Σ clamp(d_i+τ, f_i, c_i) is monotone in τ; bracket τ so the ends
+	// pin every term at its floor / its cap.
+	lo, hi := 0.0, 0.0
+	for i := range demands {
+		if v := floors[i] - demands[i]; v < lo {
+			lo = v
+		}
+		c := caps[i]
+		if c > 1e18 {
+			c = 1e18
+		}
+		if v := c - demands[i]; v > hi {
+			hi = v
+		}
+	}
+	sum := func(tau float64) float64 {
+		var s float64
+		for i := range demands {
+			v := demands[i] + tau
+			if v < floors[i] {
+				v = floors[i]
+			}
+			if v > caps[i] {
+				v = caps[i]
+			}
+			s += v
+		}
+		return s
+	}
+	for it := 0; it < 64; it++ {
+		mid := (lo + hi) / 2
+		if sum(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the largest bracketed τ with Σ ≤ target: never over-commit
+	// the budget (core clamps again regardless).
+	for i := range demands {
+		v := demands[i] + lo
+		if v < floors[i] {
+			v = floors[i]
+		}
+		if v > caps[i] {
+			v = caps[i]
+		}
+		alloc[i] = v
+	}
+	return true
+}
+
+// PeelTarget peels preemptively: beyond the current deficit, any
+// planned consumption above the horizon-sustainable power counts as
+// deficit now, so migrations start before the predicted throttle
+// lands.
+func (m *MPC) PeelTarget(s *core.Server, deficit float64) (float64, bool) {
+	if s.Asleep() {
+		return 0, true
+	}
+	want := s.TP()
+	if cp := s.CP(); cp < want {
+		want = cp
+	}
+	def := deficit
+	if extra := want - m.sustain[s.Index()]; extra > 0 {
+		def += extra
+	}
+	pmin := m.c.Cfg.PMin
+	if def <= pmin {
+		return 0, true
+	}
+	return def + pmin, true
+}
+
+// ConsolidateEligible declines — the built-in utilization threshold
+// already composes with the predictive peel above.
+func (m *MPC) ConsolidateEligible(s *core.Server, util float64) (bool, bool) {
+	return false, false
+}

@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"willow", defaults["willow"]},
+		{"integral", defaults["integral"]},
+		{"mpc", defaults["mpc"]},
+		{" integral , ki=3 ", Spec{Name: "integral", Ki: 3, KiHot: 6, Sched: 4, Margin: 2}},
+		{"mpc,horizon=8,lambda=2000", Spec{Name: "mpc", Horizon: 8, Iters: 12, Rate: 0.8, Lambda: 2000, Margin: 1}},
+		{"integral,ki=2.5,ki-hot=9,sched=1,margin=0", Spec{Name: "integral", Ki: 2.5, KiHot: 9, Sched: 1, Margin: 0}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "empty spec"},
+		{"pid", "unknown policy \"pid\""},
+		{"pid", "integral, mpc, willow"}, // error lists the valid names
+		{"ki=3,integral", "must start with a policy name"},
+		{"integral,willow", "must come first"},
+		{"integral,horizon=4", "unknown key \"horizon\""},
+		{"willow,ki=1", "unknown key \"ki\""},
+		{"integral,ki=-1", "non-negative"},
+		{"integral,ki=NaN", "non-negative"},
+		{"integral,ki=+Inf", "non-negative"},
+		{"integral,ki=abc", "bad value"},
+		{"mpc,horizon=0", "horizon"},
+		{"mpc,horizon=2.5", "horizon"},
+		{"mpc,horizon=100", "horizon"},
+		{"mpc,iters=0", "iters"},
+		{"mpc,iters=1.5", "iters"},
+		{"mpc,rate=0", "rate"},
+		{"mpc,rate=5", "rate"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): expected error containing %q, got nil", tc.in, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSpec(%q) error %q does not contain %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"willow",
+		"integral",
+		"mpc",
+		"integral,ki=3",
+		"integral,ki=0.5,ki-hot=12,sched=2,margin=5",
+		"mpc,horizon=8",
+		"mpc,horizon=2,iters=40,rate=1.5,lambda=100,margin=3",
+	}
+	for _, in := range specs {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		if got := s.String(); got != in {
+			t.Errorf("ParseSpec(%q).String() = %q, want input back", in, got)
+		}
+		again, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s.String(), err)
+		}
+		if again != s {
+			t.Errorf("round trip of %q: %+v != %+v", in, again, s)
+		}
+	}
+}
+
+func TestStringOmitsDefaults(t *testing.T) {
+	s, err := ParseSpec("mpc,horizon=4,iters=12,rate=0.8,lambda=5000,margin=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "mpc" {
+		t.Errorf("explicit defaults should render as bare name, got %q", got)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	want := []string{"integral", "mpc", "willow"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNewBuildsEachPolicy(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if got := p.Spec(); got != name {
+			t.Errorf("New(%q).Spec() = %q", name, got)
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("New(\"nope\") should fail")
+	}
+}
+
+func TestWillowDeclinesEverything(t *testing.T) {
+	var w Willow
+	if ok := w.DivideBudget(0, 100, nil, nil, nil, nil); ok {
+		t.Error("DivideBudget must decline")
+	}
+	if _, ok := w.ThermalCap(nil, 50); ok {
+		t.Error("ThermalCap must decline")
+	}
+	if _, ok := w.PeelTarget(nil, 10); ok {
+		t.Error("PeelTarget must decline")
+	}
+	if _, ok := w.ConsolidateEligible(nil, 0.1); ok {
+		t.Error("ConsolidateEligible must decline")
+	}
+}
+
+// TestMPCDivideBudgetProjection pins the equal-headroom division:
+// allocations are clamp(demand+τ, floor, cap), the total meets
+// min(budget, Σcaps) and never exceeds the budget.
+func TestMPCDivideBudgetProjection(t *testing.T) {
+	m := &MPC{spec: defaults["mpc"]}
+	demands := []float64{10, 40, 20}
+	caps := []float64{50, 45, 60}
+	floors := []float64{5, 5, 5}
+	alloc := make([]float64, 3)
+
+	if ok := m.DivideBudget(1, 90, demands, caps, floors, alloc); !ok {
+		t.Fatal("DivideBudget declined unexpectedly")
+	}
+	var sum float64
+	for i, a := range alloc {
+		sum += a
+		if a < floors[i]-1e-9 || a > caps[i]+1e-9 {
+			t.Errorf("alloc[%d] = %v outside [%v, %v]", i, a, floors[i], caps[i])
+		}
+	}
+	if sum > 90+1e-6 {
+		t.Errorf("allocated %v > budget 90", sum)
+	}
+	if sum < 90-1e-3 {
+		t.Errorf("allocated %v, want ≈ budget 90 (demand+headroom should absorb it)", sum)
+	}
+	// Equal headroom: unclamped children share one τ above demand
+	// (child 1 pins at its cap of 45, so compare children 0 and 2).
+	tau0, tau2 := alloc[0]-demands[0], alloc[2]-demands[2]
+	if math.Abs(tau0-tau2) > 1e-3 {
+		t.Errorf("headrooms differ: %v vs %v", tau0, tau2)
+	}
+	if math.Abs(alloc[1]-45) > 1e-6 {
+		t.Errorf("alloc[1] = %v, want pinned at cap 45", alloc[1])
+	}
+
+	// Floors above budget must fall back to the built-in waterfill.
+	if ok := m.DivideBudget(1, 10, demands, caps, floors, alloc); ok {
+		t.Error("DivideBudget should decline when floors exceed the budget")
+	}
+
+	// Budget beyond every cap: allocations pin at the caps.
+	if ok := m.DivideBudget(1, 1000, demands, caps, floors, alloc); !ok {
+		t.Fatal("DivideBudget declined unexpectedly")
+	}
+	for i, a := range alloc {
+		if math.Abs(a-caps[i]) > 1e-6 {
+			t.Errorf("alloc[%d] = %v, want cap %v", i, a, caps[i])
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package policy implements pluggable controller policies for Willow's
+// three control seams (core.Policy): budget division across children,
+// the per-server throttle cap, and the migration/consolidation
+// triggers.
+//
+// Three policies are provided:
+//
+//   - "willow": the paper's proportional scheme, selected through the
+//     seam interface but delegating every hook — byte-identical to
+//     leaving core.Config.Policy nil.
+//   - "integral": a gain-scheduled integral temperature controller in
+//     the spirit of Rao et al., regulating each server toward a
+//     setpoint below the thermal limit with anti-windup on the budget
+//     lease floor, always inside the Eq. 3 safety envelope.
+//   - "mpc": a receding-horizon optimizer over the existing RC thermal
+//     model (Van Damme et al. flavor), solved each tick by a small
+//     deterministic projected-gradient loop — no external solver.
+//
+// All policies obey the repo determinism contract: no randomness, no
+// wall clock, per-server state only on the sharded throttle path —
+// runs are byte-identical for any worker or shard count and across
+// snapshot/restore and replication.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"willow/internal/core"
+)
+
+// Spec is a parsed policy selection: a policy name plus its tuning
+// knobs, with per-policy defaults filled in. String renders the
+// canonical form ParseSpec round-trips.
+type Spec struct {
+	// Name selects the policy: "willow", "integral" or "mpc".
+	Name string
+
+	// Integral knobs (Name == "integral"):
+	// Ki is the base integral gain (watts per °C of temperature error
+	// per tick); KiHot the scheduled gain used when the error magnitude
+	// reaches Sched °C; Margin the setpoint margin below the thermal
+	// limit in °C (shared with mpc).
+	Ki, KiHot, Sched float64
+
+	// MPC knobs (Name == "mpc"):
+	// Horizon is the lookahead in adjustment windows; Iters the
+	// projected-gradient iterations per server per tick; Rate the
+	// relative gradient step in (0, 2]; Lambda the weight of the
+	// predicted-overshoot penalty (watts of backpressure per °C·gain).
+	Horizon, Iters, Rate, Lambda float64
+
+	// Margin is the °C of setpoint headroom below the thermal limit
+	// ("margin" knob of both integral and mpc).
+	Margin float64
+}
+
+// defaults holds the per-policy default knob values.
+var defaults = map[string]Spec{
+	"willow":   {Name: "willow"},
+	"integral": {Name: "integral", Ki: 2, KiHot: 6, Sched: 4, Margin: 2},
+	"mpc":      {Name: "mpc", Horizon: 4, Iters: 12, Rate: 0.8, Lambda: 5000, Margin: 1},
+}
+
+// knobOrder fixes each policy's knob set and the canonical String
+// rendering order.
+var knobOrder = map[string][]string{
+	"willow":   nil,
+	"integral": {"ki", "ki-hot", "sched", "margin"},
+	"mpc":      {"horizon", "iters", "rate", "lambda", "margin"},
+}
+
+// knobField maps knob keys to their Spec fields.
+var knobField = map[string]func(*Spec) *float64{
+	"ki":      func(s *Spec) *float64 { return &s.Ki },
+	"ki-hot":  func(s *Spec) *float64 { return &s.KiHot },
+	"sched":   func(s *Spec) *float64 { return &s.Sched },
+	"margin":  func(s *Spec) *float64 { return &s.Margin },
+	"horizon": func(s *Spec) *float64 { return &s.Horizon },
+	"iters":   func(s *Spec) *float64 { return &s.Iters },
+	"rate":    func(s *Spec) *float64 { return &s.Rate },
+	"lambda":  func(s *Spec) *float64 { return &s.Lambda },
+}
+
+// Names returns the valid policy names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(defaults))
+	for n := range defaults {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec parses a policy specification. A spec is a comma-separated
+// list whose first element is the policy name — "willow", "integral"
+// or "mpc" — followed by key=value tuning overrides:
+//
+//	willow
+//	integral,ki=3,margin=4
+//	mpc,horizon=8,lambda=2000
+//
+// Keys per policy: integral takes ki, ki-hot (watts/°C·tick), sched
+// (°C), margin (°C); mpc takes horizon (windows), iters, rate, lambda,
+// margin (°C); willow takes none. Values must be non-negative and
+// finite.
+func ParseSpec(spec string) (Spec, error) {
+	var s Spec
+	fields := strings.Split(spec, ",")
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !strings.Contains(f, "=") {
+			if i != 0 {
+				return s, fmt.Errorf("policy: name %q must come first in spec %q", f, spec)
+			}
+			def, ok := defaults[f]
+			if !ok {
+				return s, fmt.Errorf("policy: unknown policy %q (valid policies: %s)", f, strings.Join(Names(), ", "))
+			}
+			s = def
+			continue
+		}
+		if s.Name == "" {
+			return s, fmt.Errorf("policy: spec %q must start with a policy name (valid policies: %s)", spec, strings.Join(Names(), ", "))
+		}
+		key, val, _ := strings.Cut(f, "=")
+		key = strings.TrimSpace(key)
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return s, fmt.Errorf("policy: bad value in %q: %v", f, err)
+		}
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return s, fmt.Errorf("policy: value in %q must be non-negative and finite", f)
+		}
+		if !knobAllowed(s.Name, key) {
+			valid := strings.Join(knobOrder[s.Name], ", ")
+			if valid == "" {
+				valid = "none"
+			}
+			return s, fmt.Errorf("policy: unknown key %q for policy %q (valid keys: %s)", key, s.Name, valid)
+		}
+		*knobField[key](&s) = v
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("policy: empty spec (valid policies: %s)", strings.Join(Names(), ", "))
+	}
+	if err := s.validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+func knobAllowed(name, key string) bool {
+	for _, k := range knobOrder[name] {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// validate bounds the knobs that shape per-tick work or must be
+// integral.
+func (s Spec) validate() error {
+	if _, ok := defaults[s.Name]; !ok {
+		return fmt.Errorf("policy: unknown policy %q (valid policies: %s)", s.Name, strings.Join(Names(), ", "))
+	}
+	if s.Name == "mpc" {
+		switch {
+		case s.Horizon != math.Trunc(s.Horizon) || s.Horizon < 1 || s.Horizon > 64:
+			return fmt.Errorf("policy: mpc horizon %v must be an integer in [1, 64]", s.Horizon)
+		case s.Iters != math.Trunc(s.Iters) || s.Iters < 1 || s.Iters > 1024:
+			return fmt.Errorf("policy: mpc iters %v must be an integer in [1, 1024]", s.Iters)
+		case s.Rate <= 0 || s.Rate > 2:
+			return fmt.Errorf("policy: mpc rate %v outside (0, 2]", s.Rate)
+		}
+	}
+	return nil
+}
+
+// String renders the spec canonically: the policy name followed by the
+// knobs that differ from that policy's defaults, in a fixed order.
+// ParseSpec(s.String()) reconstructs s exactly.
+func (s Spec) String() string {
+	parts := []string{s.Name}
+	def := defaults[s.Name]
+	for _, key := range knobOrder[s.Name] {
+		field := knobField[key]
+		if v := *field(&s); v != *field(&def) {
+			parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Build constructs a fresh policy instance from the spec. Instances
+// are stateful and must be owned by exactly one controller.
+func (s Spec) Build() (core.Policy, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	switch s.Name {
+	case "willow":
+		return Willow{}, nil
+	case "integral":
+		return &IntegralGS{spec: s}, nil
+	case "mpc":
+		return &MPC{spec: s}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (valid policies: %s)", s.Name, strings.Join(Names(), ", "))
+}
+
+// New parses a spec string and builds a fresh policy instance — the
+// one-call form every config layer (cluster, server.Spec, the CLIs)
+// uses.
+func New(spec string) (core.Policy, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build()
+}

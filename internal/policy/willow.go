@@ -1,0 +1,29 @@
+package policy
+
+import "willow/internal/core"
+
+// Willow is the paper's proportional controller, expressed through the
+// policy seams. Every hook declines, which routes each seam to the
+// built-in arithmetic in internal/core — the same code that runs when
+// core.Config.Policy is nil — so selecting "willow" is byte-identical
+// to selecting nothing. It is stateless and needs no Bind.
+type Willow struct{}
+
+func (Willow) Spec() string            { return "willow" }
+func (Willow) Bind(c *core.Controller) {}
+
+func (Willow) DivideBudget(level int, budget float64, demands, caps, floors, alloc []float64) bool {
+	return false
+}
+
+func (Willow) ThermalCap(s *core.Server, tobs float64) (float64, bool) {
+	return 0, false
+}
+
+func (Willow) PeelTarget(s *core.Server, deficit float64) (float64, bool) {
+	return 0, false
+}
+
+func (Willow) ConsolidateEligible(s *core.Server, util float64) (bool, bool) {
+	return false, false
+}

@@ -3,6 +3,7 @@ package sensor
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -59,7 +60,7 @@ func ParseSpec(spec string) (Spec, error) {
 			}
 			preset, ok := Presets[f]
 			if !ok {
-				return s, fmt.Errorf("sensor: unknown preset %q (want light, medium or heavy)", f)
+				return s, fmt.Errorf("sensor: unknown preset %q (valid presets: %s)", f, strings.Join(Names(), ", "))
 			}
 			s = preset
 			continue
@@ -124,6 +125,17 @@ var Presets = map[string]Spec{
 		Noise: 2.5, Bias: 8, Drift: 0.5,
 		Stuck: 1, Dropout: 1,
 	},
+}
+
+// Names returns the valid preset names, sorted — the list surfaced by
+// unknown-preset errors and the CLIs' usage text.
+func Names() []string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // specKeys maps spec keys to their Spec fields.

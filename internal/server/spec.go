@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"willow/internal/cluster"
+	"willow/internal/policy"
 	"willow/internal/power"
 )
 
@@ -63,6 +64,10 @@ type Spec struct {
 	// TickSeconds is the wall-time one tick models for joule conversion
 	// (core.Config.TickSeconds). Zero keeps the default of 1 s.
 	TickSeconds float64 `json:"tick_seconds,omitempty"`
+	// Policy selects the controller policy (policy.ParseSpec syntax).
+	// Empty and "willow" are byte-identical. Recorded in snapshots so a
+	// restored or replicated daemon rebuilds the same controller.
+	Policy string `json:"policy,omitempty"`
 }
 
 // DefaultSpec is the paper topology at 50 % utilization — what willowd
@@ -139,6 +144,15 @@ func (s Spec) Build() (cluster.Config, error) {
 			c.SensorTrips = 3
 			c.SensorGuard = 2
 		}
+	}
+
+	if s.Policy != "" {
+		// Validate at boot (clear error now beats a panic later); the
+		// machine builds its own fresh instance from the spec string.
+		if _, err := policy.ParseSpec(s.Policy); err != nil {
+			return cluster.Config{}, fmt.Errorf("server: %w", err)
+		}
+		cfg.Policy = s.Policy
 	}
 
 	if s.Chaos != "" {
